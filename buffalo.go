@@ -1,0 +1,177 @@
+// Package buffalo is a from-scratch Go reproduction of "Buffalo: Enabling
+// Large-Scale GNN Training via Memory-Efficient Bucketization" (HPCA 2025).
+//
+// Buffalo trains graph neural networks whose per-iteration memory exceeds
+// the accelerator's capacity by partitioning each training batch at the
+// bucket level: output nodes are grouped by sampled degree, the exploding
+// cut-off bucket is split into micro-buckets, and buckets are packed into
+// memory-balanced groups — each group becoming one micro-batch whose
+// gradients accumulate into a mathematically identical optimizer step.
+//
+// This package is the public facade. A typical session:
+//
+//	ds, _ := buffalo.LoadDataset("ogbn-arxiv", 1)
+//	cfg := buffalo.TrainConfig{
+//		System:    buffalo.SystemBuffalo,
+//		Model:     buffalo.ModelConfig{Arch: buffalo.SAGE, Aggregator: buffalo.LSTM,
+//			Layers: 2, InDim: ds.FeatDim(), Hidden: 64, OutDim: ds.NumClasses, Seed: 1},
+//		Fanouts:   []int{10, 25},
+//		BatchSize: 2048,
+//		MemBudget: 24 * buffalo.MB, // simulated-GPU capacity
+//		Seed:      7,
+//	}
+//	s, _ := buffalo.NewSession(ds, cfg)
+//	defer s.Close()
+//	res, _ := s.RunIteration()
+//	fmt.Println(res.K, res.Loss, res.Peak)
+//
+// The training math runs on the CPU; device memory, OOM behaviour and
+// transfer costs are simulated by a byte-accurate ledger (see
+// internal/device and DESIGN.md for the substitution rationale). Every
+// figure and table of the paper's evaluation can be regenerated with
+// RunExperiment or the cmd/experiments binary.
+package buffalo
+
+import (
+	"io"
+	"os"
+
+	"buffalo/internal/datagen"
+	"buffalo/internal/device"
+	"buffalo/internal/experiments"
+	"buffalo/internal/gnn"
+	"buffalo/internal/graph"
+	"buffalo/internal/train"
+)
+
+// Memory units for TrainConfig.MemBudget. Reproduction scale maps the
+// paper's GB budgets to MB (DESIGN.md §3).
+const (
+	MB = device.MB
+	GB = device.GB
+)
+
+// NodeID identifies a node in a dataset's graph.
+type NodeID = graph.NodeID
+
+// Dataset is a synthetic stand-in for one of the paper's Table II datasets:
+// a graph with node features and labels.
+type Dataset = datagen.Dataset
+
+// DatasetSpec describes a synthetic dataset generator.
+type DatasetSpec = datagen.Spec
+
+// LoadDataset generates one of the registered datasets ("cora", "pubmed",
+// "reddit", "ogbn-arxiv", "ogbn-products", "ogbn-papers") deterministically
+// from a seed.
+func LoadDataset(name string, seed int64) (*Dataset, error) {
+	return datagen.Load(name, seed)
+}
+
+// GenerateDataset builds a dataset from a custom spec.
+func GenerateDataset(spec DatasetSpec, seed int64) (*Dataset, error) {
+	return datagen.Generate(spec, seed)
+}
+
+// DatasetNames lists the registered datasets in the paper's Table II order.
+func DatasetNames() []string { return datagen.Names() }
+
+// ModelConfig configures a GNN model.
+type ModelConfig = gnn.Config
+
+// Model architectures.
+const (
+	SAGE = gnn.SAGE
+	GAT  = gnn.GAT
+)
+
+// GraphSAGE aggregators, in increasing memory appetite.
+const (
+	Mean = gnn.Mean
+	Pool = gnn.Pool
+	LSTM = gnn.LSTM
+)
+
+// TrainConfig configures a training session; see train.Config.
+type TrainConfig = train.Config
+
+// Training systems: the paper's baselines and Buffalo itself.
+const (
+	SystemDGL     = train.DGL
+	SystemPyG     = train.PyG
+	SystemBetty   = train.Betty
+	SystemBuffalo = train.Buffalo
+	SystemRandom  = train.RandomP
+	SystemRange   = train.RangeP
+	SystemMetis   = train.MetisP
+)
+
+// Session is a single-GPU training run.
+type Session = train.Session
+
+// IterationResult reports one training iteration (loss, micro-batch count,
+// peak device memory, per-phase timings).
+type IterationResult = train.IterationResult
+
+// Phases is the per-iteration component breakdown (Fig 11's categories).
+type Phases = train.Phases
+
+// NewSession builds a training session on a simulated GPU with the
+// configured memory budget.
+func NewSession(ds *Dataset, cfg TrainConfig) (*Session, error) {
+	return train.NewSession(ds, cfg)
+}
+
+// DataParallel is a multi-GPU (data-parallel) Buffalo training run (§V-G).
+type DataParallel = train.DataParallel
+
+// NewDataParallel builds a data-parallel run over the given number of
+// simulated GPUs, each with cfg.MemBudget capacity.
+func NewDataParallel(ds *Dataset, cfg TrainConfig, gpus int) (*DataParallel, error) {
+	return train.NewDataParallel(ds, cfg, gpus)
+}
+
+// IsOOM reports whether err is (or wraps) a simulated device out-of-memory
+// fault.
+func IsOOM(err error) bool { return device.IsOOM(err) }
+
+// ExperimentIDs lists the reproducible paper artifacts (figures, tables,
+// ablations) in the paper's order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates the given paper figure/table (or "all") and
+// renders it to w. Quick mode restricts datasets and iteration counts so a
+// full sweep finishes in minutes.
+func RunExperiment(id string, quick bool, seed int64, w io.Writer) error {
+	return experiments.Run(id, experiments.Options{Quick: quick, Seed: seed}, w)
+}
+
+// WriteDatasetFile serializes a dataset to path in the binary dataset
+// format, so expensive generations (papers-mini takes ~10s) happen once.
+func WriteDatasetFile(ds *Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadDatasetFile loads a dataset written by WriteDatasetFile.
+func ReadDatasetFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return datagen.ReadDataset(f)
+}

@@ -1,0 +1,144 @@
+package buffalo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDatasetRegistry(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("want 6 datasets, got %d", len(names))
+	}
+	ds, err := LoadDataset("cora", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumNodes() == 0 || ds.FeatDim() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, err := LoadDataset("imagenet", 1); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	ds, err := LoadDataset("cora", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TrainConfig{
+		System: SystemBuffalo,
+		Model: ModelConfig{Arch: SAGE, Aggregator: Mean, Layers: 2,
+			InDim: ds.FeatDim(), Hidden: 16, OutDim: ds.NumClasses, Seed: 1},
+		Fanouts:   []int{5, 5},
+		BatchSize: 256,
+		MemBudget: 1 * GB,
+		Seed:      7,
+	}
+	s, err := NewSession(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loss <= 0 {
+		t.Fatalf("loss = %v", res.Loss)
+	}
+}
+
+func TestIsOOMFacade(t *testing.T) {
+	ds, err := LoadDataset("cora", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TrainConfig{
+		System: SystemDGL,
+		Model: ModelConfig{Arch: SAGE, Aggregator: LSTM, Layers: 2,
+			InDim: ds.FeatDim(), Hidden: 64, OutDim: ds.NumClasses, Seed: 1},
+		Fanouts:   []int{10, 25},
+		BatchSize: 1024,
+		MemBudget: 3 * MB,
+		Seed:      7,
+	}
+	s, err := NewSession(ds, cfg)
+	if err != nil {
+		if !IsOOM(err) {
+			t.Fatalf("want OOM, got %v", err)
+		}
+		return
+	}
+	defer s.Close()
+	if _, err := s.RunIteration(); !IsOOM(err) {
+		t.Fatalf("want OOM, got %v", err)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 15 {
+		t.Fatalf("registry too small: %v", ids)
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("table2", true, 3, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "table2") {
+		t.Fatal("no output")
+	}
+}
+
+func TestDatasetFileRoundTrip(t *testing.T) {
+	ds, err := LoadDataset("cora", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/cora.bdst"
+	if err := WriteDatasetFile(ds, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != ds.NumNodes() || got.Graph.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := ReadDatasetFile(path + ".missing"); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestFacadeEvaluate(t *testing.T) {
+	ds, err := LoadDataset("cora", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainNodes, evalNodes := ds.Split(1, 0.9)
+	_ = trainNodes
+	cfg := TrainConfig{
+		System: SystemBuffalo,
+		Model: ModelConfig{Arch: SAGE, Aggregator: Mean, Layers: 2,
+			InDim: ds.FeatDim(), Hidden: 16, OutDim: ds.NumClasses, Seed: 1},
+		Fanouts:   []int{5, 5},
+		BatchSize: 128,
+		MemBudget: 1 * GB,
+		Seed:      7,
+	}
+	s, err := NewSession(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	loss, acc, err := s.Evaluate(evalNodes[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 || acc < 0 || acc > 1 {
+		t.Fatalf("loss=%v acc=%v", loss, acc)
+	}
+}

@@ -1,0 +1,39 @@
+// Command experiments regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	experiments -run fig10            # one figure/table
+//	experiments -run all -quick       # the whole suite at reduced scale
+//	experiments -list                 # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"buffalo"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to regenerate, or 'all'")
+	quick := flag.Bool("quick", false, "reduced datasets/iterations (minutes instead of tens of minutes)")
+	seed := flag.Int64("seed", 3, "dataset and sampling seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range buffalo.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: pass -run <id> or -list; ids map to the paper's figures/tables (see DESIGN.md)")
+		os.Exit(2)
+	}
+	if err := buffalo.RunExperiment(*run, *quick, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

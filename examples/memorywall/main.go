@@ -1,0 +1,75 @@
+// Memorywall walks the paper's Fig 2 -> Fig 13 story: full-batch (DGL-style)
+// training hits the simulated GPU's capacity as the aggregator, hidden size
+// or fanout grows, and Buffalo resolves every OOM by scheduling micro-batches
+// under the same budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"buffalo"
+)
+
+func main() {
+	ds, err := buffalo.LoadDataset("ogbn-arxiv", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const budget = 24 * buffalo.MB
+	base := buffalo.ModelConfig{
+		Arch: buffalo.SAGE, Aggregator: buffalo.Mean, Layers: 2,
+		InDim: ds.FeatDim(), Hidden: 32, OutDim: ds.NumClasses, Seed: 1,
+	}
+	cases := []struct {
+		label   string
+		mutate  func(*buffalo.ModelConfig)
+		fanouts []int
+	}{
+		{"mean aggregator", func(m *buffalo.ModelConfig) {}, []int{10, 25}},
+		{"pool aggregator", func(m *buffalo.ModelConfig) { m.Aggregator = buffalo.Pool }, []int{10, 25}},
+		{"lstm aggregator", func(m *buffalo.ModelConfig) { m.Aggregator = buffalo.LSTM }, []int{10, 25}},
+		{"lstm + hidden 128", func(m *buffalo.ModelConfig) { m.Aggregator = buffalo.LSTM; m.Hidden = 128 }, []int{10, 25}},
+		{"lstm + fanout 20", func(m *buffalo.ModelConfig) { m.Aggregator = buffalo.LSTM }, []int{20, 25}},
+	}
+	fmt.Printf("%-20s  %-14s  %s\n", "config", "full-batch", "buffalo (micro-batches)")
+	for _, c := range cases {
+		model := base
+		c.mutate(&model)
+		full := runOnce(ds, buffalo.SystemDGL, model, c.fanouts, budget)
+		bf := runOnce(ds, buffalo.SystemBuffalo, model, c.fanouts, budget)
+		fmt.Printf("%-20s  %-14s  %s\n", c.label, full, bf)
+	}
+}
+
+func runOnce(ds *buffalo.Dataset, sys interface{}, model buffalo.ModelConfig, fanouts []int, budget int64) string {
+	cfg := buffalo.TrainConfig{
+		Model:     model,
+		Fanouts:   fanouts,
+		BatchSize: 2048,
+		MemBudget: budget,
+		Seed:      7,
+	}
+	switch sys {
+	case buffalo.SystemDGL:
+		cfg.System = buffalo.SystemDGL
+	default:
+		cfg.System = buffalo.SystemBuffalo
+	}
+	s, err := buffalo.NewSession(ds, cfg)
+	if err != nil {
+		if buffalo.IsOOM(err) {
+			return "OOM"
+		}
+		log.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.RunIteration()
+	if err != nil {
+		if buffalo.IsOOM(err) {
+			return "OOM"
+		}
+		return "infeasible"
+	}
+	return fmt.Sprintf("%.1fMB (K=%d)", float64(res.Peak)/float64(buffalo.MB), res.K)
+}

@@ -1,0 +1,3 @@
+module buffalo
+
+go 1.22

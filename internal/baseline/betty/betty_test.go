@@ -1,0 +1,166 @@
+package betty
+
+import (
+	"math/rand"
+	"testing"
+
+	"buffalo/internal/datagen"
+	"buffalo/internal/gnn"
+	"buffalo/internal/graph"
+	"buffalo/internal/memest"
+	"buffalo/internal/sampling"
+)
+
+func setup(t testing.TB, seeds int) (*sampling.Batch, *memest.Estimator) {
+	t.Helper()
+	ds, err := datagen.Load("ogbn-arxiv", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	sd, err := sampling.UniformSeeds(ds.Graph, seeds, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampling.SampleBatch(ds.Graph, sd, []int{10, 25}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gnn.Config{Arch: gnn.SAGE, Aggregator: gnn.LSTM, Layers: 2,
+		InDim: 64, Hidden: 64, OutDim: 16, Seed: 1}
+	est, err := memest.New(memest.SpecFromConfig(cfg),
+		memest.ProfileBatch(b, ds.Graph.ApproxClusteringCoefficient(1, 2000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, est
+}
+
+func TestBuildREG(t *testing.T) {
+	b, _ := setup(t, 400)
+	reg := BuildREG(b)
+	if reg.NumNodes() != len(b.Seeds) {
+		t.Fatalf("REG nodes = %d, want %d", reg.NumNodes(), len(b.Seeds))
+	}
+	// Shared 1-hop neighborhoods exist on a clustered graph: the REG must
+	// have edges, and weights must be positive.
+	edges := 0
+	for v := range reg.Adj {
+		for _, e := range reg.Adj[v] {
+			if e.Weight < 1 {
+				t.Fatal("non-positive REG edge weight")
+			}
+			edges++
+		}
+	}
+	if edges == 0 {
+		t.Fatal("REG has no edges on a clustered graph")
+	}
+}
+
+func TestREGWeightsCountSharedNeighbors(t *testing.T) {
+	// Hand-built batch: two seeds sharing exactly two sampled neighbors.
+	g, err := graph.FromEdges(6,
+		[]graph.NodeID{2, 3, 2, 3, 4, 5},
+		[]graph.NodeID{0, 0, 1, 1, 0, 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b, err := sampling.SampleBatch(g, []graph.NodeID{0, 1}, []int{10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := BuildREG(b)
+	// Seeds 0 and 1 share sampled neighbors {2, 3} (fanout above degree, so
+	// all neighbors kept): REG weight must be 2.
+	var w int64
+	for _, e := range reg.Adj[0] {
+		if e.To == 1 {
+			w = e.Weight
+		}
+	}
+	if w != 2 {
+		t.Fatalf("REG weight = %d, want 2", w)
+	}
+}
+
+func TestPartitionValid(t *testing.T) {
+	b, _ := setup(t, 500)
+	plan, err := Partition(b, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.K != 4 {
+		t.Fatalf("K = %d", plan.K)
+	}
+	seen := map[graph.NodeID]bool{}
+	total := 0
+	for _, p := range plan.Parts {
+		for _, v := range p {
+			if seen[v] {
+				t.Fatalf("node %d twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != len(b.Seeds) {
+		t.Fatalf("parts cover %d, want %d", total, len(b.Seeds))
+	}
+	if plan.REGTime <= 0 || plan.MetisTime <= 0 {
+		t.Fatal("phase timings must be recorded")
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	b, _ := setup(t, 50)
+	if _, err := Partition(b, 0, 1); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := Partition(b, 51, 1); err == nil {
+		t.Error("want error for k > seeds")
+	}
+}
+
+func TestEstimatePartLinear(t *testing.T) {
+	b, est := setup(t, 300)
+	whole := EstimatePart(b, est, b.Seeds)
+	half1 := EstimatePart(b, est, b.Seeds[:150])
+	half2 := EstimatePart(b, est, b.Seeds[150:])
+	// Betty's model has no redundancy discount: halves sum to at least the
+	// whole, with only the batch-frontier cap (which bounds every bucket's
+	// growth) allowed to open a small sub-additive gap.
+	if half1+half2 < whole {
+		t.Fatalf("linear estimate super-additive: %d vs %d+%d", whole, half1, half2)
+	}
+	if d := half1 + half2 - whole; d > whole/20 {
+		t.Fatalf("linear estimate gap too large: %d vs %d+%d", whole, half1, half2)
+	}
+	if EstimatePart(b, est, nil) != 0 {
+		t.Fatal("empty part must cost 0")
+	}
+}
+
+func TestFindPlan(t *testing.T) {
+	b, est := setup(t, 600)
+	whole := EstimatePart(b, est, b.Seeds)
+	plan, err := FindPlan(b, est, whole/3, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.K < 3 {
+		t.Fatalf("third-budget should need K >= 3, got %d", plan.K)
+	}
+	for _, p := range plan.Parts {
+		if EstimatePart(b, est, p) > whole/3 {
+			t.Fatal("part exceeds budget")
+		}
+	}
+	if _, err := FindPlan(b, est, 0, 8, 1); err == nil {
+		t.Error("want error for zero budget")
+	}
+	if _, err := FindPlan(b, est, 1, 4, 1); err == nil {
+		t.Error("want infeasible error for 1-byte budget")
+	}
+}

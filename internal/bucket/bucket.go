@@ -1,0 +1,227 @@
+// Package bucket implements degree bucketing at the output layer (§II-C,
+// §IV-B): grouping a batch's output nodes by sampled degree, detecting the
+// bucket explosion the power-law tail causes (all nodes at the cut-off
+// degree F pile into one bucket, Fig 4), splitting the explosion bucket
+// into micro-buckets, and assembling buckets into the bucket groups that
+// become micro-batches.
+package bucket
+
+import (
+	"fmt"
+	"sort"
+
+	"buffalo/internal/graph"
+	"buffalo/internal/sampling"
+)
+
+// Bucket holds output nodes that share a sampled degree. A split bucket
+// (micro-bucket) remembers its part index for diagnostics.
+type Bucket struct {
+	Degree int // sampled degree of every member; the cut-off bucket has Degree == F
+	Nodes  []graph.NodeID
+
+	Split bool // true when this is a micro-bucket from SplitBucket
+	Part  int  // part index within the split, 0-based
+}
+
+// Volume reports the node count.
+func (b *Bucket) Volume() int { return len(b.Nodes) }
+
+// Label renders "deg-5" or "deg-10/2of4"-style identifiers for reports.
+func (b *Bucket) Label() string {
+	if b.Split {
+		return fmt.Sprintf("deg-%d/part%d", b.Degree, b.Part)
+	}
+	return fmt.Sprintf("deg-%d", b.Degree)
+}
+
+// Bucketing is the degree-bucket list of one batch's output layer.
+type Bucketing struct {
+	F       int // cut-off degree (the batch's hop-0 fanout)
+	Buckets []*Bucket
+}
+
+// Bucketize groups the batch's output nodes by their hop-0 sampled degree.
+// Degrees range in [1, F] where F = batch.Fanouts[0]; nodes whose original
+// degree exceeds F were sampled down to exactly F, so they all land in the
+// cut-off bucket — the paper's bucket-explosion mechanism. Empty degrees are
+// omitted; buckets are ordered by ascending degree.
+func Bucketize(batch *sampling.Batch) *Bucketing {
+	f := batch.Fanouts[0]
+	byDegree := make(map[int][]graph.NodeID)
+	hop := &batch.Hops[0]
+	for i, v := range hop.Dst {
+		d := len(hop.Nbrs[i])
+		byDegree[d] = append(byDegree[d], v)
+	}
+	degrees := make([]int, 0, len(byDegree))
+	for d := range byDegree {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	bk := &Bucketing{F: f}
+	for _, d := range degrees {
+		bk.Buckets = append(bk.Buckets, &Bucket{Degree: d, Nodes: byDegree[d]})
+	}
+	return bk
+}
+
+// Volumes returns the node count per bucket, ordered as Buckets (Fig 4's
+// bucket-volume distribution).
+func (bk *Bucketing) Volumes() []int {
+	out := make([]int, len(bk.Buckets))
+	for i, b := range bk.Buckets {
+		out[i] = b.Volume()
+	}
+	return out
+}
+
+// TotalNodes reports the output-node count across buckets.
+func (bk *Bucketing) TotalNodes() int {
+	total := 0
+	for _, b := range bk.Buckets {
+		total += b.Volume()
+	}
+	return total
+}
+
+// ExplosionOptions tune DetectExplosion. The zero value uses the defaults.
+// Buckets are compared by memory weight — volume x degree, proportional to
+// the neighbor-embedding footprint message passing materializes — because
+// the cut-off bucket dominates memory well before it dominates node count.
+type ExplosionOptions struct {
+	// VolumeFactor flags the cut-off bucket when its memory weight exceeds
+	// this multiple of the median bucket's. Default 4.
+	VolumeFactor float64
+	// ShareThreshold flags the cut-off bucket when it holds more than this
+	// fraction of the total memory weight. Default 0.3.
+	ShareThreshold float64
+}
+
+func (o ExplosionOptions) withDefaults() ExplosionOptions {
+	if o.VolumeFactor == 0 {
+		o.VolumeFactor = 4
+	}
+	if o.ShareThreshold == 0 {
+		o.ShareThreshold = 0.3
+	}
+	return o
+}
+
+// DetectExplosion reports whether the cut-off bucket — the highest-degree
+// bucket, where every node whose true degree reaches F lands after sampling
+// (Algorithm 3 always splits degree_buckets[F]) — has exploded: its volume
+// dwarfs the median bucket or it holds an outsized share of all output
+// nodes. Power-law graphs trigger this (Fig 4.b); balanced distributions
+// like Cora's (Fig 4.a), whose dominant bucket sits mid-distribution and
+// whose top-degree bucket is small, do not.
+func (bk *Bucketing) DetectExplosion(opts ExplosionOptions) (*Bucket, bool) {
+	opts = opts.withDefaults()
+	if len(bk.Buckets) == 0 {
+		return nil, false
+	}
+	if len(bk.Buckets) == 1 {
+		// Every output node sits in one bucket: the degenerate, maximal
+		// explosion (e.g. Reddit at small fanouts, where every node's true
+		// degree exceeds F).
+		return bk.Buckets[0], true
+	}
+	weights := make([]int, len(bk.Buckets))
+	total := 0
+	for i, b := range bk.Buckets {
+		weights[i] = b.Volume() * b.Degree
+		total += weights[i]
+	}
+	cutoff := bk.Buckets[len(bk.Buckets)-1] // buckets are degree-sorted
+	cutoffWeight := weights[len(weights)-1]
+	sorted := append([]int(nil), weights...)
+	sort.Ints(sorted)
+	median := float64(sorted[len(sorted)/2])
+	if float64(cutoffWeight) > opts.VolumeFactor*median ||
+		float64(cutoffWeight) > opts.ShareThreshold*float64(total) {
+		return cutoff, true
+	}
+	return nil, false
+}
+
+// SplitBucket evenly splits b into k micro-buckets (Algorithm 3's
+// SplitExplosionBucket): part sizes differ by at most one, node order is
+// preserved, and the node multiset is unchanged.
+func SplitBucket(b *Bucket, k int) ([]*Bucket, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("bucket: split count %d < 1", k)
+	}
+	if k > b.Volume() {
+		k = b.Volume() // never create empty micro-buckets
+	}
+	parts := make([]*Bucket, k)
+	n := b.Volume()
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		parts[i] = &Bucket{
+			Degree: b.Degree,
+			Nodes:  b.Nodes[lo:hi],
+			Split:  true,
+			Part:   i,
+		}
+	}
+	return parts, nil
+}
+
+// ReplaceWithSplit returns a new bucket list where target is replaced by its
+// k micro-buckets, keeping overall ordering (micro-buckets take the
+// target's position).
+func (bk *Bucketing) ReplaceWithSplit(target *Bucket, k int) (*Bucketing, error) {
+	parts, err := SplitBucket(target, k)
+	if err != nil {
+		return nil, err
+	}
+	out := &Bucketing{F: bk.F}
+	replaced := false
+	for _, b := range bk.Buckets {
+		if b == target {
+			out.Buckets = append(out.Buckets, parts...)
+			replaced = true
+			continue
+		}
+		out.Buckets = append(out.Buckets, b)
+	}
+	if !replaced {
+		return nil, fmt.Errorf("bucket: target %s not in bucketing", target.Label())
+	}
+	return out, nil
+}
+
+// Group is a bucket group: the set of buckets that will form one
+// micro-batch.
+type Group struct {
+	Buckets []*Bucket
+}
+
+// Nodes flattens the group's output nodes in bucket order.
+func (g *Group) Nodes() []graph.NodeID {
+	var out []graph.NodeID
+	for _, b := range g.Buckets {
+		out = append(out, b.Nodes...)
+	}
+	return out
+}
+
+// Volume reports the group's output-node count.
+func (g *Group) Volume() int {
+	total := 0
+	for _, b := range g.Buckets {
+		total += b.Volume()
+	}
+	return total
+}
+
+// Labels renders the member bucket labels for reports.
+func (g *Group) Labels() []string {
+	out := make([]string, len(g.Buckets))
+	for i, b := range g.Buckets {
+		out[i] = b.Label()
+	}
+	return out
+}

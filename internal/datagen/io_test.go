@@ -1,0 +1,73 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDatasetRoundTrip(t *testing.T) {
+	ds, err := Load("cora", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Name != "cora" || got.NumClasses != ds.NumClasses {
+		t.Fatalf("spec mismatch: %+v", got.Spec)
+	}
+	if got.Graph.NumNodes() != ds.Graph.NumNodes() || got.Graph.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatal("graph mismatch")
+	}
+	for i := range ds.Features {
+		if ds.Features[i] != got.Features[i] {
+			t.Fatalf("feature %d differs", i)
+		}
+	}
+	for i := range ds.Labels {
+		if ds.Labels[i] != got.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+}
+
+func TestReadDatasetRejectsCorruption(t *testing.T) {
+	ds, err := Load("cora", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 'Z'
+	if _, err := ReadDataset(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for bad magic")
+	}
+	bad = append([]byte(nil), good...)
+	bad[4] = 42
+	if _, err := ReadDataset(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for bad version")
+	}
+	if _, err := ReadDataset(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Error("want error for truncation")
+	}
+	if _, err := ReadDataset(bytes.NewReader(nil)); err == nil {
+		t.Error("want error for empty input")
+	}
+	// Corrupt the final label bytes to an out-of-range class.
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-1] = 0x7f
+	bad[len(bad)-2] = 0x7f
+	if _, err := ReadDataset(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for out-of-range label")
+	}
+}

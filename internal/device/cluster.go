@@ -1,0 +1,64 @@
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cluster is a set of identical simulated GPUs connected by a shared
+// interconnect (PCIe in the paper's two-A100 machine, §V-G). It models the
+// gradient all-reduce the data-parallel trainer performs each iteration.
+type Cluster struct {
+	gpus []*GPU
+
+	// interconnect bandwidth per link in bytes/second and per-message latency.
+	linkBandwidth float64
+	linkLatency   time.Duration
+
+	commTime time.Duration
+}
+
+// NewCluster builds n identical GPUs named base-0..base-(n-1).
+func NewCluster(base string, n int, capacity int64, opts ...Option) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("device: cluster needs at least 1 GPU, got %d", n)
+	}
+	c := &Cluster{linkBandwidth: 10e9, linkLatency: 25 * time.Microsecond}
+	for i := 0; i < n; i++ {
+		c.gpus = append(c.gpus, NewGPU(fmt.Sprintf("%s-%d", base, i), capacity, opts...))
+	}
+	return c, nil
+}
+
+// Size reports the number of GPUs.
+func (c *Cluster) Size() int { return len(c.gpus) }
+
+// GPU returns device i.
+func (c *Cluster) GPU(i int) *GPU { return c.gpus[i] }
+
+// AllReduce models a ring all-reduce of size bytes across the cluster and
+// returns the simulated duration (2(n-1)/n chunk exchanges over the slowest
+// link). Single-GPU clusters take no time.
+func (c *Cluster) AllReduce(size int64) time.Duration {
+	n := len(c.gpus)
+	if n < 2 {
+		return 0
+	}
+	steps := 2 * (n - 1)
+	chunk := float64(size) / float64(n)
+	d := time.Duration(float64(steps)*(chunk/c.linkBandwidth)*float64(time.Second)) +
+		time.Duration(steps)*c.linkLatency
+	c.commTime += d
+	return d
+}
+
+// CommTime reports the accumulated all-reduce time.
+func (c *Cluster) CommTime() time.Duration { return c.commTime }
+
+// ResetClocks zeroes every device clock and the interconnect clock.
+func (c *Cluster) ResetClocks() {
+	c.commTime = 0
+	for _, g := range c.gpus {
+		g.ResetClocks()
+	}
+}

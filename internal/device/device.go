@@ -1,0 +1,246 @@
+// Package device simulates the GPU that Buffalo schedules against: a memory
+// ledger with a hard capacity that faults OOM exactly when a charge would
+// exceed it, peak tracking, and a PCIe-style host-to-device transfer model.
+//
+// The reproduction's training math runs on the CPU, but every tensor a real
+// GNN framework would place in GPU memory — input features, padded
+// per-bucket neighbor tensors, layer activations, LSTM trajectories, model
+// parameters, gradients, optimizer state — is charged to this ledger with
+// its true byte size. OOM boundaries, peak-memory curves (Figs 2, 10, 13,
+// 14, 15) and load-balance numbers therefore reflect the same allocation
+// pattern a CUDA run would produce, at the reduced scale documented in
+// DESIGN.md (paper GB -> simulated MB).
+package device
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Common capacity constants at reproduction scale: the paper's 16/24/48/80 GB
+// budgets map to the same numerals in MB.
+const (
+	MB = int64(1) << 20
+	GB = int64(1) << 30
+)
+
+// OOMError reports an allocation that would exceed the device capacity —
+// the simulated CUDA out-of-memory fault.
+type OOMError struct {
+	Device    string
+	Tag       string // what the allocation was for, e.g. "activations/layer1"
+	Requested int64
+	Live      int64
+	Capacity  int64
+}
+
+// Error implements error.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("device %s: out of memory allocating %d bytes for %q (live %d / capacity %d)",
+		e.Device, e.Requested, e.Tag, e.Live, e.Capacity)
+}
+
+// IsOOM reports whether err is (or wraps) an OOMError.
+func IsOOM(err error) bool {
+	for err != nil {
+		if _, ok := err.(*OOMError); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// GPU is a simulated accelerator: a capacity-limited allocation ledger plus
+// simulated transfer/compute clocks.
+type GPU struct {
+	name     string
+	capacity int64
+
+	// Transfer model: effective host-to-device bandwidth and per-transfer
+	// latency. Defaults approximate PCIe 3.0 x16.
+	bandwidth float64 // bytes per second
+	latency   time.Duration
+
+	mu           sync.Mutex
+	live         int64
+	peak         int64
+	allocSeq     int64
+	liveAllocs   map[int64]*Allocation
+	transferTime time.Duration
+	transferred  int64
+	computeTime  time.Duration
+}
+
+// Option configures a GPU.
+type Option func(*GPU)
+
+// WithBandwidth sets the simulated host-to-device bandwidth in bytes/second.
+func WithBandwidth(bytesPerSec float64) Option {
+	return func(g *GPU) { g.bandwidth = bytesPerSec }
+}
+
+// WithLatency sets the simulated per-transfer latency.
+func WithLatency(d time.Duration) Option {
+	return func(g *GPU) { g.latency = d }
+}
+
+// NewGPU builds a simulated GPU with the given memory capacity in bytes.
+func NewGPU(name string, capacity int64, opts ...Option) *GPU {
+	g := &GPU{
+		name:       name,
+		capacity:   capacity,
+		bandwidth:  12e9, // ~PCIe 3.0 x16 effective
+		latency:    10 * time.Microsecond,
+		liveAllocs: make(map[int64]*Allocation),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// Name returns the device name.
+func (g *GPU) Name() string { return g.name }
+
+// Capacity returns the configured memory capacity in bytes.
+func (g *GPU) Capacity() int64 { return g.capacity }
+
+// Allocation is a live reservation on a GPU. Free it exactly once.
+type Allocation struct {
+	gpu   *GPU
+	id    int64
+	Tag   string
+	Bytes int64
+	freed bool
+}
+
+// Alloc reserves size bytes tagged for diagnostics. It returns an *OOMError
+// when the reservation would exceed capacity.
+func (g *GPU) Alloc(tag string, size int64) (*Allocation, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("device %s: negative allocation %d for %q", g.name, size, tag)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.live+size > g.capacity {
+		return nil, &OOMError{Device: g.name, Tag: tag, Requested: size, Live: g.live, Capacity: g.capacity}
+	}
+	g.live += size
+	if g.live > g.peak {
+		g.peak = g.live
+	}
+	g.allocSeq++
+	a := &Allocation{gpu: g, id: g.allocSeq, Tag: tag, Bytes: size}
+	g.liveAllocs[a.id] = a
+	return a, nil
+}
+
+// Free releases the allocation. Double frees panic: they indicate a
+// scheduling bug that would corrupt the ledger silently otherwise.
+func (a *Allocation) Free() {
+	if a == nil {
+		return
+	}
+	a.gpu.mu.Lock()
+	defer a.gpu.mu.Unlock()
+	if a.freed {
+		panic(fmt.Sprintf("device %s: double free of %q", a.gpu.name, a.Tag))
+	}
+	a.freed = true
+	a.gpu.live -= a.Bytes
+	delete(a.gpu.liveAllocs, a.id)
+}
+
+// Live returns the currently reserved bytes.
+func (g *GPU) Live() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.live
+}
+
+// Peak returns the high-water mark since the last ResetPeak.
+func (g *GPU) Peak() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// ResetPeak sets the high-water mark to the current live bytes.
+func (g *GPU) ResetPeak() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.peak = g.live
+}
+
+// LiveAllocations returns a snapshot of outstanding allocations (diagnostic).
+func (g *GPU) LiveAllocations() []Allocation {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Allocation, 0, len(g.liveAllocs))
+	for _, a := range g.liveAllocs {
+		out = append(out, *a)
+	}
+	return out
+}
+
+// TransferH2D models copying size bytes from host to device memory and
+// returns the simulated duration, which is also accumulated on the device's
+// transfer clock. It does not reserve memory; pair it with Alloc.
+func (g *GPU) TransferH2D(size int64) time.Duration {
+	d := g.latency + time.Duration(float64(size)/g.bandwidth*float64(time.Second))
+	g.mu.Lock()
+	g.transferTime += d
+	g.transferred += size
+	g.mu.Unlock()
+	return d
+}
+
+// AddComputeTime accrues measured kernel time onto the device's compute
+// clock. Trainers call this with the wall time of the CPU-side math standing
+// in for the CUDA kernels.
+func (g *GPU) AddComputeTime(d time.Duration) {
+	g.mu.Lock()
+	g.computeTime += d
+	g.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of a device's counters.
+type Stats struct {
+	Name         string
+	Capacity     int64
+	Live         int64
+	Peak         int64
+	Transferred  int64
+	TransferTime time.Duration
+	ComputeTime  time.Duration
+}
+
+// Stats returns a snapshot of the device counters.
+func (g *GPU) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{
+		Name:         g.name,
+		Capacity:     g.capacity,
+		Live:         g.live,
+		Peak:         g.peak,
+		Transferred:  g.transferred,
+		TransferTime: g.transferTime,
+		ComputeTime:  g.computeTime,
+	}
+}
+
+// ResetClocks zeroes the transfer and compute clocks (per-iteration timing).
+func (g *GPU) ResetClocks() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.transferTime = 0
+	g.transferred = 0
+	g.computeTime = 0
+}

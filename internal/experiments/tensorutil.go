@@ -1,0 +1,8 @@
+package experiments
+
+import "buffalo/internal/tensor"
+
+// tensorFrom wraps a float32 slice as a matrix (experiments-local helper).
+func tensorFrom(rows, cols int, data []float32) *tensor.Matrix {
+	return tensor.FromSlice(rows, cols, data)
+}

@@ -1,0 +1,285 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"buffalo/internal/block"
+	"buffalo/internal/nn"
+	"buffalo/internal/tensor"
+)
+
+const gatLeakySlope = 0.2
+
+// gatLayer is a multi-head graph attention layer (GATv1). Per head h:
+//
+//	z_u    = x_u @ W_h
+//	e_iu   = LeakyReLU(a1_h·z_i + a2_h·z_u)   over u in {i} ∪ N(i)
+//	α_i·   = softmax_u(e_iu)
+//	o_i,h  = Σ_u α_iu z_u
+//
+// and the output concatenates the heads: h_i = act([o_i,1 ‖ … ‖ o_i,H]).
+// Attention runs per degree bucket: every destination in a bucket has the
+// same candidate count (self + degree), so scores and softmax are dense
+// fixed-shape tensors without padding.
+type gatLayer struct {
+	name    string
+	in      int
+	out     int // total output width = heads * headOut
+	heads   int
+	headOut int
+	act     bool // ELU on hidden layers, identity on the output layer
+	w       []*nn.Param
+	a1      []*nn.Param // attention vector for the destination, [1 x headOut]
+	a2      []*nn.Param // attention vector for the candidate, [1 x headOut]
+}
+
+func newGATLayer(name string, in, out, heads int, act bool, rng *rand.Rand, ps *nn.ParamSet) *gatLayer {
+	if heads < 1 {
+		heads = 1
+	}
+	l := &gatLayer{
+		name: name, in: in, out: out, heads: heads, headOut: out / heads, act: act,
+	}
+	for h := 0; h < heads; h++ {
+		w := nn.NewParam(fmt.Sprintf("%s.h%d.W", name, h), in, l.headOut)
+		a1 := nn.NewParam(fmt.Sprintf("%s.h%d.a1", name, h), 1, l.headOut)
+		a2 := nn.NewParam(fmt.Sprintf("%s.h%d.a2", name, h), 1, l.headOut)
+		w.InitXavier(rng)
+		a1.InitXavier(rng)
+		a2.InitXavier(rng)
+		ps.MustAdd(w, a1, a2)
+		l.w = append(l.w, w)
+		l.a1 = append(l.a1, a1)
+		l.a2 = append(l.a2, a2)
+	}
+	return l
+}
+
+// gatBucketCache retains one head's attention state for one degree bucket.
+// Candidate position 0 is the destination itself (the self-loop GAT always
+// includes); positions 1..degree are the sampled neighbors.
+type gatBucketCache struct {
+	rows   []int32
+	degree int
+	cands  []*tensor.Matrix // z rows per candidate position [v x headOut]
+	scores *tensor.Matrix   // pre-LeakyReLU attention logits [v x (degree+1)]
+	alpha  *tensor.Matrix   // softmax weights [v x (degree+1)]
+}
+
+func (c *gatBucketCache) bytes() int64 {
+	var b int64
+	for _, m := range c.cands {
+		b += m.Bytes()
+	}
+	return b + c.scores.Bytes() + c.alpha.Bytes()
+}
+
+// gatCache is one layer's forward state.
+type gatCache struct {
+	blk     *block.Block
+	xsrc    *tensor.Matrix
+	z       []*tensor.Matrix    // per head [numSrc x headOut]
+	preAct  *tensor.Matrix      // concatenated heads [numDst x out]
+	outAct  *tensor.Matrix      // post-ELU output (nil when act is false)
+	buckets [][]*gatBucketCache // [head][bucket]
+}
+
+// Bytes implements LayerCache.
+func (c *gatCache) Bytes() int64 {
+	b := c.preAct.Bytes()
+	for _, z := range c.z {
+		b += z.Bytes()
+	}
+	if c.outAct != nil {
+		b += c.outAct.Bytes()
+	}
+	for _, head := range c.buckets {
+		for _, bc := range head {
+			b += bc.bytes()
+		}
+	}
+	return b
+}
+
+// PlannedCacheBytes implements Layer: the exact footprint Forward's cache
+// will report, computed from the block's degree buckets and the layer dims.
+func (l *gatLayer) PlannedCacheBytes(blk *block.Block) int64 {
+	n, nsrc := int64(blk.NumDst()), int64(blk.NumSrc())
+	out, headOut, heads := int64(l.out), int64(l.headOut), int64(l.heads)
+	b := heads*nsrc*headOut + n*out // z per head + preAct
+	if l.act {
+		b += n * out // outAct
+	}
+	for _, db := range bucketizeBlock(blk) {
+		v, d := int64(len(db.rows)), int64(db.degree)
+		b += heads * (d + 1) * v * headOut // candidates
+		b += heads * 2 * v * (d + 1)       // scores + alpha
+	}
+	return b * 4
+}
+
+// Forward implements Layer.
+func (l *gatLayer) Forward(blk *block.Block, xsrc *tensor.Matrix) (*tensor.Matrix, LayerCache, error) {
+	if xsrc.Cols != l.in {
+		return nil, nil, fmt.Errorf("gat %s: input dim %d, want %d", l.name, xsrc.Cols, l.in)
+	}
+	if xsrc.Rows != blk.NumSrc() {
+		return nil, nil, fmt.Errorf("gat %s: %d feature rows for %d src nodes", l.name, xsrc.Rows, blk.NumSrc())
+	}
+	nDst := blk.NumDst()
+	cache := &gatCache{blk: blk, xsrc: xsrc, buckets: make([][]*gatBucketCache, l.heads)}
+	cache.preAct = tensor.New(nDst, l.out)
+	degBuckets := bucketizeBlock(blk)
+	for h := 0; h < l.heads; h++ {
+		z := tensor.MatMul(xsrc, l.w[h].Value)
+		cache.z = append(cache.z, z)
+		a1 := l.a1[h].Value.Row(0)
+		a2 := l.a2[h].Value.Row(0)
+		colBase := h * l.headOut
+		for _, db := range degBuckets {
+			v := len(db.rows)
+			cands := make([]*tensor.Matrix, db.degree+1)
+			self := tensor.New(v, l.headOut)
+			for i, r := range db.rows {
+				copy(self.Row(i), z.Row(int(r)))
+			}
+			cands[0] = self
+			for t := 1; t <= db.degree; t++ {
+				m := tensor.New(v, l.headOut)
+				for i, r := range db.rows {
+					copy(m.Row(i), z.Row(int(blk.Adj[r][t-1])))
+				}
+				cands[t] = m
+			}
+			scores := tensor.New(v, db.degree+1)
+			for i := 0; i < v; i++ {
+				var selfTerm float32
+				srow := self.Row(i)
+				for j, av := range a1 {
+					selfTerm += av * srow[j]
+				}
+				for t := 0; t <= db.degree; t++ {
+					var candTerm float32
+					crow := cands[t].Row(i)
+					for j, av := range a2 {
+						candTerm += av * crow[j]
+					}
+					scores.Set(i, t, selfTerm+candTerm)
+				}
+			}
+			lrelu := nn.LeakyReLU(scores, gatLeakySlope)
+			alpha := tensor.SoftmaxRows(lrelu)
+			bc := &gatBucketCache{rows: db.rows, degree: db.degree, cands: cands, scores: scores, alpha: alpha}
+			cache.buckets[h] = append(cache.buckets[h], bc)
+			// h_pre columns [colBase, colBase+headOut): Σ_t α_t ⊙ z_cand.
+			for i, r := range db.rows {
+				hrow := cache.preAct.Row(int(r))[colBase : colBase+l.headOut]
+				for t := 0; t <= db.degree; t++ {
+					a := alpha.At(i, t)
+					crow := cands[t].Row(i)
+					for j, cv := range crow {
+						hrow[j] += a * cv
+					}
+				}
+			}
+		}
+	}
+	out := cache.preAct
+	if l.act {
+		out = nn.ELU(cache.preAct, 1)
+		cache.outAct = out
+	}
+	return out, cache, nil
+}
+
+// Backward implements Layer.
+func (l *gatLayer) Backward(cacheI LayerCache, dH *tensor.Matrix) (*tensor.Matrix, error) {
+	cache, ok := cacheI.(*gatCache)
+	if !ok {
+		return nil, fmt.Errorf("gat %s: wrong cache type %T", l.name, cacheI)
+	}
+	dPre := dH
+	if l.act {
+		dPre = nn.ELUBackward(cache.preAct, cache.outAct, dH, 1)
+	}
+	dXsrc := tensor.New(cache.xsrc.Rows, l.in)
+	for h := 0; h < l.heads; h++ {
+		z := cache.z[h]
+		dZ := tensor.New(z.Rows, l.headOut)
+		a1 := l.a1[h].Value.Row(0)
+		a2 := l.a2[h].Value.Row(0)
+		da1 := l.a1[h].Grad.Row(0)
+		da2 := l.a2[h].Grad.Row(0)
+		colBase := h * l.headOut
+
+		for _, bc := range cache.buckets[h] {
+			v := len(bc.rows)
+			// dAlpha from the value path.
+			dAlpha := tensor.New(v, bc.degree+1)
+			for i, r := range bc.rows {
+				drow := dPre.Row(int(r))[colBase : colBase+l.headOut]
+				for t := 0; t <= bc.degree; t++ {
+					crow := bc.cands[t].Row(i)
+					var s float32
+					for j, dv := range drow {
+						s += dv * crow[j]
+					}
+					dAlpha.Set(i, t, s)
+				}
+			}
+			// Softmax backward: de = α ⊙ (dα - Σ α dα).
+			dE := tensor.New(v, bc.degree+1)
+			for i := 0; i < v; i++ {
+				arow := bc.alpha.Row(i)
+				darow := dAlpha.Row(i)
+				var dotAD float32
+				for t, av := range arow {
+					dotAD += av * darow[t]
+				}
+				erow := dE.Row(i)
+				for t, av := range arow {
+					erow[t] = av * (darow[t] - dotAD)
+				}
+			}
+			// LeakyReLU backward on the raw scores.
+			dS := nn.LeakyReLUBackward(bc.scores, dE, gatLeakySlope)
+			// scores[i][t] = a1·z_dst(i) + a2·z_cand(i,t).
+			for i, r := range bc.rows {
+				srow := dS.Row(i)
+				var sumDS float32
+				for _, sv := range srow {
+					sumDS += sv
+				}
+				selfRow := bc.cands[0].Row(i)
+				dzDst := dZ.Row(int(r))
+				for j := range a1 {
+					da1[j] += sumDS * selfRow[j]
+					dzDst[j] += sumDS * a1[j]
+				}
+				drow := dPre.Row(int(r))[colBase : colBase+l.headOut]
+				arow := bc.alpha.Row(i)
+				for t := 0; t <= bc.degree; t++ {
+					crow := bc.cands[t].Row(i)
+					var src int
+					if t == 0 {
+						src = int(r)
+					} else {
+						src = int(cache.blk.Adj[r][t-1])
+					}
+					dzc := dZ.Row(src)
+					ds := srow[t]
+					at := arow[t]
+					for j := range a2 {
+						da2[j] += ds * crow[j]
+						dzc[j] += ds*a2[j] + at*drow[j]
+					}
+				}
+			}
+		}
+		// z = xsrc @ W_h.
+		tensor.MatMulATBInto(l.w[h].Grad, cache.xsrc, dZ, true)
+		tensor.MatMulABTInto(dXsrc, dZ, l.w[h].Value, true)
+	}
+	return dXsrc, nil
+}

@@ -1,0 +1,277 @@
+// Package gnn implements the GNN models the paper evaluates — GraphSAGE
+// with mean, pool and LSTM aggregators, and GAT — on top of the block
+// (message-flow-graph) representation.
+//
+// Layers execute Algorithm 1's inner loop: destinations are grouped into
+// degree buckets within each block, each bucket's neighbors are gathered
+// into fixed-shape (padding-free, since every member shares the degree)
+// tensors, and the aggregator runs batched per bucket. Every layer's
+// forward returns a cache whose Bytes() enumerates the activations a CUDA
+// framework would keep resident for the backward pass — the quantity the
+// simulated GPU charges and Buffalo's analytical model estimates.
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"buffalo/internal/block"
+	"buffalo/internal/nn"
+	"buffalo/internal/tensor"
+)
+
+// Aggregator selects the GraphSAGE neighborhood reduction.
+type Aggregator string
+
+// Supported aggregators, in increasing memory appetite.
+const (
+	Mean Aggregator = "mean"
+	Pool Aggregator = "pool"
+	LSTM Aggregator = "lstm"
+)
+
+// Arch selects the model family.
+type Arch string
+
+// Supported architectures.
+const (
+	SAGE Arch = "sage"
+	GAT  Arch = "gat"
+)
+
+// Config describes a model.
+type Config struct {
+	Arch       Arch
+	Aggregator Aggregator // SAGE only
+	Layers     int
+	InDim      int
+	Hidden     int
+	OutDim     int
+	// Heads is the GAT attention-head count; 0 or 1 is single-head. Hidden
+	// and OutDim must be divisible by Heads (the heads' outputs concatenate).
+	Heads int
+	Seed  int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Arch != SAGE && c.Arch != GAT {
+		return fmt.Errorf("gnn: unknown arch %q", c.Arch)
+	}
+	if c.Arch == SAGE {
+		switch c.Aggregator {
+		case Mean, Pool, LSTM:
+		default:
+			return fmt.Errorf("gnn: unknown aggregator %q", c.Aggregator)
+		}
+	}
+	if c.Layers < 1 {
+		return fmt.Errorf("gnn: need at least 1 layer, got %d", c.Layers)
+	}
+	if c.InDim < 1 || c.Hidden < 1 || c.OutDim < 2 {
+		return fmt.Errorf("gnn: bad dims in=%d hidden=%d out=%d", c.InDim, c.Hidden, c.OutDim)
+	}
+	if c.Arch == GAT && c.Heads > 1 {
+		if c.Hidden%c.Heads != 0 || c.OutDim%c.Heads != 0 {
+			return fmt.Errorf("gnn: hidden %d and out %d must divide into %d heads", c.Hidden, c.OutDim, c.Heads)
+		}
+	}
+	return nil
+}
+
+// LayerCache is the retained state of one layer's forward pass.
+type LayerCache interface {
+	// Bytes reports the activation footprint held for backward.
+	Bytes() int64
+}
+
+// Layer is one GNN layer operating on a block.
+type Layer interface {
+	// Forward computes destination representations from source
+	// representations. xsrc has one row per blk.Src entry.
+	Forward(blk *block.Block, xsrc *tensor.Matrix) (*tensor.Matrix, LayerCache, error)
+	// Backward consumes the matching Forward's cache and the upstream
+	// gradient, accumulates parameter gradients, and returns the gradient
+	// with respect to xsrc.
+	Backward(cache LayerCache, dH *tensor.Matrix) (*tensor.Matrix, error)
+	// PlannedCacheBytes reports, from tensor shapes alone, exactly the
+	// bytes the matching Forward's cache will occupy — what a CUDA
+	// framework would reserve before launching the kernels. Equal to the
+	// cache's Bytes().
+	PlannedCacheBytes(blk *block.Block) int64
+}
+
+// Model is a stack of layers plus its parameter set.
+type Model struct {
+	Cfg    Config
+	Layers []Layer
+	Params *nn.ParamSet
+}
+
+// New builds a model per the config with deterministic initialization.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg, Params: &nn.ParamSet{}}
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.Hidden
+		if l == 0 {
+			in = cfg.InDim
+		}
+		out := cfg.Hidden
+		final := l == cfg.Layers-1
+		if final {
+			out = cfg.OutDim
+		}
+		name := fmt.Sprintf("layer%d", l)
+		var layer Layer
+		switch cfg.Arch {
+		case SAGE:
+			layer = newSAGELayer(name, cfg.Aggregator, in, out, !final, rng, m.Params)
+		case GAT:
+			layer = newGATLayer(name, in, out, cfg.Heads, !final, rng, m.Params)
+		}
+		m.Layers = append(m.Layers, layer)
+	}
+	return m, nil
+}
+
+// ForwardResult carries everything Backward needs.
+type ForwardResult struct {
+	Logits *tensor.Matrix
+	caches []LayerCache
+}
+
+// ActivationBytes sums the cached activation footprint of all layers — every
+// tensor that stays resident on the device between forward and backward.
+// The logits are the final layer's pre-activation, already counted by its
+// cache.
+func (r *ForwardResult) ActivationBytes() int64 {
+	var total int64
+	for _, c := range r.caches {
+		total += c.Bytes()
+	}
+	return total
+}
+
+// Forward runs the model over a micro-batch. features holds one row per
+// mb.InputNodes() entry (the innermost source frontier).
+func (m *Model) Forward(mb *block.MicroBatch, features *tensor.Matrix) (*ForwardResult, error) {
+	return m.ForwardWithHook(mb, features, nil)
+}
+
+// ForwardWithHook is Forward with a per-layer callback invoked with each
+// layer's planned activation bytes BEFORE that layer computes. The trainer
+// uses it to charge the simulated GPU layer by layer, so an out-of-memory
+// fault fires exactly where a CUDA allocation would fail — without paying
+// for compute the device could not have held. A non-nil error from the hook
+// aborts the pass.
+func (m *Model) ForwardWithHook(mb *block.MicroBatch, features *tensor.Matrix,
+	hook func(layer int, plannedBytes int64) error) (*ForwardResult, error) {
+	if len(mb.Blocks) != len(m.Layers) {
+		return nil, fmt.Errorf("gnn: micro-batch has %d blocks for %d layers", len(mb.Blocks), len(m.Layers))
+	}
+	if features.Rows != mb.Blocks[0].NumSrc() || features.Cols != m.Cfg.InDim {
+		return nil, fmt.Errorf("gnn: features %dx%d, want %dx%d",
+			features.Rows, features.Cols, mb.Blocks[0].NumSrc(), m.Cfg.InDim)
+	}
+	res := &ForwardResult{caches: make([]LayerCache, len(m.Layers))}
+	x := features
+	for l, layer := range m.Layers {
+		if hook != nil {
+			if err := hook(l, layer.PlannedCacheBytes(mb.Blocks[l])); err != nil {
+				return nil, err
+			}
+		}
+		h, cache, err := layer.Forward(mb.Blocks[l], x)
+		if err != nil {
+			return nil, fmt.Errorf("gnn: layer %d: %w", l, err)
+		}
+		res.caches[l] = cache
+		x = h
+	}
+	res.Logits = x
+	return res, nil
+}
+
+// Backward propagates dLogits through the stack, accumulating parameter
+// gradients, and returns the gradient with respect to the input features.
+func (m *Model) Backward(res *ForwardResult, dLogits *tensor.Matrix) (*tensor.Matrix, error) {
+	d := dLogits
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		var err error
+		d, err = m.Layers[l].Backward(res.caches[l], d)
+		if err != nil {
+			return nil, fmt.Errorf("gnn: layer %d backward: %w", l, err)
+		}
+	}
+	return d, nil
+}
+
+// degreeBucket groups block destinations that share a neighbor count.
+type degreeBucket struct {
+	degree int
+	rows   []int32 // destination indices within the block
+}
+
+// bucketizeBlock groups a block's destinations by degree, ascending.
+// This is Algorithm 1 line 5 applied inside a layer: identical degrees mean
+// identical tensor shapes, so each bucket runs as one batched aggregation
+// with zero padding waste.
+func bucketizeBlock(blk *block.Block) []degreeBucket {
+	byDeg := map[int][]int32{}
+	for i := range blk.Adj {
+		d := len(blk.Adj[i])
+		byDeg[d] = append(byDeg[d], int32(i))
+	}
+	degrees := make([]int, 0, len(byDeg))
+	for d := range byDeg {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	out := make([]degreeBucket, 0, len(degrees))
+	for _, d := range degrees {
+		out = append(out, degreeBucket{degree: d, rows: byDeg[d]})
+	}
+	return out
+}
+
+// gatherTimesteps builds the bucket's neighbor tensors: one [len(rows) x dim]
+// matrix per neighbor position t, where row i holds the features of the t-th
+// sampled neighbor of destination rows[i]. Shared shape within a bucket is
+// what makes degree bucketing padding-free.
+func gatherTimesteps(blk *block.Block, rows []int32, degree int, xsrc *tensor.Matrix) []*tensor.Matrix {
+	steps := make([]*tensor.Matrix, degree)
+	dim := xsrc.Cols
+	for t := 0; t < degree; t++ {
+		m := tensor.New(len(rows), dim)
+		for i, r := range rows {
+			copy(m.Row(i), xsrc.Row(int(blk.Adj[r][t])))
+		}
+		steps[t] = m
+	}
+	return steps
+}
+
+// scatterAddRows adds each row of src into dst at the given row indices.
+func scatterAddRows(dst *tensor.Matrix, rows []int32, src *tensor.Matrix) {
+	for i, r := range rows {
+		drow := dst.Row(int(r))
+		srow := src.Row(i)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// gatherRows collects the given rows of src into a new matrix.
+func gatherRows(src *tensor.Matrix, rows []int32) *tensor.Matrix {
+	out := tensor.New(len(rows), src.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), src.Row(int(r)))
+	}
+	return out
+}

@@ -1,0 +1,649 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"buffalo/internal/block"
+	"buffalo/internal/graph"
+	"buffalo/internal/nn"
+	"buffalo/internal/sampling"
+	"buffalo/internal/tensor"
+)
+
+// tinySetup builds a small random graph, a batch over it, a full micro-batch
+// and random features/labels.
+func tinySetup(t testing.TB, seed int64, n, seedCount, classes, inDim int, fanouts []int) (
+	*sampling.Batch, *block.MicroBatch, *tensor.Matrix, []int32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var src, dst []graph.NodeID
+	for i := 0; i < n*3; i++ {
+		src = append(src, graph.NodeID(rng.Intn(n)))
+		dst = append(dst, graph.NodeID(rng.Intn(n)))
+	}
+	g, err := graph.FromEdges(n, src, dst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := sampling.UniformSeeds(g, seedCount, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampling.SampleBatch(g, seeds, fanouts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := block.Generate(b, b.Seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := tensor.New(mb.Blocks[0].NumSrc(), inDim)
+	for i := range features.Data {
+		features.Data[i] = rng.Float32() - 0.5
+	}
+	labels := make([]int32, seedCount)
+	for i := range labels {
+		labels[i] = int32(rng.Intn(classes))
+	}
+	return b, mb, features, labels
+}
+
+func modelConfigs() []Config {
+	return []Config{
+		{Arch: SAGE, Aggregator: Mean, Layers: 2, InDim: 3, Hidden: 4, OutDim: 3, Seed: 1},
+		{Arch: SAGE, Aggregator: Pool, Layers: 2, InDim: 3, Hidden: 4, OutDim: 3, Seed: 2},
+		{Arch: SAGE, Aggregator: LSTM, Layers: 2, InDim: 3, Hidden: 4, OutDim: 3, Seed: 3},
+		{Arch: GAT, Layers: 2, InDim: 3, Hidden: 4, OutDim: 3, Seed: 4},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Arch: "cnn", Layers: 1, InDim: 1, Hidden: 1, OutDim: 2},
+		{Arch: SAGE, Aggregator: "sum", Layers: 1, InDim: 1, Hidden: 1, OutDim: 2},
+		{Arch: SAGE, Aggregator: Mean, Layers: 0, InDim: 1, Hidden: 1, OutDim: 2},
+		{Arch: SAGE, Aggregator: Mean, Layers: 1, InDim: 0, Hidden: 1, OutDim: 2},
+		{Arch: GAT, Layers: 1, InDim: 1, Hidden: 1, OutDim: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: want error for %+v", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New must reject invalid config", i)
+		}
+	}
+}
+
+func TestForwardShapesAllModels(t *testing.T) {
+	_, mb, features, labels := tinySetup(t, 7, 30, 6, 3, 3, []int{3, 2})
+	for _, cfg := range modelConfigs() {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Arch, err)
+		}
+		res, err := m.Forward(mb, features)
+		if err != nil {
+			t.Fatalf("%v/%v forward: %v", cfg.Arch, cfg.Aggregator, err)
+		}
+		if res.Logits.Rows != len(mb.Outputs) || res.Logits.Cols != cfg.OutDim {
+			t.Fatalf("%v logits %dx%d", cfg.Arch, res.Logits.Rows, res.Logits.Cols)
+		}
+		if res.ActivationBytes() <= 0 {
+			t.Fatalf("%v activation bytes must be positive", cfg.Arch)
+		}
+		loss, dLogits, err := nn.CrossEntropy(res.Logits, labels, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(float64(loss)) {
+			t.Fatalf("%v loss is NaN", cfg.Arch)
+		}
+		m.Params.ZeroGrad()
+		if _, err := m.Backward(res, dLogits); err != nil {
+			t.Fatalf("%v backward: %v", cfg.Arch, err)
+		}
+		if m.Params.GradMaxAbs() == 0 {
+			t.Fatalf("%v produced zero gradients", cfg.Arch)
+		}
+	}
+}
+
+// TestGradCheckAllModels verifies analytic parameter gradients against
+// central differences through the FULL pipeline (blocks, bucketing,
+// aggregation, loss) for every architecture/aggregator.
+func TestGradCheckAllModels(t *testing.T) {
+	_, mb, features, labels := tinySetup(t, 11, 20, 4, 3, 3, []int{2, 2})
+	for _, cfg := range modelConfigs() {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss := func() float64 {
+			res, err := m.Forward(mb, features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, _, err := nn.CrossEntropy(res.Logits, labels, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return float64(l)
+		}
+		m.Params.ZeroGrad()
+		res, err := m.Forward(mb, features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dLogits, err := nn.CrossEntropy(res.Logits, labels, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Backward(res, dLogits); err != nil {
+			t.Fatal(err)
+		}
+		const eps = 1e-2
+		l0 := loss()
+		slopes := func(p *nn.Param, i int, step float64) (right, left float64) {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + float32(step)
+			lp := loss()
+			p.Value.Data[i] = orig - float32(step)
+			lm := loss()
+			p.Value.Data[i] = orig
+			return (lp - l0) / step, (l0 - lm) / step
+		}
+		for _, p := range m.Params.Params() {
+			// Check a subset of entries to bound runtime: first, middle, last.
+			idxs := []int{0, len(p.Value.Data) / 2, len(p.Value.Data) - 1}
+			for _, i := range idxs {
+				right, left := slopes(p, i, eps)
+				// Max-pool and ReLU introduce kinks where finite differences
+				// are invalid; a genuine kink shows asymmetric one-sided
+				// slopes (e.g. pre-activation exactly 0 under zero-init
+				// bias). Skip those coordinates.
+				if math.Abs(right-left) > 0.05*math.Max(0.1, math.Max(math.Abs(right), math.Abs(left))) {
+					continue
+				}
+				numeric := (right + left) / 2
+				analytic := float64(p.Grad.Data[i])
+				diff := math.Abs(numeric - analytic)
+				scale := math.Max(0.05, math.Max(math.Abs(numeric), math.Abs(analytic)))
+				if diff/scale > 6e-2 {
+					t.Errorf("%v/%v %s[%d]: analytic %.6f vs numeric %.6f",
+						cfg.Arch, cfg.Aggregator, p.Name, i, analytic, numeric)
+				}
+			}
+		}
+	}
+}
+
+// TestInputGradient checks dFeatures numerically for the mean aggregator.
+func TestInputGradient(t *testing.T) {
+	_, mb, features, labels := tinySetup(t, 13, 20, 4, 3, 3, []int{2, 2})
+	m, err := New(Config{Arch: SAGE, Aggregator: Mean, Layers: 2, InDim: 3, Hidden: 4, OutDim: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := func() float64 {
+		res, err := m.Forward(mb, features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := nn.CrossEntropy(res.Logits, labels, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(l)
+	}
+	res, err := m.Forward(mb, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dLogits, err := nn.CrossEntropy(res.Logits, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dX, err := m.Backward(res, dLogits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-2
+	for _, i := range []int{0, len(features.Data) / 3, len(features.Data) - 1} {
+		orig := features.Data[i]
+		features.Data[i] = orig + eps
+		lp := loss()
+		features.Data[i] = orig - eps
+		lm := loss()
+		features.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(dX.Data[i])
+		if math.Abs(numeric-analytic) > 5e-3+0.05*math.Abs(numeric) {
+			t.Errorf("dX[%d]: analytic %.6f vs numeric %.6f", i, analytic, numeric)
+		}
+	}
+}
+
+// TestMicroBatchGradEqualsFullBatch is Buffalo's correctness cornerstone
+// (§IV-B): accumulated micro-batch gradients must equal full-batch
+// gradients, for every model type, because output-layer partitioning keeps
+// micro-batch losses independent.
+func TestMicroBatchGradEqualsFullBatch(t *testing.T) {
+	b, mbFull, _, labels := tinySetup(t, 17, 40, 8, 3, 3, []int{3, 2})
+	rng := rand.New(rand.NewSource(99))
+	// Features for the full graph so any micro-batch can gather its rows.
+	full := tensor.New(40, 3)
+	for i := range full.Data {
+		full.Data[i] = rng.Float32() - 0.5
+	}
+	gatherFeat := func(nodes []graph.NodeID) *tensor.Matrix {
+		out := tensor.New(len(nodes), 3)
+		for i, v := range nodes {
+			copy(out.Row(i), full.Row(int(v)))
+		}
+		return out
+	}
+	labelOf := map[graph.NodeID]int32{}
+	for i, s := range b.Seeds {
+		labelOf[s] = labels[i]
+	}
+	for _, cfg := range modelConfigs() {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full batch gradients.
+		m.Params.ZeroGrad()
+		res, err := m.Forward(mbFull, gatherFeat(mbFull.InputNodes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dLogits, err := nn.CrossEntropy(res.Logits, labels, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Backward(res, dLogits); err != nil {
+			t.Fatal(err)
+		}
+		var fullGrads []*tensor.Matrix
+		for _, p := range m.Params.Params() {
+			fullGrads = append(fullGrads, p.Grad.Clone())
+		}
+		// Micro-batch gradients: split the seeds 3 ways unevenly.
+		m.Params.ZeroGrad()
+		cuts := [][2]int{{0, 3}, {3, 4}, {4, len(b.Seeds)}}
+		for _, c := range cuts {
+			outputs := b.Seeds[c[0]:c[1]]
+			mb, err := block.Generate(b, outputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := m.Forward(mb, gatherFeat(mb.InputNodes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			subLabels := make([]int32, len(outputs))
+			for i, v := range outputs {
+				subLabels[i] = labelOf[v]
+			}
+			scale := float32(len(outputs)) / float32(len(b.Seeds))
+			_, dSub, err := nn.CrossEntropy(sub.Logits, subLabels, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Backward(sub, dSub); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for pi, p := range m.Params.Params() {
+			for i := range p.Grad.Data {
+				diff := math.Abs(float64(p.Grad.Data[i] - fullGrads[pi].Data[i]))
+				scale := math.Max(1e-3, math.Abs(float64(fullGrads[pi].Data[i])))
+				if diff/scale > 1e-3 {
+					t.Fatalf("%v/%v %s grad[%d]: micro %v vs full %v",
+						cfg.Arch, cfg.Aggregator, p.Name, i,
+						p.Grad.Data[i], fullGrads[pi].Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTrainingReducesLoss runs a few optimizer steps on a learnable toy task.
+func TestTrainingReducesLoss(t *testing.T) {
+	_, mb, features, _ := tinySetup(t, 23, 30, 10, 3, 4, []int{3, 2})
+	// Learnable labels: derived from the features so the model can fit.
+	labels := make([]int32, len(mb.Outputs))
+	for i := range labels {
+		if features.At(i, 0) > 0 {
+			labels[i] = 1
+		}
+	}
+	for _, cfg := range modelConfigs() {
+		cfg.InDim = 4
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := nn.NewAdam(0.01)
+		var first, last float32
+		for step := 0; step < 30; step++ {
+			m.Params.ZeroGrad()
+			res, err := m.Forward(mb, features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss, dLogits, err := nn.CrossEntropy(res.Logits, labels, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if step == 0 {
+				first = loss
+			}
+			last = loss
+			if _, err := m.Backward(res, dLogits); err != nil {
+				t.Fatal(err)
+			}
+			opt.Step(m.Params)
+		}
+		if last >= first {
+			t.Errorf("%v/%v: loss did not decrease (%v -> %v)", cfg.Arch, cfg.Aggregator, first, last)
+		}
+	}
+}
+
+// TestForwardErrors exercises the model-level validation paths.
+func TestForwardErrors(t *testing.T) {
+	_, mb, features, _ := tinySetup(t, 29, 20, 4, 3, 3, []int{2, 2})
+	m, err := New(Config{Arch: SAGE, Aggregator: Mean, Layers: 3, InDim: 3, Hidden: 4, OutDim: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forward(mb, features); err == nil {
+		t.Error("want error: 3-layer model on 2-block micro-batch")
+	}
+	m2, err := New(Config{Arch: SAGE, Aggregator: Mean, Layers: 2, InDim: 5, Hidden: 4, OutDim: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Forward(mb, features); err == nil {
+		t.Error("want error: feature dim mismatch")
+	}
+}
+
+// TestLSTMAggregatorUsesNeighborOrder confirms the LSTM aggregator is
+// order-sensitive (unlike mean), which is why it needs the sampled order
+// preserved by the block generator.
+func TestLSTMAggregatorUsesNeighborOrder(t *testing.T) {
+	// One dst with 2 neighbors; swap neighbor order and compare outputs.
+	blk := &block.Block{
+		Dst: []graph.NodeID{0},
+		Src: []graph.NodeID{0, 1, 2},
+		Adj: [][]int32{{1, 2}},
+	}
+	blkSwapped := &block.Block{
+		Dst: []graph.NodeID{0},
+		Src: []graph.NodeID{0, 1, 2},
+		Adj: [][]int32{{2, 1}},
+	}
+	rng := rand.New(rand.NewSource(3))
+	ps := &nn.ParamSet{}
+	layer := newSAGELayer("l", LSTM, 3, 2, false, rng, ps)
+	x := tensor.New(3, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	h1, _, err := layer.Forward(blk, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := layer.Forward(blkSwapped, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range h1.Data {
+		if math.Abs(float64(h1.Data[i]-h2.Data[i])) > 1e-6 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("LSTM aggregation should depend on neighbor order")
+	}
+}
+
+// TestMeanAggregatorOrderInvariant is the counterpart sanity check.
+func TestMeanAggregatorOrderInvariant(t *testing.T) {
+	blk := &block.Block{Dst: []graph.NodeID{0}, Src: []graph.NodeID{0, 1, 2}, Adj: [][]int32{{1, 2}}}
+	blkSwapped := &block.Block{Dst: []graph.NodeID{0}, Src: []graph.NodeID{0, 1, 2}, Adj: [][]int32{{2, 1}}}
+	rng := rand.New(rand.NewSource(3))
+	ps := &nn.ParamSet{}
+	layer := newSAGELayer("l", Mean, 3, 2, false, rng, ps)
+	x := tensor.New(3, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	h1, _, err := layer.Forward(blk, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := layer.Forward(blkSwapped, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h1.Data {
+		if math.Abs(float64(h1.Data[i]-h2.Data[i])) > 1e-6 {
+			t.Fatal("mean aggregation must be order invariant")
+		}
+	}
+}
+
+// Aggregator memory ordering: LSTM > pool > mean for the same micro-batch,
+// matching Fig 2's motivation.
+func TestAggregatorMemoryOrdering(t *testing.T) {
+	_, mb, features, _ := tinySetup(t, 31, 60, 10, 3, 3, []int{5, 5})
+	bytes := map[Aggregator]int64{}
+	for _, agg := range []Aggregator{Mean, Pool, LSTM} {
+		m, err := New(Config{Arch: SAGE, Aggregator: agg, Layers: 2, InDim: 3, Hidden: 8, OutDim: 3, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Forward(mb, features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes[agg] = res.ActivationBytes()
+	}
+	if !(bytes[LSTM] > bytes[Pool] && bytes[Pool] > bytes[Mean]) {
+		t.Fatalf("memory ordering wrong: mean=%d pool=%d lstm=%d",
+			bytes[Mean], bytes[Pool], bytes[LSTM])
+	}
+}
+
+// PlannedCacheBytes must equal the realized cache footprint exactly, for
+// every layer of every model type — the simulated GPU charges the planned
+// number before compute and the ledger must match reality.
+func TestPlannedCacheBytesExact(t *testing.T) {
+	_, mb, features, _ := tinySetup(t, 41, 50, 10, 3, 3, []int{4, 3})
+	for _, cfg := range modelConfigs() {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var planned []int64
+		res, err := m.ForwardWithHook(mb, features, func(layer int, bytes int64) error {
+			planned = append(planned, bytes)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l, c := range res.caches {
+			if planned[l] != c.Bytes() {
+				t.Errorf("%v/%v layer %d: planned %d != actual %d",
+					cfg.Arch, cfg.Aggregator, l, planned[l], c.Bytes())
+			}
+		}
+	}
+}
+
+// Three-layer models exercise the deep frontier-carry path end-to-end:
+// micro-batch == full-batch gradients must hold at depth 3 too.
+func TestThreeLayerMicroBatchEquivalence(t *testing.T) {
+	b, mbFull, _, labels := tinySetup(t, 51, 36, 6, 3, 3, []int{2, 2, 2})
+	rng := rand.New(rand.NewSource(77))
+	full := tensor.New(36, 3)
+	for i := range full.Data {
+		full.Data[i] = rng.Float32() - 0.5
+	}
+	gather := func(nodes []graph.NodeID) *tensor.Matrix {
+		out := tensor.New(len(nodes), 3)
+		for i, v := range nodes {
+			copy(out.Row(i), full.Row(int(v)))
+		}
+		return out
+	}
+	labelOf := map[graph.NodeID]int32{}
+	for i, s := range b.Seeds {
+		labelOf[s] = labels[i]
+	}
+	m, err := New(Config{Arch: SAGE, Aggregator: LSTM, Layers: 3, InDim: 3, Hidden: 4, OutDim: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full batch.
+	m.Params.ZeroGrad()
+	res, err := m.Forward(mbFull, gather(mbFull.InputNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dl, err := nn.CrossEntropy(res.Logits, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Backward(res, dl); err != nil {
+		t.Fatal(err)
+	}
+	var want []*tensor.Matrix
+	for _, p := range m.Params.Params() {
+		want = append(want, p.Grad.Clone())
+	}
+	// Micro-batches.
+	m.Params.ZeroGrad()
+	half := len(b.Seeds) / 2
+	for _, outputs := range [][]graph.NodeID{b.Seeds[:half], b.Seeds[half:]} {
+		mb, err := block.Generate(b, outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := m.Forward(mb, gather(mb.InputNodes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subLabels := make([]int32, len(outputs))
+		for i, v := range outputs {
+			subLabels[i] = labelOf[v]
+		}
+		_, dsub, err := nn.CrossEntropy(sub.Logits, subLabels, float32(len(outputs))/float32(len(b.Seeds)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Backward(sub, dsub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pi, p := range m.Params.Params() {
+		for i := range p.Grad.Data {
+			d := math.Abs(float64(p.Grad.Data[i] - want[pi].Data[i]))
+			if d > 1e-4+1e-3*math.Abs(float64(want[pi].Data[i])) {
+				t.Fatalf("%s grad[%d]: micro %v vs full %v", p.Name, i, p.Grad.Data[i], want[pi].Data[i])
+			}
+		}
+	}
+}
+
+// Multi-head GAT: shapes, grad signal, kink-aware grad check, and the
+// micro-batch equivalence must all hold with concatenated heads.
+func TestMultiHeadGAT(t *testing.T) {
+	_, mb, features, labels := tinySetup(t, 61, 24, 5, 4, 3, []int{3, 2})
+	cfg := Config{Arch: GAT, Layers: 2, InDim: 3, Hidden: 4, OutDim: 4, Heads: 2, Seed: 5}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.OutDim = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for indivisible head width")
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Forward(mb, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Logits.Rows != len(mb.Outputs) || res.Logits.Cols != 4 {
+		t.Fatalf("logits %dx%d", res.Logits.Rows, res.Logits.Cols)
+	}
+	m.Params.ZeroGrad()
+	_, dLogits, err := nn.CrossEntropy(res.Logits, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Backward(res, dLogits); err != nil {
+		t.Fatal(err)
+	}
+	if m.Params.GradMaxAbs() == 0 {
+		t.Fatal("no gradient signal")
+	}
+	// Every head must carry gradient (heads are independent subnetworks).
+	for _, p := range m.Params.Params() {
+		if p.Grad.MaxAbs() == 0 {
+			t.Errorf("parameter %s received no gradient", p.Name)
+		}
+	}
+	// Spot gradient check on the first weight of each head of layer 0.
+	loss := func() float64 {
+		r, err := m.Forward(mb, features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := nn.CrossEntropy(r.Logits, labels, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(l)
+	}
+	const eps = 1e-2
+	for _, p := range m.Params.Params() {
+		i := 0
+		orig := p.Value.Data[i]
+		p.Value.Data[i] = orig + eps
+		lp := loss()
+		p.Value.Data[i] = orig - eps
+		lm := loss()
+		p.Value.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(p.Grad.Data[i])
+		if diff := math.Abs(numeric - analytic); diff > 0.05*math.Max(1, math.Abs(numeric)) {
+			t.Errorf("%s[0]: analytic %.5f vs numeric %.5f", p.Name, analytic, numeric)
+		}
+	}
+	// Planned bytes stay exact with heads.
+	var planned []int64
+	res2, err := m.ForwardWithHook(mb, features, func(layer int, bytes int64) error {
+		planned = append(planned, bytes)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, c := range res2.caches {
+		if planned[l] != c.Bytes() {
+			t.Errorf("layer %d planned %d != actual %d", l, planned[l], c.Bytes())
+		}
+	}
+}

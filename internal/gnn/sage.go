@@ -1,0 +1,276 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"buffalo/internal/block"
+	"buffalo/internal/nn"
+	"buffalo/internal/tensor"
+)
+
+// sageLayer is one GraphSAGE layer:
+//
+//	h_v = act( x_v @ Wself + AGG({x_u : u in N(v)}) @ Wneigh + b )
+//
+// where AGG is the configured aggregator run per degree bucket.
+type sageLayer struct {
+	name   string
+	agg    Aggregator
+	in     int
+	out    int
+	act    bool // ReLU on hidden layers, identity on the output layer
+	wSelf  *nn.Param
+	wNeigh *nn.Param
+	bias   *nn.Param
+	pool   *nn.Linear   // Pool aggregator's pre-max transform (in -> in)
+	lstm   *nn.LSTMCell // LSTM aggregator cell (in -> in)
+}
+
+func newSAGELayer(name string, agg Aggregator, in, out int, act bool, rng *rand.Rand, ps *nn.ParamSet) *sageLayer {
+	l := &sageLayer{
+		name: name, agg: agg, in: in, out: out, act: act,
+		wSelf:  nn.NewParam(name+".Wself", in, out),
+		wNeigh: nn.NewParam(name+".Wneigh", in, out),
+		bias:   nn.NewParam(name+".b", 1, out),
+	}
+	l.wSelf.InitXavier(rng)
+	l.wNeigh.InitXavier(rng)
+	ps.MustAdd(l.wSelf, l.wNeigh, l.bias)
+	switch agg {
+	case Pool:
+		l.pool = nn.NewLinear(name+".pool", in, in, true, rng)
+		l.pool.Register(ps)
+	case LSTM:
+		l.lstm = nn.NewLSTMCell(name+".lstm", in, in, rng)
+		l.lstm.Register(ps)
+	}
+	return l
+}
+
+// sageBucketCache retains one degree bucket's forward state.
+type sageBucketCache struct {
+	rows   []int32
+	degree int
+	steps  []*tensor.Matrix // gathered neighbor tensors, one per position
+	agg    *tensor.Matrix   // aggregated neighborhood [len(rows) x in]
+
+	// Pool aggregator state.
+	poolPre []*tensor.Matrix // pre-activation transform per position
+	poolAct []*tensor.Matrix // post-ReLU transform per position
+	argmax  []int32          // winning position per (row, feature)
+
+	// LSTM aggregator state.
+	lstmCache *nn.LSTMCache
+}
+
+func (c *sageBucketCache) bytes() int64 {
+	var b int64
+	for _, s := range c.steps {
+		b += s.Bytes()
+	}
+	if c.agg != nil {
+		b += c.agg.Bytes()
+	}
+	for _, s := range c.poolPre {
+		b += s.Bytes()
+	}
+	for _, s := range c.poolAct {
+		b += s.Bytes()
+	}
+	b += int64(len(c.argmax)) * 4
+	if c.lstmCache != nil {
+		// The LSTM cache's x pointers alias c.steps; subtract to avoid
+		// double counting.
+		b += c.lstmCache.Bytes()
+		for _, s := range c.steps {
+			b -= s.Bytes()
+		}
+	}
+	return b
+}
+
+// sageCache is one layer's forward state.
+type sageCache struct {
+	blk     *block.Block
+	xsrc    *tensor.Matrix
+	xdst    *tensor.Matrix // prefix view of xsrc, not separately allocated
+	aggAll  *tensor.Matrix // aggregated neighborhoods for every destination
+	preAct  *tensor.Matrix
+	outAct  *tensor.Matrix // post-ReLU output (nil on the final layer)
+	buckets []*sageBucketCache
+}
+
+// Bytes implements LayerCache: every tensor this layer allocated and keeps
+// for backward. xsrc belongs to the previous layer and xdst is a view, so
+// neither is counted.
+func (c *sageCache) Bytes() int64 {
+	b := c.aggAll.Bytes() + c.preAct.Bytes()
+	if c.outAct != nil {
+		b += c.outAct.Bytes()
+	}
+	for _, bc := range c.buckets {
+		b += bc.bytes()
+	}
+	return b
+}
+
+// PlannedCacheBytes implements Layer: the exact footprint Forward's cache
+// will report, computed from the block's degree buckets and the layer dims.
+func (l *sageLayer) PlannedCacheBytes(blk *block.Block) int64 {
+	n := int64(blk.NumDst())
+	in, out := int64(l.in), int64(l.out)
+	b := n*in + n*out // aggAll + preAct
+	if l.act {
+		b += n * out // outAct
+	}
+	for _, db := range bucketizeBlock(blk) {
+		if db.degree == 0 {
+			continue
+		}
+		v, d := int64(len(db.rows)), int64(db.degree)
+		b += d * v * in // gathered steps
+		b += v * in     // agg
+		switch l.agg {
+		case Pool:
+			b += 2*d*v*in + v*in // poolPre + poolAct + argmax (int32 == 4B)
+		case LSTM:
+			b += 8 * d * v * in // trajectory state beyond the aliased steps
+		}
+	}
+	return b * 4
+}
+
+// Forward implements Layer.
+func (l *sageLayer) Forward(blk *block.Block, xsrc *tensor.Matrix) (*tensor.Matrix, LayerCache, error) {
+	if xsrc.Cols != l.in {
+		return nil, nil, fmt.Errorf("sage %s: input dim %d, want %d", l.name, xsrc.Cols, l.in)
+	}
+	if xsrc.Rows != blk.NumSrc() {
+		return nil, nil, fmt.Errorf("sage %s: %d feature rows for %d src nodes", l.name, xsrc.Rows, blk.NumSrc())
+	}
+	nDst := blk.NumDst()
+	cache := &sageCache{blk: blk, xsrc: xsrc}
+	cache.xdst = tensor.FromSlice(nDst, l.in, xsrc.Data[:nDst*l.in]) // dst prefix view
+	cache.aggAll = tensor.New(nDst, l.in)
+
+	// Algorithm 1 lines 6-8: one batched aggregation per degree bucket.
+	for _, db := range bucketizeBlock(blk) {
+		bc := &sageBucketCache{rows: db.rows, degree: db.degree}
+		cache.buckets = append(cache.buckets, bc)
+		if db.degree == 0 {
+			continue // isolated destinations aggregate nothing
+		}
+		bc.steps = gatherTimesteps(blk, db.rows, db.degree, xsrc)
+		switch l.agg {
+		case Mean:
+			agg := tensor.New(len(db.rows), l.in)
+			for _, s := range bc.steps {
+				agg.AddInPlace(s)
+			}
+			agg.Scale(1 / float32(db.degree))
+			bc.agg = agg
+		case Pool:
+			bc.poolPre = make([]*tensor.Matrix, db.degree)
+			bc.poolAct = make([]*tensor.Matrix, db.degree)
+			for t, s := range bc.steps {
+				pre := l.pool.Forward(s)
+				bc.poolPre[t] = pre
+				bc.poolAct[t] = nn.ReLU(pre)
+			}
+			agg := bc.poolAct[0].Clone()
+			bc.argmax = make([]int32, len(db.rows)*l.in)
+			for t := 1; t < db.degree; t++ {
+				at := bc.poolAct[t]
+				for i, v := range at.Data {
+					if v > agg.Data[i] {
+						agg.Data[i] = v
+						bc.argmax[i] = int32(t)
+					}
+				}
+			}
+			bc.agg = agg
+		case LSTM:
+			h, lc := l.lstm.RunSequence(bc.steps)
+			bc.lstmCache = lc
+			bc.agg = h
+		}
+		scatterAddRows(cache.aggAll, db.rows, bc.agg)
+	}
+
+	pre := tensor.MatMul(cache.xdst, l.wSelf.Value)
+	tensor.MatMulInto(pre, cache.aggAll, l.wNeigh.Value, true)
+	pre.AddRowVector(l.bias.Value)
+	cache.preAct = pre
+	h := pre
+	if l.act {
+		h = nn.ReLU(pre)
+		cache.outAct = h
+	}
+	return h, cache, nil
+}
+
+// Backward implements Layer.
+func (l *sageLayer) Backward(cacheI LayerCache, dH *tensor.Matrix) (*tensor.Matrix, error) {
+	cache, ok := cacheI.(*sageCache)
+	if !ok {
+		return nil, fmt.Errorf("sage %s: wrong cache type %T", l.name, cacheI)
+	}
+	dPre := dH
+	if l.act {
+		dPre = nn.ReLUBackward(cache.preAct, dH)
+	}
+	// preAct = xdst @ Wself + aggAll @ Wneigh + b
+	tensor.MatMulATBInto(l.wSelf.Grad, cache.xdst, dPre, true)
+	tensor.MatMulATBInto(l.wNeigh.Grad, cache.aggAll, dPre, true)
+	l.bias.Grad.AddInPlace(dPre.SumRows())
+
+	dXsrc := tensor.New(cache.xsrc.Rows, l.in)
+	// Self path: dst rows are the src prefix.
+	dXdst := tensor.MatMulABT(dPre, l.wSelf.Value)
+	copy(dXsrc.Data[:dXdst.Rows*l.in], dXdst.Data)
+	// Neighbor path, per bucket.
+	dAggAll := tensor.MatMulABT(dPre, l.wNeigh.Value)
+	for _, bc := range cache.buckets {
+		if bc.degree == 0 {
+			continue
+		}
+		dAgg := gatherRows(dAggAll, bc.rows)
+		var dSteps []*tensor.Matrix
+		switch l.agg {
+		case Mean:
+			dAgg.Scale(1 / float32(bc.degree))
+			dSteps = make([]*tensor.Matrix, bc.degree)
+			for t := range dSteps {
+				dSteps[t] = dAgg // same gradient flows to every position
+			}
+		case Pool:
+			dSteps = make([]*tensor.Matrix, bc.degree)
+			dActs := make([]*tensor.Matrix, bc.degree)
+			for t := range dActs {
+				dActs[t] = tensor.New(len(bc.rows), l.in)
+			}
+			for i, t := range bc.argmax {
+				dActs[t].Data[i] = dAgg.Data[i]
+			}
+			for t := 0; t < bc.degree; t++ {
+				dPrePool := nn.ReLUBackward(bc.poolPre[t], dActs[t])
+				dSteps[t] = l.pool.Backward(bc.steps[t], dPrePool)
+			}
+		case LSTM:
+			dSteps = l.lstm.BackwardSequence(bc.lstmCache, dAgg)
+		}
+		// Scatter each position's gradient back to its source rows.
+		for t, ds := range dSteps {
+			for i, r := range bc.rows {
+				src := int(cache.blk.Adj[r][t])
+				drow := dXsrc.Row(src)
+				srow := ds.Row(i)
+				for j, v := range srow {
+					drow[j] += v
+				}
+			}
+		}
+	}
+	return dXsrc, nil
+}

@@ -1,0 +1,212 @@
+// Package graph provides the compressed sparse row (CSR) graph storage used
+// throughout the Buffalo reproduction: degree queries, adjacency iteration,
+// induced subgraphs, and the graph statistics (average degree, clustering
+// coefficient, power-law tail detection) that drive Buffalo's analytical
+// memory model.
+//
+// Node identifiers are dense int32 indices in [0, NumNodes). Adjacency lists
+// are sorted ascending, which makes edge lookups O(log d) and lets higher
+// layers (bucketing, block generation) merge neighbor sets cheaply.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node inside one Graph. IDs are dense: a graph with n
+// nodes uses exactly the IDs 0..n-1.
+type NodeID = int32
+
+// Graph is an immutable graph in CSR form. For GNN message passing the
+// adjacency list of v holds the message *sources* of v: Neighbors(v) are the
+// nodes whose features are aggregated into v. Datasets in this repository are
+// symmetric (both directions stored), matching how DGL materializes OGB
+// graphs for GraphSAGE/GAT training.
+type Graph struct {
+	offsets []int64 // len = n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []NodeID
+}
+
+// FromAdjacency builds a Graph from per-node neighbor lists. Each list is
+// copied, sorted, and deduplicated; self-loops are preserved if present.
+func FromAdjacency(lists [][]NodeID) *Graph {
+	n := len(lists)
+	offsets := make([]int64, n+1)
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	adj := make([]NodeID, 0, total)
+	for v, l := range lists {
+		start := len(adj)
+		adj = append(adj, l...)
+		seg := adj[start:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		// Deduplicate in place.
+		w := 0
+		for i := range seg {
+			if i == 0 || seg[i] != seg[i-1] {
+				seg[w] = seg[i]
+				w++
+			}
+		}
+		adj = adj[:start+w]
+		offsets[v+1] = int64(len(adj))
+	}
+	return &Graph{offsets: offsets, adj: adj}
+}
+
+// FromEdges builds a Graph with n nodes from parallel edge endpoint slices.
+// Each edge (src[i], dst[i]) makes src[i] a neighbor (message source) of
+// dst[i]. When undirected is true the reverse direction is added too.
+// Duplicate edges collapse to one.
+func FromEdges(n int, src, dst []NodeID, undirected bool) (*Graph, error) {
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("graph: src/dst length mismatch: %d vs %d", len(src), len(dst))
+	}
+	deg := make([]int64, n)
+	check := func(v NodeID) error {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("graph: node %d out of range [0,%d)", v, n)
+		}
+		return nil
+	}
+	for i := range src {
+		if err := check(src[i]); err != nil {
+			return nil, err
+		}
+		if err := check(dst[i]); err != nil {
+			return nil, err
+		}
+		deg[dst[i]]++
+		if undirected {
+			deg[src[i]]++
+		}
+	}
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]NodeID, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for i := range src {
+		adj[cursor[dst[i]]] = src[i]
+		cursor[dst[i]]++
+		if undirected {
+			adj[cursor[src[i]]] = dst[i]
+			cursor[src[i]]++
+		}
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	g.sortAndDedup()
+	return g, nil
+}
+
+// sortAndDedup sorts every adjacency list and removes duplicate entries,
+// rebuilding offsets to stay dense.
+func (g *Graph) sortAndDedup() {
+	n := g.NumNodes()
+	newAdj := g.adj[:0]
+	newOffsets := make([]int64, n+1)
+	read := int64(0)
+	for v := 0; v < n; v++ {
+		end := g.offsets[v+1]
+		seg := g.adj[read:end]
+		read = end
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		start := len(newAdj)
+		for i := range seg {
+			if i == 0 || seg[i] != seg[i-1] {
+				newAdj = append(newAdj, seg[i])
+			}
+		}
+		_ = start
+		newOffsets[v+1] = int64(len(newAdj))
+	}
+	g.adj = newAdj
+	g.offsets = newOffsets
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges reports the number of stored directed adjacency entries.
+// A symmetric graph therefore reports twice its undirected edge count.
+func (g *Graph) NumEdges() int64 { return g.offsets[len(g.offsets)-1] }
+
+// Degree reports the number of neighbors (message sources) of v.
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice aliases
+// the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether u is a neighbor (message source) of v.
+func (g *Graph) HasEdge(v, u NodeID) bool {
+	nb := g.Neighbors(v)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= u })
+	return i < len(nb) && nb[i] == u
+}
+
+// MaxDegree reports the largest degree in the graph, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree reports the mean degree.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(n)
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d,
+// for d in [0, MaxDegree].
+func (g *Graph) DegreeHistogram() []int64 {
+	counts := make([]int64, g.MaxDegree()+1)
+	for v := 0; v < g.NumNodes(); v++ {
+		counts[g.Degree(NodeID(v))]++
+	}
+	return counts
+}
+
+// Induce builds the subgraph induced by nodes. The result uses dense IDs
+// 0..len(nodes)-1 in the order given; origID maps new IDs back to g's IDs.
+// Edges whose both endpoints are in nodes are kept. Duplicate input nodes are
+// an error.
+func (g *Graph) Induce(nodes []NodeID) (sub *Graph, origID []NodeID, err error) {
+	remap := make(map[NodeID]NodeID, len(nodes))
+	for i, v := range nodes {
+		if v < 0 || int(v) >= g.NumNodes() {
+			return nil, nil, fmt.Errorf("graph: induce node %d out of range", v)
+		}
+		if _, dup := remap[v]; dup {
+			return nil, nil, fmt.Errorf("graph: induce duplicate node %d", v)
+		}
+		remap[v] = NodeID(i)
+	}
+	lists := make([][]NodeID, len(nodes))
+	for i, v := range nodes {
+		for _, u := range g.Neighbors(v) {
+			if nu, ok := remap[u]; ok {
+				lists[i] = append(lists[i], nu)
+			}
+		}
+	}
+	origID = append([]NodeID(nil), nodes...)
+	return FromAdjacency(lists), origID, nil
+}

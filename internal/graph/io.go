@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary graph format: a little-endian header ("BGRF", version, node count,
+// adjacency entry count) followed by the CSR offsets and adjacency arrays.
+// The format round-trips exactly and is deterministic for a given graph.
+const (
+	ioMagic   = "BGRF"
+	ioVersion = uint32(1)
+)
+
+// WriteTo serializes the graph. It returns the byte count written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(ioMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(ioMagic))
+	if err := write(ioVersion); err != nil {
+		return n, err
+	}
+	if err := write(uint64(g.NumNodes())); err != nil {
+		return n, err
+	}
+	if err := write(uint64(g.NumEdges())); err != nil {
+		return n, err
+	}
+	if err := write(g.offsets); err != nil {
+		return n, err
+	}
+	if err := write(g.adj); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadGraph deserializes a graph written by WriteTo, validating the header
+// and the CSR invariants (monotone offsets, in-range sorted adjacency).
+func ReadGraph(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ioMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if string(magic) != ioMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != ioVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	var nodes, edges uint64
+	if err := binary.Read(br, binary.LittleEndian, &nodes); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &edges); err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 33
+	if nodes > maxReasonable || edges > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes nodes=%d edges=%d", nodes, edges)
+	}
+	g := &Graph{
+		offsets: make([]int64, nodes+1),
+		adj:     make([]NodeID, edges),
+	}
+	if err := binary.Read(br, binary.LittleEndian, &g.offsets); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &g.adj); err != nil {
+		return nil, err
+	}
+	// Validate CSR invariants so a corrupted file cannot produce a graph
+	// that panics later.
+	if g.offsets[0] != 0 || g.offsets[nodes] != int64(edges) {
+		return nil, fmt.Errorf("graph: corrupt offsets")
+	}
+	for v := uint64(0); v < nodes; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return nil, fmt.Errorf("graph: non-monotone offsets at node %d", v)
+		}
+		nb := g.adj[g.offsets[v]:g.offsets[v+1]]
+		for i, u := range nb {
+			if u < 0 || uint64(u) >= nodes {
+				return nil, fmt.Errorf("graph: adjacency entry %d out of range at node %d", u, v)
+			}
+			if i > 0 && nb[i-1] >= u {
+				return nil, fmt.Errorf("graph: unsorted adjacency at node %d", v)
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	g, err := FromEdges(5,
+		[]NodeID{0, 1, 2, 3}, []NodeID{1, 2, 3, 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		a, b := g.Neighbors(NodeID(v)), got.Neighbors(NodeID(v))
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree mismatch", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d adjacency mismatch", v)
+			}
+		}
+	}
+}
+
+func TestReadGraphRejectsCorruption(t *testing.T) {
+	g, err := FromEdges(3, []NodeID{0, 1}, []NodeID{1, 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := ReadGraph(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for bad magic")
+	}
+	// Bad version.
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := ReadGraph(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for bad version")
+	}
+	// Truncated payload.
+	if _, err := ReadGraph(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Error("want error for truncation")
+	}
+	// Corrupt an adjacency entry to an out-of-range id (last 4 bytes).
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-1] = 0x7f
+	if _, err := ReadGraph(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for out-of-range adjacency")
+	}
+	// Empty input.
+	if _, err := ReadGraph(bytes.NewReader(nil)); err == nil {
+		t.Error("want error for empty input")
+	}
+}
+
+// Property: round trips preserve any random graph exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		var src, dst []NodeID
+		for i := 0; i < rng.Intn(200); i++ {
+			src = append(src, NodeID(rng.Intn(n)))
+			dst = append(dst, NodeID(rng.Intn(n)))
+		}
+		g, err := FromEdges(n, src, dst, rng.Intn(2) == 0)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadGraph(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			a, b := g.Neighbors(NodeID(v)), got.Neighbors(NodeID(v))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package memest implements Buffalo's lightweight analytical memory model
+// (§IV-D): BucketMemEstimator predicts the device memory one output-layer
+// bucket's micro-batch would consume, and RedundancyAwareMemEstimator
+// predicts a bucket group's consumption via the redundancy-aware grouping
+// ratio of Eq. (1):
+//
+//	R_group[i] = min(1, I_i / (O_i * D_i * C))
+//
+// applied as Eq. (2): M(group) = Σ_i M_est[i] * R_group[i].
+//
+// The per-bucket estimate mirrors, layer by layer and bucket by bucket, the
+// allocations internal/gnn actually makes: gathered neighbor tensors,
+// aggregator working state (LSTM trajectories are the dominant term),
+// pre-activations, and input features. Frontier sizes are predicted from
+// batch-level statistics (average sampled degree and the measured
+// deduplication ratio per hop) — no micro-batch is materialized, which is
+// what makes the model cheap enough to sit inside the scheduler's greedy
+// loop.
+package memest
+
+import (
+	"fmt"
+	"math"
+
+	"buffalo/internal/bucket"
+	"buffalo/internal/gnn"
+	"buffalo/internal/graph"
+	"buffalo/internal/sampling"
+)
+
+const floatBytes = 4
+
+// ModelSpec is the slice of a GNN configuration the memory model needs.
+type ModelSpec struct {
+	Arch       gnn.Arch
+	Aggregator gnn.Aggregator
+	Layers     int
+	InDim      int
+	Hidden     int
+	OutDim     int
+	Heads      int // GAT attention heads (0 or 1 = single head)
+}
+
+// SpecFromConfig extracts a ModelSpec from a model configuration.
+func SpecFromConfig(cfg gnn.Config) ModelSpec {
+	return ModelSpec{
+		Arch:       cfg.Arch,
+		Aggregator: cfg.Aggregator,
+		Layers:     cfg.Layers,
+		InDim:      cfg.InDim,
+		Hidden:     cfg.Hidden,
+		OutDim:     cfg.OutDim,
+		Heads:      cfg.Heads,
+	}
+}
+
+// layerDims returns the (in, out, hasActivation) dims of layer l (0-based,
+// input side first), mirroring gnn.New.
+func (s ModelSpec) layerDims(l int) (in, out int, act bool) {
+	in = s.Hidden
+	if l == 0 {
+		in = s.InDim
+	}
+	out = s.Hidden
+	act = true
+	if l == s.Layers-1 {
+		out = s.OutDim
+		act = false
+	}
+	return in, out, act
+}
+
+// Profile holds the batch-level statistics the estimator consumes. They are
+// computed once per batch in one pass over the sampled adjacency — the
+// "obtained during micro-batch generation, no computation overhead" data of
+// §IV-D — plus the offline clustering coefficient C.
+type Profile struct {
+	// AvgDeg[h] is the mean sampled degree at hop h.
+	AvgDeg []float64
+	// NbrDeg[h] (h >= 1) is the neighbor-incidence-weighted mean sampled
+	// degree at hop h: the expected degree of a node that entered the
+	// frontier as a sampled neighbor. Small micro-batch frontiers
+	// over-represent such nodes (the friendship paradox), so their mean
+	// degree sits between AvgDeg and NbrDeg depending on coverage.
+	NbrDeg []float64
+	// Frontier[h] is the node count of the batch's hop-h frontier, for
+	// h in [0, L]. A micro-batch's hop-h frontier is a subset of the
+	// batch's, so Frontier bounds the saturation of the dedup model.
+	Frontier []float64
+	// C is the average clustering coefficient of the input graph.
+	C float64
+}
+
+// ProfileBatch measures a batch's per-hop statistics. clusteringCoef is the
+// graph's (offline) average clustering coefficient.
+func ProfileBatch(b *sampling.Batch, clusteringCoef float64) Profile {
+	L := b.Layers()
+	p := Profile{
+		AvgDeg:   make([]float64, L),
+		NbrDeg:   make([]float64, L),
+		Frontier: make([]float64, L+1),
+		C:        clusteringCoef,
+	}
+	for h := 0; h < L; h++ {
+		hop := &b.Hops[h]
+		var edges int64
+		for _, nbrs := range hop.Nbrs {
+			edges += int64(len(nbrs))
+		}
+		nDst := len(hop.Dst)
+		p.Frontier[h] = float64(nDst)
+		if nDst == 0 {
+			continue
+		}
+		p.AvgDeg[h] = float64(edges) / float64(nDst)
+		if h >= 1 {
+			// Weight each hop-h destination's sampled degree by how many
+			// times it appeared as a hop-(h-1) neighbor.
+			prev := &b.Hops[h-1]
+			var wsum, dsum float64
+			for _, nbrs := range prev.Nbrs {
+				for _, u := range nbrs {
+					if i, ok := hop.Index[u]; ok {
+						wsum++
+						dsum += float64(len(hop.Nbrs[i]))
+					}
+				}
+			}
+			if wsum > 0 {
+				p.NbrDeg[h] = dsum / wsum
+			} else {
+				p.NbrDeg[h] = p.AvgDeg[h]
+			}
+		}
+	}
+	p.Frontier[L] = float64(len(b.Frontier(L)))
+	return p
+}
+
+// Estimator is the analytical memory model for one (model, batch) pair.
+type Estimator struct {
+	Model ModelSpec
+	Prof  Profile
+}
+
+// New builds an estimator after validating the spec.
+func New(spec ModelSpec, prof Profile) (*Estimator, error) {
+	if spec.Layers < 1 {
+		return nil, fmt.Errorf("memest: spec needs >= 1 layer")
+	}
+	if len(prof.AvgDeg) != spec.Layers {
+		return nil, fmt.Errorf("memest: profile has %d hops for %d layers", len(prof.AvgDeg), spec.Layers)
+	}
+	if prof.C <= 0 {
+		return nil, fmt.Errorf("memest: clustering coefficient must be positive, got %g", prof.C)
+	}
+	return &Estimator{Model: spec, Prof: prof}, nil
+}
+
+// aggNodeCoeffs returns the per-destination activation bytes of one layer
+// as an affine function of the destination's degree: fixed + perDeg * d,
+// mirroring internal/gnn's caches. Splitting the coefficients out lets the
+// group estimator price a frontier from its exact degree sum.
+func (e *Estimator) aggNodeCoeffs(layer int) (fixed, perDeg float64) {
+	in, out, act := e.Model.layerDims(layer)
+	fin, fout := float64(in), float64(out)
+	switch e.Model.Arch {
+	case gnn.GAT:
+		heads := float64(e.Model.Heads)
+		if heads < 1 {
+			heads = 1
+		}
+		// candidates (d+1)*out, scores+alpha 2*heads*(d+1), preAct out
+		// (+outAct), z ~ (1+d)*out.
+		fixed = fout + 2*heads + fout + fout
+		perDeg = fout + 2*heads + fout
+		if act {
+			fixed += fout
+		}
+	default: // SAGE
+		// gathered steps d*in + agg in + aggAll in + preAct out (+outAct).
+		fixed = 2*fin + fout
+		perDeg = fin
+		if act {
+			fixed += fout
+		}
+		switch e.Model.Aggregator {
+		case gnn.Pool:
+			fixed += fin
+			perDeg += 2 * fin
+		case gnn.LSTM:
+			perDeg += 8 * fin
+		}
+	}
+	return fixed * floatBytes, perDeg * floatBytes
+}
+
+// aggNodeBytes estimates the per-destination activation bytes of one layer
+// for a destination of degree d.
+func (e *Estimator) aggNodeBytes(layer int, d float64) float64 {
+	fixed, perDeg := e.aggNodeCoeffs(layer)
+	return fixed + perDeg*d
+}
+
+// BucketMem is the paper's BucketMemEstimator: the predicted device memory
+// of a micro-batch built from a single output-layer bucket with the given
+// volume (output nodes) and sampled degree, treated in isolation — frontier
+// growth is the raw (1 + degree) product with no dedup. As §IV-D observes,
+// this is "reasonable for individual buckets" but overestimates groups; the
+// redundancy-aware GroupMem corrects it. The scheduler uses BucketMem as
+// the bin-packing item weight.
+func (e *Estimator) BucketMem(volume, degree int) int64 {
+	if volume <= 0 {
+		return 0
+	}
+	L := e.Model.Layers
+	frontier := float64(volume)
+	var total float64
+	for h := 0; h < L; h++ {
+		layer := L - 1 - h // hop 0 is processed by the output layer
+		d := float64(degree)
+		if h > 0 {
+			d = e.Prof.AvgDeg[h]
+		}
+		total += frontier * e.aggNodeBytes(layer, d)
+		frontier *= 1 + d
+		if limit := e.Prof.Frontier[h+1]; limit > 0 && frontier > limit {
+			frontier = limit // cannot exceed the parent batch's frontier
+		}
+	}
+	// Input features for the innermost frontier.
+	total += frontier * float64(e.Model.InDim) * floatBytes
+	return int64(total)
+}
+
+// frontierBytes walks the layer stack for a micro-batch whose output layer
+// holds the given per-bucket (volume, degree) pairs and whose distinct
+// hop-0 inputs were measured as inputNodes, accumulating activation and
+// feature bytes with a saturating dedup model: at hop h, gathering n*(1+d)
+// node slots from a population bounded by the parent batch's hop-(h+1)
+// frontier P yields ~P*(1-exp(-draws/P)) distinct nodes.
+func (e *Estimator) frontierBytes(volumes, degrees []int, inputNodes int, hop1DegSum float64) int64 {
+	L := e.Model.Layers
+	var total float64
+	outputs := 0.0
+	// Hop 0: exact per-bucket costs and the measured distinct inputs.
+	for i, v := range volumes {
+		total += float64(v) * e.aggNodeBytes(L-1, float64(degrees[i]))
+		outputs += float64(v)
+	}
+	frontier := outputs + float64(inputNodes)
+	for h := 1; h < L; h++ {
+		layer := L - 1 - h
+		var draws float64
+		if h == 1 {
+			// Hop 1 is priced exactly from the measured frontier degree sum
+			// (bucket groups are degree-homogeneous; batch averages
+			// misprice them).
+			fixed, perDeg := e.aggNodeCoeffs(layer)
+			total += frontier*fixed + hop1DegSum*perDeg
+			draws = frontier + hop1DegSum
+		} else {
+			// Deeper hops fall back to the batch-profile model: effective
+			// mean degree interpolates between the batch-wide mean (full
+			// coverage) and the neighbor-biased mean (sparse coverage) with
+			// sqrt-coverage weighting — high-multiplicity hubs deduplicate
+			// first as coverage grows.
+			d := e.Prof.AvgDeg[h]
+			if batchFrontier := e.Prof.Frontier[h]; batchFrontier > 0 {
+				f := math.Sqrt(frontier / batchFrontier)
+				if f > 1 {
+					f = 1
+				}
+				d = f*e.Prof.AvgDeg[h] + (1-f)*e.Prof.NbrDeg[h]
+			}
+			total += frontier * e.aggNodeBytes(layer, d)
+			draws = frontier * (1 + d)
+		}
+		pool := e.Prof.Frontier[h+1]
+		if pool > 0 && draws > 0 {
+			// Clustering makes neighbor draws collide beyond the uniform
+			// birthday model: a fraction ~C of a node's neighbors are also
+			// neighbors of its neighbors (Eq. 1's C term), so only
+			// (1 - C) of the draws probe fresh territory.
+			effective := draws * (1 - e.Prof.C)
+			frontier = pool * (1 - math.Exp(-effective/pool))
+		} else {
+			frontier = draws
+		}
+	}
+	total += frontier * float64(e.Model.InDim) * floatBytes
+	return int64(total)
+}
+
+// BucketInputs counts I_i: the distinct hop-0 neighbors of the bucket's
+// output nodes, read directly off the sampled adjacency.
+func BucketInputs(b *sampling.Batch, nodes []graph.NodeID) (int, error) {
+	inputs, _, err := GroupStats(b, nodes)
+	return inputs, err
+}
+
+// GroupStats measures, in one pass over the group's sampled hop-0 edges,
+// the quantities §IV-D says are "obtained during micro-batch generation":
+// I (distinct hop-0 neighbors beyond the outputs themselves) and the exact
+// sampled-degree sum of the group's hop-1 frontier (outputs carried over
+// plus the distinct neighbors). The degree sum prices the hop-1 layer
+// exactly, which matters because bucket groups are degree-homogeneous and
+// batch-average degrees misprice them.
+func GroupStats(b *sampling.Batch, nodes []graph.NodeID) (inputs int, hop1DegSum float64, err error) {
+	hop0 := &b.Hops[0]
+	var hop1 *sampling.HopAdj
+	if len(b.Hops) > 1 {
+		hop1 = &b.Hops[1]
+	}
+	inFrontier := make(map[graph.NodeID]bool, len(nodes)*2)
+	addDeg := func(v graph.NodeID) {
+		if hop1 == nil {
+			return
+		}
+		if i, ok := hop1.Index[v]; ok {
+			hop1DegSum += float64(len(hop1.Nbrs[i]))
+		}
+	}
+	for _, v := range nodes {
+		if !inFrontier[v] {
+			inFrontier[v] = true
+			addDeg(v)
+		}
+	}
+	for _, v := range nodes {
+		idx, ok := hop0.Index[v]
+		if !ok {
+			return 0, 0, fmt.Errorf("memest: node %d is not an output of the batch", v)
+		}
+		for _, u := range hop0.Nbrs[idx] {
+			if !inFrontier[u] {
+				inFrontier[u] = true
+				inputs++
+				addDeg(u)
+			}
+		}
+	}
+	return inputs, hop1DegSum, nil
+}
+
+// RGroup evaluates Eq. (1) for a bucket with I distinct input nodes, O
+// output nodes and degree D, using the profile's clustering coefficient.
+func (e *Estimator) RGroup(inputs, outputs, degree int) float64 {
+	if outputs == 0 || degree == 0 {
+		return 1
+	}
+	r := float64(inputs) / (float64(outputs) * float64(degree) * e.Prof.C)
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// GroupMem is the paper's RedundancyAwareMemEstimator (Eq. 2): the predicted
+// memory of the micro-batch built from a bucket group. It instantiates
+// Eq. (1)'s reasoning — how many of the group's O*D gathered neighbor slots
+// are distinct input nodes (I), and how clustering compounds dedup at
+// deeper hops — with I measured exactly from the sampled adjacency (the
+// paper's "obtained during micro-batch generation") and deeper hops modeled
+// by saturation toward the parent batch's frontiers.
+func (e *Estimator) GroupMem(b *sampling.Batch, g *bucket.Group) (int64, error) {
+	var nodes []graph.NodeID
+	volumes := make([]int, 0, len(g.Buckets))
+	degrees := make([]int, 0, len(g.Buckets))
+	for _, bk := range g.Buckets {
+		nodes = append(nodes, bk.Nodes...)
+		volumes = append(volumes, bk.Volume())
+		degrees = append(degrees, bk.Degree)
+	}
+	inputs, degSum, err := GroupStats(b, nodes)
+	if err != nil {
+		return 0, err
+	}
+	return e.frontierBytes(volumes, degrees, inputs, degSum), nil
+}
+
+// BatchMem predicts the memory of training the whole batch as one
+// micro-batch (the K=1 case of Algorithm 3).
+func (e *Estimator) BatchMem(b *sampling.Batch) (int64, error) {
+	bk := bucket.Bucketize(b)
+	g := &bucket.Group{Buckets: bk.Buckets}
+	return e.GroupMem(b, g)
+}

@@ -1,0 +1,282 @@
+package memest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"buffalo/internal/block"
+	"buffalo/internal/bucket"
+	"buffalo/internal/datagen"
+	"buffalo/internal/gnn"
+	"buffalo/internal/sampling"
+	"buffalo/internal/tensor"
+)
+
+func arxivBatch(t testing.TB, seeds int, fanouts []int) (*datagen.Dataset, *sampling.Batch) {
+	t.Helper()
+	ds, err := datagen.Load("ogbn-arxiv", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	sd, err := sampling.UniformSeeds(ds.Graph, seeds, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampling.SampleBatch(ds.Graph, sd, fanouts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, b
+}
+
+func TestProfileBatch(t *testing.T) {
+	_, b := arxivBatch(t, 500, []int{10, 25})
+	p := ProfileBatch(b, 0.25)
+	if len(p.AvgDeg) != 2 || len(p.Frontier) != 3 {
+		t.Fatalf("profile lengths: %+v", p)
+	}
+	if p.AvgDeg[0] <= 0 || p.AvgDeg[0] > 10 {
+		t.Fatalf("hop0 avg degree %v outside (0,10]", p.AvgDeg[0])
+	}
+	if p.AvgDeg[1] <= 0 || p.AvgDeg[1] > 25 {
+		t.Fatalf("hop1 avg degree %v outside (0,25]", p.AvgDeg[1])
+	}
+	if p.Frontier[0] != 500 {
+		t.Fatalf("frontier0 = %v, want the 500 seeds", p.Frontier[0])
+	}
+	for h := 1; h < 3; h++ {
+		if p.Frontier[h] < p.Frontier[h-1] {
+			t.Fatalf("frontiers must not shrink (dst carry): %v", p.Frontier)
+		}
+	}
+	if p.C != 0.25 {
+		t.Fatal("C not propagated")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	spec := ModelSpec{Arch: gnn.SAGE, Aggregator: gnn.Mean, Layers: 2, InDim: 8, Hidden: 8, OutDim: 4}
+	good := Profile{AvgDeg: []float64{3, 3}, Frontier: []float64{10, 40, 160}, C: 0.3}
+	if _, err := New(spec, good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(ModelSpec{Layers: 0}, good); err == nil {
+		t.Error("want error for 0 layers")
+	}
+	if _, err := New(spec, Profile{AvgDeg: []float64{3}, C: 0.3}); err == nil {
+		t.Error("want error for hop mismatch")
+	}
+	if _, err := New(spec, Profile{AvgDeg: []float64{3, 3}, C: 0}); err == nil {
+		t.Error("want error for C = 0")
+	}
+}
+
+func TestBucketMemMonotonic(t *testing.T) {
+	spec := ModelSpec{Arch: gnn.SAGE, Aggregator: gnn.LSTM, Layers: 2, InDim: 16, Hidden: 16, OutDim: 4}
+	prof := Profile{AvgDeg: []float64{5, 8}, Frontier: []float64{200, 1200, 10000}, C: 0.25}
+	e, err := New(spec, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.BucketMem(0, 5) != 0 {
+		t.Error("empty bucket must cost 0")
+	}
+	if !(e.BucketMem(100, 5) < e.BucketMem(200, 5)) {
+		t.Error("memory must grow with volume")
+	}
+	if !(e.BucketMem(100, 2) < e.BucketMem(100, 9)) {
+		t.Error("memory must grow with degree")
+	}
+}
+
+func TestAggregatorCostOrdering(t *testing.T) {
+	prof := Profile{AvgDeg: []float64{5, 8}, Frontier: []float64{200, 1200, 10000}, C: 0.25}
+	cost := map[gnn.Aggregator]int64{}
+	for _, agg := range []gnn.Aggregator{gnn.Mean, gnn.Pool, gnn.LSTM} {
+		spec := ModelSpec{Arch: gnn.SAGE, Aggregator: agg, Layers: 2, InDim: 16, Hidden: 16, OutDim: 4}
+		e, err := New(spec, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost[agg] = e.BucketMem(100, 5)
+	}
+	if !(cost[gnn.LSTM] > cost[gnn.Pool] && cost[gnn.Pool] > cost[gnn.Mean]) {
+		t.Fatalf("cost ordering wrong: %v", cost)
+	}
+}
+
+func TestRGroupBounds(t *testing.T) {
+	spec := ModelSpec{Arch: gnn.SAGE, Aggregator: gnn.Mean, Layers: 2, InDim: 8, Hidden: 8, OutDim: 4}
+	e, err := New(spec, Profile{AvgDeg: []float64{3, 3}, Frontier: []float64{10, 40, 160}, C: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := e.RGroup(1000, 10, 5); r != 1 {
+		t.Fatalf("R should clamp to 1, got %v", r)
+	}
+	if r := e.RGroup(5, 10, 5); r != 5.0/(10*5*0.5) {
+		t.Fatalf("R = %v", r)
+	}
+	if r := e.RGroup(5, 0, 5); r != 1 {
+		t.Fatalf("degenerate O=0 should give 1, got %v", r)
+	}
+	// Property: R in (0, 1] for positive inputs.
+	for i := 1; i < 50; i++ {
+		r := e.RGroup(i, 2*i, 3)
+		if r <= 0 || r > 1 {
+			t.Fatalf("R out of range: %v", r)
+		}
+	}
+}
+
+func TestBucketInputs(t *testing.T) {
+	_, b := arxivBatch(t, 200, []int{5, 5})
+	bk := bucket.Bucketize(b)
+	for _, bu := range bk.Buckets {
+		inputs, err := BucketInputs(b, bu.Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inputs <= 0 {
+			t.Fatalf("bucket %s: no inputs", bu.Label())
+		}
+		if inputs > bu.Volume()*bu.Degree {
+			t.Fatalf("bucket %s: inputs %d exceed O*D=%d", bu.Label(), inputs, bu.Volume()*bu.Degree)
+		}
+	}
+	if _, err := BucketInputs(b, []int32{-5}); err == nil {
+		t.Error("want error for non-output node")
+	}
+}
+
+// measureActual runs a real forward pass for the micro-batch of a node set
+// and returns features+activation bytes — the ground truth of Table III.
+func measureActual(t *testing.T, ds *datagen.Dataset, b *sampling.Batch, cfg gnn.Config, nodes []int32) int64 {
+	t.Helper()
+	mb, err := block.Generate(b, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := tensor.New(len(mb.InputNodes()), cfg.InDim)
+	for i, v := range mb.InputNodes() {
+		copy(feats.Row(i), ds.FeatureRow(v)[:cfg.InDim])
+	}
+	m, err := gnn.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Forward(mb, feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.ActivationBytes() + feats.Bytes()
+}
+
+// TestEstimationAccuracy is the package-level version of Table III: the
+// analytical estimate of the whole batch and of per-bucket groups must land
+// within a modest band of the measured footprint.
+func TestEstimationAccuracy(t *testing.T) {
+	ds, b := arxivBatch(t, 600, []int{10, 25})
+	for _, agg := range []gnn.Aggregator{gnn.Mean, gnn.LSTM} {
+		cfg := gnn.Config{Arch: gnn.SAGE, Aggregator: agg, Layers: 2,
+			InDim: 64, Hidden: 64, OutDim: 16, Seed: 1}
+		e, err := New(SpecFromConfig(cfg), ProfileBatch(b, ds.Graph.ApproxClusteringCoefficient(1, 2000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := e.BatchMem(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := measureActual(t, ds, b, cfg, b.Seeds)
+		errRate := math.Abs(float64(est)-float64(actual)) / float64(actual)
+		t.Logf("%s: est=%d actual=%d err=%.1f%%", agg, est, actual, errRate*100)
+		if errRate > 0.35 {
+			t.Errorf("%s: estimation error %.1f%% too high (est %d vs actual %d)",
+				agg, errRate*100, est, actual)
+		}
+	}
+}
+
+// Estimated group memory must be at most the linear sum of bucket estimates
+// (R <= 1) and positive.
+func TestGroupMemSubLinear(t *testing.T) {
+	ds, b := arxivBatch(t, 500, []int{10, 25})
+	cfg := gnn.Config{Arch: gnn.SAGE, Aggregator: gnn.LSTM, Layers: 2,
+		InDim: 32, Hidden: 32, OutDim: 8, Seed: 1}
+	e, err := New(SpecFromConfig(cfg), ProfileBatch(b, ds.Graph.ApproxClusteringCoefficient(1, 2000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := bucket.Bucketize(b)
+	g := &bucket.Group{Buckets: bk.Buckets}
+	grouped, err := e.GroupMem(b, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var linear int64
+	for _, bu := range bk.Buckets {
+		linear += e.BucketMem(bu.Volume(), bu.Degree)
+	}
+	if grouped <= 0 {
+		t.Fatal("group estimate must be positive")
+	}
+	if grouped > linear {
+		t.Fatalf("redundancy-aware estimate %d exceeds linear sum %d", grouped, linear)
+	}
+}
+
+func TestGroupMemErrorPaths(t *testing.T) {
+	_, b := arxivBatch(t, 100, []int{5, 5})
+	cfg := gnn.Config{Arch: gnn.SAGE, Aggregator: gnn.Mean, Layers: 2, InDim: 8, Hidden: 8, OutDim: 4, Seed: 1}
+	e, err := New(SpecFromConfig(cfg), ProfileBatch(b, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badGroup := &bucket.Group{Buckets: []*bucket.Bucket{{Degree: 3, Nodes: []int32{-1}}}}
+	if _, err := e.GroupMem(b, badGroup); err == nil {
+		t.Error("want error for group containing non-output nodes")
+	}
+}
+
+// TestSubsetEstimationAccuracy checks the group estimator on micro-batch
+// sized subsets — the case that matters for OOM avoidance (a micro-batch
+// deduplicates far less than its parent batch).
+func TestSubsetEstimationAccuracy(t *testing.T) {
+	ds, b := arxivBatch(t, 1600, []int{10, 25})
+	cfg := gnn.Config{Arch: gnn.SAGE, Aggregator: gnn.LSTM, Layers: 2,
+		InDim: 64, Hidden: 64, OutDim: 16, Seed: 1}
+	e, err := New(SpecFromConfig(cfg), ProfileBatch(b, ds.Graph.ApproxClusteringCoefficient(1, 2000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := bucket.Bucketize(b)
+	for _, k := range []int{2, 4, 8} {
+		// Take every k-th bucket slice as a pseudo-group of ~1/k of nodes.
+		n := len(b.Seeds) / k
+		nodes := b.Seeds[:n]
+		// Build a group matching those nodes' buckets.
+		byDeg := map[int][]int32{}
+		for _, v := range nodes {
+			d := b.Hops[0].Degree(v)
+			byDeg[d] = append(byDeg[d], v)
+		}
+		var g bucket.Group
+		for d, ns := range byDeg {
+			g.Buckets = append(g.Buckets, &bucket.Bucket{Degree: d, Nodes: ns})
+		}
+		_ = bk
+		est, err := e.GroupMem(b, &g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := measureActual(t, ds, b, cfg, nodes)
+		errRate := math.Abs(float64(est)-float64(actual)) / float64(actual)
+		t.Logf("k=%d: est=%d actual=%d err=%.1f%%", k, est, actual, errRate*100)
+		if errRate > 0.20 {
+			t.Errorf("k=%d: subset estimation error %.1f%% too high", k, errRate*100)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math"
+
+	"buffalo/internal/tensor"
+)
+
+// ReLU computes max(0, x) into a new matrix.
+func ReLU(x *tensor.Matrix) *tensor.Matrix {
+	y := x.Clone()
+	y.Apply(func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+	return y
+}
+
+// ReLUBackward returns dy masked by the forward input's sign:
+// dx = dy ⊙ 1[x > 0].
+func ReLUBackward(x, dy *tensor.Matrix) *tensor.Matrix {
+	dx := dy.Clone()
+	for i, v := range x.Data {
+		if v <= 0 {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// LeakyReLU computes x for x>0 and slope*x otherwise.
+func LeakyReLU(x *tensor.Matrix, slope float32) *tensor.Matrix {
+	y := x.Clone()
+	y.Apply(func(v float32) float32 {
+		if v < 0 {
+			return slope * v
+		}
+		return v
+	})
+	return y
+}
+
+// LeakyReLUBackward returns dy scaled by the forward slope at each element.
+func LeakyReLUBackward(x, dy *tensor.Matrix, slope float32) *tensor.Matrix {
+	dx := dy.Clone()
+	for i, v := range x.Data {
+		if v <= 0 {
+			dx.Data[i] *= slope
+		}
+	}
+	return dx
+}
+
+// Sigmoid computes 1/(1+e^-x) into a new matrix.
+func Sigmoid(x *tensor.Matrix) *tensor.Matrix {
+	y := x.Clone()
+	y.Apply(sigmoidScalar)
+	return y
+}
+
+// SigmoidBackwardFromOutput returns dx given the forward OUTPUT s:
+// dx = dy ⊙ s ⊙ (1-s). Taking the output avoids recomputing exp.
+func SigmoidBackwardFromOutput(s, dy *tensor.Matrix) *tensor.Matrix {
+	dx := dy.Clone()
+	for i, sv := range s.Data {
+		dx.Data[i] *= sv * (1 - sv)
+	}
+	return dx
+}
+
+// Tanh computes tanh(x) into a new matrix.
+func Tanh(x *tensor.Matrix) *tensor.Matrix {
+	y := x.Clone()
+	y.Apply(func(v float32) float32 { return float32(math.Tanh(float64(v))) })
+	return y
+}
+
+// TanhBackwardFromOutput returns dx given the forward OUTPUT t:
+// dx = dy ⊙ (1 - t²).
+func TanhBackwardFromOutput(t, dy *tensor.Matrix) *tensor.Matrix {
+	dx := dy.Clone()
+	for i, tv := range t.Data {
+		dx.Data[i] *= 1 - tv*tv
+	}
+	return dx
+}
+
+func sigmoidScalar(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// ELU computes x for x>0 and alpha*(e^x - 1) otherwise.
+func ELU(x *tensor.Matrix, alpha float32) *tensor.Matrix {
+	y := x.Clone()
+	y.Apply(func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return alpha * float32(math.Expm1(float64(v)))
+	})
+	return y
+}
+
+// ELUBackward returns dx given the forward INPUT x and OUTPUT y:
+// dx = dy for x>0, dy*(y+alpha) otherwise.
+func ELUBackward(x, y, dy *tensor.Matrix, alpha float32) *tensor.Matrix {
+	dx := dy.Clone()
+	for i, v := range x.Data {
+		if v <= 0 {
+			dx.Data[i] *= y.Data[i] + alpha
+		}
+	}
+	return dx
+}

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"buffalo/internal/tensor"
+)
+
+// Dropout implements inverted dropout: at training time each element is
+// zeroed with probability P and survivors are scaled by 1/(1-P), so
+// inference needs no rescaling. Each Forward draws a fresh mask from the
+// layer's RNG; Backward applies the same mask to the upstream gradient.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewDropout builds a dropout layer. P must be in [0, 1).
+func NewDropout(p float64, seed int64) (*Dropout, error) {
+	if p < 0 || p >= 1 {
+		return nil, fmt.Errorf("nn: dropout probability %v outside [0,1)", p)
+	}
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// DropoutMask is the per-forward state Backward needs.
+type DropoutMask struct {
+	scale float32
+	keep  []bool
+}
+
+// Bytes reports the mask's footprint (1 byte per element, as a framework
+// would store it).
+func (m *DropoutMask) Bytes() int64 { return int64(len(m.keep)) }
+
+// Forward samples a mask and applies it, returning the masked activations.
+// With P == 0 (or training == false) it returns x unchanged and a nil mask.
+func (d *Dropout) Forward(x *tensor.Matrix, training bool) (*tensor.Matrix, *DropoutMask) {
+	if !training || d.P == 0 {
+		return x, nil
+	}
+	mask := &DropoutMask{
+		scale: float32(1 / (1 - d.P)),
+		keep:  make([]bool, len(x.Data)),
+	}
+	y := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			mask.keep[i] = true
+			y.Data[i] = v * mask.scale
+		}
+	}
+	return y, mask
+}
+
+// Backward routes the upstream gradient through the forward mask. A nil
+// mask (inference or P == 0) passes dy through unchanged.
+func (d *Dropout) Backward(mask *DropoutMask, dy *tensor.Matrix) *tensor.Matrix {
+	if mask == nil {
+		return dy
+	}
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for i, keep := range mask.keep {
+		if keep {
+			dx.Data[i] = dy.Data[i] * mask.scale
+		}
+	}
+	return dx
+}

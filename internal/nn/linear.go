@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"buffalo/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x @ W + b.
+type Linear struct {
+	W *Param // [in x out]
+	B *Param // [1 x out], nil when bias is disabled
+}
+
+// NewLinear builds a Glorot-initialized fully connected layer. Names of the
+// underlying parameters are derived from name ("name.W", "name.b").
+func NewLinear(name string, in, out int, bias bool, rng *rand.Rand) *Linear {
+	l := &Linear{W: NewParam(name+".W", in, out)}
+	l.W.InitXavier(rng)
+	if bias {
+		l.B = NewParam(name+".b", 1, out)
+	}
+	return l
+}
+
+// Register adds the layer's parameters to ps.
+func (l *Linear) Register(ps *ParamSet) {
+	if l.B != nil {
+		ps.MustAdd(l.W, l.B)
+		return
+	}
+	ps.MustAdd(l.W)
+}
+
+// Forward computes x @ W (+ b). x is [n x in]; the result is [n x out].
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.W.Value.Rows {
+		panic(fmt.Sprintf("nn: linear %s input dim %d != %d", l.W.Name, x.Cols, l.W.Value.Rows))
+	}
+	y := tensor.MatMul(x, l.W.Value)
+	if l.B != nil {
+		y.AddRowVector(l.B.Value)
+	}
+	return y
+}
+
+// Backward accumulates dW (and db) from upstream gradient dy and returns
+// dx = dy @ Wᵀ. x must be the same matrix passed to the matching Forward.
+func (l *Linear) Backward(x, dy *tensor.Matrix) *tensor.Matrix {
+	tensor.MatMulATBInto(l.W.Grad, x, dy, true)
+	if l.B != nil {
+		l.B.Grad.AddInPlace(dy.SumRows())
+	}
+	return tensor.MatMulABT(dy, l.W.Value)
+}

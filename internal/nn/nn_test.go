@@ -1,0 +1,457 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"buffalo/internal/tensor"
+)
+
+func randMat(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32() - 0.5
+	}
+	return m
+}
+
+// dot computes sum(a ⊙ b): the scalar "loss" used in gradient checks.
+func dot(a, b *tensor.Matrix) float64 {
+	var s float64
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return s
+}
+
+// checkGrad compares an analytic gradient against central finite differences
+// of loss() over every element of value.
+func checkGrad(t *testing.T, name string, value, grad *tensor.Matrix, loss func() float64) {
+	t.Helper()
+	const eps = 1e-2
+	for i := range value.Data {
+		orig := value.Data[i]
+		value.Data[i] = orig + eps
+		lp := loss()
+		value.Data[i] = orig - eps
+		lm := loss()
+		value.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(grad.Data[i])
+		diff := math.Abs(numeric - analytic)
+		scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic)))
+		if diff/scale > 2e-2 {
+			t.Fatalf("%s[%d]: analytic %.5f vs numeric %.5f", name, i, analytic, numeric)
+		}
+	}
+}
+
+func TestParamSetDuplicates(t *testing.T) {
+	var ps ParamSet
+	a := NewParam("w", 1, 1)
+	if err := ps.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Add(NewParam("w", 2, 2)); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	if len(ps.Params()) != 1 {
+		t.Fatal("failed add must not register")
+	}
+}
+
+func TestParamSetZeroGradAndBytes(t *testing.T) {
+	var ps ParamSet
+	p := NewParam("w", 2, 3)
+	ps.MustAdd(p)
+	p.Grad.Data[0] = 5
+	ps.ZeroGrad()
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("ZeroGrad failed")
+	}
+	if ps.Bytes() != 2*2*3*4 {
+		t.Fatalf("Bytes = %d", ps.Bytes())
+	}
+}
+
+func TestParamSetCopyAndReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a, b ParamSet
+	pa := NewParam("w", 2, 2)
+	pb := NewParam("w", 2, 2)
+	pa.InitXavier(rng)
+	a.MustAdd(pa)
+	b.MustAdd(pb)
+	if err := b.CopyValuesFrom(&a); err != nil {
+		t.Fatal(err)
+	}
+	if pb.Value.Data[0] != pa.Value.Data[0] {
+		t.Fatal("CopyValuesFrom failed")
+	}
+	pa.Grad.Data[0] = 1
+	pb.Grad.Data[0] = 2
+	if err := a.AddGradsFrom(&b); err != nil {
+		t.Fatal(err)
+	}
+	if pa.Grad.Data[0] != 3 {
+		t.Fatalf("AddGradsFrom got %v", pa.Grad.Data[0])
+	}
+	if a.GradMaxAbs() != 3 {
+		t.Fatalf("GradMaxAbs = %v", a.GradMaxAbs())
+	}
+	var c ParamSet
+	if err := c.CopyValuesFrom(&a); err == nil {
+		t.Fatal("want count mismatch error")
+	}
+}
+
+func TestLinearForwardShapeAndBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear("fc", 3, 2, true, rng)
+	l.B.Value.Data[0] = 1
+	x := randMat(rng, 4, 3)
+	y := l.Forward(x)
+	if y.Rows != 4 || y.Cols != 2 {
+		t.Fatalf("shape %dx%d", y.Rows, y.Cols)
+	}
+	// Check row 0 against manual compute.
+	var want float32
+	for k := 0; k < 3; k++ {
+		want += x.At(0, k) * l.W.Value.At(k, 0)
+	}
+	want += 1
+	if math.Abs(float64(y.At(0, 0)-want)) > 1e-5 {
+		t.Fatalf("y[0,0] = %v, want %v", y.At(0, 0), want)
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLinear("fc", 3, 2, true, rng)
+	var ps ParamSet
+	l.Register(&ps)
+	x := randMat(rng, 5, 3)
+	r := randMat(rng, 5, 2) // random upstream direction
+	loss := func() float64 { return dot(l.Forward(x), r) }
+	ps.ZeroGrad()
+	y := l.Forward(x)
+	_ = y
+	dx := l.Backward(x, r)
+	checkGrad(t, "W", l.W.Value, l.W.Grad, loss)
+	checkGrad(t, "b", l.B.Value, l.B.Grad, loss)
+	// Input gradient: perturb x.
+	checkGrad(t, "x", x, dx, loss)
+}
+
+func TestActivationGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randMat(rng, 3, 4)
+	r := randMat(rng, 3, 4)
+
+	dx := ReLUBackward(x, r)
+	checkGrad(t, "relu.x", x, dx, func() float64 { return dot(ReLU(x), r) })
+
+	dx = LeakyReLUBackward(x, r, 0.2)
+	checkGrad(t, "lrelu.x", x, dx, func() float64 { return dot(LeakyReLU(x, 0.2), r) })
+
+	s := Sigmoid(x)
+	dx = SigmoidBackwardFromOutput(s, r)
+	checkGrad(t, "sigmoid.x", x, dx, func() float64 { return dot(Sigmoid(x), r) })
+
+	th := Tanh(x)
+	dx = TanhBackwardFromOutput(th, r)
+	checkGrad(t, "tanh.x", x, dx, func() float64 { return dot(Tanh(x), r) })
+}
+
+func TestLSTMForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cell := NewLSTMCell("lstm", 3, 4, rng)
+	xs := []*tensor.Matrix{randMat(rng, 2, 3), randMat(rng, 2, 3)}
+	h, cache := cell.RunSequence(xs)
+	if h.Rows != 2 || h.Cols != 4 {
+		t.Fatalf("h shape %dx%d", h.Rows, h.Cols)
+	}
+	if len(cache.steps) != 2 {
+		t.Fatalf("cache steps = %d", len(cache.steps))
+	}
+	if cache.Bytes() <= 0 {
+		t.Fatal("cache bytes must be positive")
+	}
+	// Empty sequence.
+	h0, c0 := cell.RunSequence(nil)
+	if h0.Rows != 0 || len(c0.steps) != 0 {
+		t.Fatal("empty sequence should produce empty state")
+	}
+	if got := cell.BackwardSequence(c0, tensor.New(0, 4)); len(got) != 0 {
+		t.Fatal("backward of empty cache should be empty")
+	}
+}
+
+func TestLSTMGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cell := NewLSTMCell("lstm", 2, 3, rng)
+	var ps ParamSet
+	cell.Register(&ps)
+	xs := []*tensor.Matrix{randMat(rng, 2, 2), randMat(rng, 2, 2), randMat(rng, 2, 2)}
+	r := randMat(rng, 2, 3)
+	loss := func() float64 {
+		h, _ := cell.RunSequence(xs)
+		return dot(h, r)
+	}
+	ps.ZeroGrad()
+	_, cache := cell.RunSequence(xs)
+	dxs := cell.BackwardSequence(cache, r)
+	checkGrad(t, "Wx", cell.Wx.Value, cell.Wx.Grad, loss)
+	checkGrad(t, "Wh", cell.Wh.Value, cell.Wh.Grad, loss)
+	checkGrad(t, "b", cell.B.Value, cell.B.Grad, loss)
+	for tstep, dx := range dxs {
+		checkGrad(t, "x", xs[tstep], dx, loss)
+	}
+}
+
+func TestCrossEntropy(t *testing.T) {
+	logits := tensor.FromSlice(2, 3, []float32{10, 0, 0, 0, 10, 0})
+	labels := []int32{0, 1}
+	loss, grad, err := CrossEntropy(logits, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.01 {
+		t.Fatalf("confident correct predictions should have ~0 loss, got %v", loss)
+	}
+	if grad.Rows != 2 || grad.Cols != 3 {
+		t.Fatalf("grad shape %dx%d", grad.Rows, grad.Cols)
+	}
+	// Wrong labels give high loss.
+	lossWrong, _, err := CrossEntropy(tensor.FromSlice(1, 2, []float32{10, 0}), []int32{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossWrong < 5 {
+		t.Fatalf("wrong confident prediction loss = %v, want ~10", lossWrong)
+	}
+}
+
+func TestCrossEntropyGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	logits := randMat(rng, 4, 3)
+	labels := []int32{0, 2, 1, 2}
+	_, grad, err := CrossEntropy(logits, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := func() float64 {
+		l, _, err := CrossEntropy(logits, labels, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(l)
+	}
+	checkGrad(t, "logits", logits, grad, loss)
+}
+
+func TestCrossEntropyScaleLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	logits := randMat(rng, 3, 4)
+	labels := []int32{1, 2, 3}
+	l1, g1, _ := CrossEntropy(logits, labels, 1)
+	l2, g2, _ := CrossEntropy(logits, labels, 0.25)
+	if math.Abs(float64(l1*0.25-l2)) > 1e-5 {
+		t.Fatalf("loss scaling wrong: %v vs %v", l1*0.25, l2)
+	}
+	for i := range g1.Data {
+		if math.Abs(float64(g1.Data[i]*0.25-g2.Data[i])) > 1e-6 {
+			t.Fatalf("grad scaling wrong at %d", i)
+		}
+	}
+}
+
+func TestCrossEntropyErrors(t *testing.T) {
+	logits := tensor.New(2, 3)
+	if _, _, err := CrossEntropy(logits, []int32{0}, 1); err == nil {
+		t.Error("want length mismatch error")
+	}
+	if _, _, err := CrossEntropy(logits, []int32{0, 5}, 1); err == nil {
+		t.Error("want label range error")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice(3, 2, []float32{1, 0, 0, 1, 1, 0})
+	if acc := Accuracy(logits, []int32{0, 1, 1}); math.Abs(acc-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if Accuracy(tensor.New(0, 2), nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	var ps ParamSet
+	p := NewParam("w", 1, 1)
+	p.Value.Data[0] = 1
+	p.Grad.Data[0] = 0.5
+	ps.MustAdd(p)
+	opt := NewSGD(0.1, 0)
+	opt.Step(&ps)
+	if math.Abs(float64(p.Value.Data[0]-0.95)) > 1e-6 {
+		t.Fatalf("sgd step got %v", p.Value.Data[0])
+	}
+	if opt.StateBytes() != 0 {
+		t.Fatal("plain SGD should have no state")
+	}
+	// Momentum accumulates velocity.
+	optM := NewSGD(0.1, 0.9)
+	optM.Step(&ps)
+	optM.Step(&ps)
+	if optM.StateBytes() == 0 {
+		t.Fatal("momentum SGD should track state bytes")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w - 3)^2; gradient = 2(w-3).
+	var ps ParamSet
+	p := NewParam("w", 1, 1)
+	ps.MustAdd(p)
+	opt := NewAdam(0.1)
+	for i := 0; i < 300; i++ {
+		ps.ZeroGrad()
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 3)
+		opt.Step(&ps)
+	}
+	if math.Abs(float64(p.Value.Data[0]-3)) > 0.05 {
+		t.Fatalf("adam converged to %v, want 3", p.Value.Data[0])
+	}
+	if opt.StateBytes() != 8 {
+		t.Fatalf("adam state bytes = %d, want 8", opt.StateBytes())
+	}
+}
+
+// Gradient accumulation across two half-batches must equal the full batch:
+// the property Buffalo's Algorithm 2 depends on.
+func TestGradientAccumulationEqualsFullBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewLinear("fc", 3, 4, true, rng)
+	var ps ParamSet
+	l.Register(&ps)
+	x := randMat(rng, 6, 3)
+	labels := []int32{0, 1, 2, 3, 0, 1}
+
+	// Full batch.
+	ps.ZeroGrad()
+	y := l.Forward(x)
+	_, dy, err := CrossEntropy(y, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Backward(x, dy)
+	full := l.W.Grad.Clone()
+
+	// Two micro-batches with scale |micro|/|batch| = 0.5.
+	ps.ZeroGrad()
+	for _, half := range [][2]int{{0, 3}, {3, 6}} {
+		sub := tensor.FromSlice(3, 3, x.Data[half[0]*3:half[1]*3])
+		suby := l.Forward(sub)
+		_, dsub, err := CrossEntropy(suby, labels[half[0]:half[1]], 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Backward(sub, dsub)
+	}
+	for i := range full.Data {
+		if math.Abs(float64(full.Data[i]-l.W.Grad.Data[i])) > 1e-5 {
+			t.Fatalf("accumulated grad differs at %d: %v vs %v", i, full.Data[i], l.W.Grad.Data[i])
+		}
+	}
+}
+
+func TestELUGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := randMat(rng, 3, 4)
+	r := randMat(rng, 3, 4)
+	y := ELU(x, 1.0)
+	dx := ELUBackward(x, y, r, 1.0)
+	checkGrad(t, "elu.x", x, dx, func() float64 { return dot(ELU(x, 1.0), r) })
+	// Positive side passes through unchanged.
+	pos := ELU(tensor.FromSlice(1, 2, []float32{1, 2}), 1)
+	if pos.Data[0] != 1 || pos.Data[1] != 2 {
+		t.Fatalf("ELU positive identity broken: %v", pos.Data)
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	if _, err := NewDropout(-0.1, 1); err == nil {
+		t.Error("want error for negative P")
+	}
+	if _, err := NewDropout(1.0, 1); err == nil {
+		t.Error("want error for P = 1")
+	}
+}
+
+func TestDropoutForwardStatistics(t *testing.T) {
+	d, err := NewDropout(0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(100, 100)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	y, mask := d.Forward(x, true)
+	if mask == nil {
+		t.Fatal("training forward must return a mask")
+	}
+	zeros := 0
+	var sum float64
+	for _, v := range y.Data {
+		if v == 0 {
+			zeros++
+		}
+		sum += float64(v)
+	}
+	frac := float64(zeros) / float64(len(y.Data))
+	if frac < 0.35 || frac > 0.45 {
+		t.Fatalf("dropped fraction %.3f, want ~0.4", frac)
+	}
+	// Inverted scaling keeps the expectation: mean ~ 1.
+	if mean := sum / float64(len(y.Data)); mean < 0.95 || mean > 1.05 {
+		t.Fatalf("post-dropout mean %.3f, want ~1", mean)
+	}
+	// Inference is identity.
+	yi, mi := d.Forward(x, false)
+	if mi != nil || yi != x {
+		t.Fatal("inference must be a no-op")
+	}
+	if mask.Bytes() != 100*100 {
+		t.Fatalf("mask bytes = %d", mask.Bytes())
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d, err := NewDropout(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	x := randMat(rng, 6, 5)
+	y, mask := d.Forward(x, true)
+	dy := randMat(rng, 6, 5)
+	dx := d.Backward(mask, dy)
+	for i := range x.Data {
+		if y.Data[i] == 0 && x.Data[i] != 0 {
+			if dx.Data[i] != 0 {
+				t.Fatalf("gradient leaked through dropped element %d", i)
+			}
+		} else if x.Data[i] != 0 {
+			want := dy.Data[i] * 2 // scale = 1/(1-0.5)
+			if math.Abs(float64(dx.Data[i]-want)) > 1e-6 {
+				t.Fatalf("dx[%d] = %v, want %v", i, dx.Data[i], want)
+			}
+		}
+	}
+	if got := d.Backward(nil, dy); got != dy {
+		t.Fatal("nil mask must pass through")
+	}
+}

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+
+	"buffalo/internal/tensor"
+)
+
+// Optimizer updates a ParamSet from its accumulated gradients.
+type Optimizer interface {
+	// Step applies one update from the current gradients. It does NOT zero
+	// them; callers control accumulation explicitly.
+	Step(ps *ParamSet)
+	// StateBytes reports the optimizer-state footprint (momentum buffers
+	// etc.), which the simulated GPU charges alongside parameters.
+	StateBytes() int64
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+
+	velocity map[*Param]*tensor.Matrix
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*tensor.Matrix)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(ps *ParamSet) {
+	for _, p := range ps.Params() {
+		if s.Momentum == 0 {
+			p.Value.AddScaled(p.Grad, -s.LR)
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Value.Rows, p.Value.Cols)
+			s.velocity[p] = v
+		}
+		v.Scale(s.Momentum)
+		v.AddScaled(p.Grad, 1)
+		p.Value.AddScaled(v, -s.LR)
+	}
+}
+
+// StateBytes implements Optimizer.
+func (s *SGD) StateBytes() int64 {
+	var b int64
+	for _, v := range s.velocity {
+		b += v.Bytes()
+	}
+	return b
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+
+	t int
+	m map[*Param]*tensor.Matrix
+	v map[*Param]*tensor.Matrix
+}
+
+// NewAdam builds an Adam optimizer with the usual defaults for unset betas.
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Matrix),
+		v: make(map[*Param]*tensor.Matrix),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(ps *ParamSet) {
+	a.t++
+	c1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	c2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for _, p := range ps.Params() {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Rows, p.Value.Cols)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Rows, p.Value.Cols)
+		}
+		v := a.v[p]
+		for i, g := range p.Grad.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mh := m.Data[i] / c1
+			vh := v.Data[i] / c2
+			p.Value.Data[i] -= a.LR * mh / (float32(math.Sqrt(float64(vh))) + a.Eps)
+		}
+	}
+}
+
+// StateBytes implements Optimizer.
+func (a *Adam) StateBytes() int64 {
+	var b int64
+	for _, m := range a.m {
+		b += 2 * m.Bytes() // first and second moments have equal shapes
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+// Package nn implements the neural-network stack the GNN layers are built
+// from: parameters with gradient buffers, fully connected layers, pointwise
+// activations, an LSTM cell with full backpropagation through time, the
+// softmax cross-entropy loss, and SGD/Adam optimizers.
+//
+// There is no autograd tape: every layer exposes an explicit
+// Forward/Backward pair with the caller responsible for threading gradients.
+// Gradients ACCUMULATE into Param.Grad until ZeroGrad is called, which is
+// exactly the semantics Buffalo's micro-batch training relies on
+// (Algorithm 2: partial gradients from each bucket group are accumulated
+// before one optimizer step).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"buffalo/internal/tensor"
+)
+
+// Param is a trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam allocates a zeroed parameter with a matching gradient buffer.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(rows, cols),
+		Grad:  tensor.New(rows, cols),
+	}
+}
+
+// InitXavier fills the parameter with Glorot-uniform values in
+// ±sqrt(6/(fanIn+fanOut)) using the given RNG.
+func (p *Param) InitXavier(rng *rand.Rand) {
+	limit := float32(math.Sqrt(6 / float64(p.Value.Rows+p.Value.Cols)))
+	for i := range p.Value.Data {
+		p.Value.Data[i] = (2*rng.Float32() - 1) * limit
+	}
+}
+
+// Bytes reports the parameter's value+gradient storage footprint.
+func (p *Param) Bytes() int64 { return p.Value.Bytes() + p.Grad.Bytes() }
+
+// ParamSet is an ordered collection of parameters, the unit optimizers and
+// gradient bookkeeping operate on.
+type ParamSet struct {
+	params []*Param
+}
+
+// Add registers params; duplicate names are rejected to catch wiring bugs.
+func (ps *ParamSet) Add(params ...*Param) error {
+	for _, p := range params {
+		for _, q := range ps.params {
+			if q.Name == p.Name {
+				return fmt.Errorf("nn: duplicate parameter %q", p.Name)
+			}
+		}
+		ps.params = append(ps.params, p)
+	}
+	return nil
+}
+
+// MustAdd is Add that panics on duplicates; for package-internal model wiring
+// where a duplicate is a programming error.
+func (ps *ParamSet) MustAdd(params ...*Param) {
+	if err := ps.Add(params...); err != nil {
+		panic(err)
+	}
+}
+
+// Params returns the registered parameters in registration order.
+func (ps *ParamSet) Params() []*Param { return ps.params }
+
+// ZeroGrad clears every gradient accumulator.
+func (ps *ParamSet) ZeroGrad() {
+	for _, p := range ps.params {
+		p.Grad.Zero()
+	}
+}
+
+// Bytes reports the total value+gradient footprint of the set.
+func (ps *ParamSet) Bytes() int64 {
+	var b int64
+	for _, p := range ps.params {
+		b += p.Bytes()
+	}
+	return b
+}
+
+// CopyValuesFrom copies parameter values from src (matched by order); used by
+// the data-parallel trainer to replicate a model onto several devices.
+func (ps *ParamSet) CopyValuesFrom(src *ParamSet) error {
+	if len(ps.params) != len(src.params) {
+		return fmt.Errorf("nn: param count mismatch %d vs %d", len(ps.params), len(src.params))
+	}
+	for i, p := range ps.params {
+		s := src.params[i]
+		if p.Value.Rows != s.Value.Rows || p.Value.Cols != s.Value.Cols {
+			return fmt.Errorf("nn: param %q shape mismatch", p.Name)
+		}
+		p.Value.CopyFrom(s.Value)
+	}
+	return nil
+}
+
+// AddGradsFrom accumulates src's gradients into ps (all-reduce step of the
+// data-parallel trainer).
+func (ps *ParamSet) AddGradsFrom(src *ParamSet) error {
+	if len(ps.params) != len(src.params) {
+		return fmt.Errorf("nn: param count mismatch %d vs %d", len(ps.params), len(src.params))
+	}
+	for i, p := range ps.params {
+		p.Grad.AddInPlace(src.params[i].Grad)
+	}
+	return nil
+}
+
+// GradMaxAbs returns the largest absolute gradient entry across the set;
+// useful for tests asserting that backward passes actually produce signal.
+func (ps *ParamSet) GradMaxAbs() float32 {
+	var mx float32
+	for _, p := range ps.params {
+		if v := p.Grad.MaxAbs(); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}

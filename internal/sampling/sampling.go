@@ -1,0 +1,231 @@
+// Package sampling implements fanout neighbor sampling: the per-iteration
+// "batch" (sampling subgraph) that Buffalo's scheduler partitions.
+//
+// Sampling starts from the seed (output) nodes and walks inward hop by hop.
+// For each node it keeps at most fanout[h] distinct neighbors, drawn without
+// replacement. The sampled adjacency is recorded per hop in sampling order —
+// exactly the bookkeeping Buffalo's fast block generator exploits (§IV-E:
+// "track all neighbors of the center nodes in the subgraph following the
+// sampling order, avoiding repeated connection checks").
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"buffalo/internal/graph"
+)
+
+// HopAdj is the sampled adjacency of one hop: Dst[i] aggregates from Nbrs[i]
+// (all IDs are original-graph IDs). Dst at hop h are the nodes at distance h
+// from the seeds; their sampled neighbors are at distance h+1 (or closer,
+// when the graph has short cycles — distance here means discovery hop).
+type HopAdj struct {
+	Dst   []graph.NodeID
+	Nbrs  [][]graph.NodeID
+	Index map[graph.NodeID]int // Dst value -> position
+}
+
+// Degree returns the sampled degree of dst, or -1 if dst is not in this hop.
+func (h *HopAdj) Degree(dst graph.NodeID) int {
+	i, ok := h.Index[dst]
+	if !ok {
+		return -1
+	}
+	return len(h.Nbrs[i])
+}
+
+// Batch is one training iteration's sampling subgraph.
+type Batch struct {
+	Graph   *graph.Graph // the original graph sampled from
+	Seeds   []graph.NodeID
+	Fanouts []int // Fanouts[h] caps the sampled degree at hop h; len = #layers
+
+	// Hops[h] holds the sampled adjacency whose destinations are the hop-h
+	// frontier; Hops[0].Dst == Seeds. len(Hops) == len(Fanouts).
+	Hops []HopAdj
+}
+
+// Layers reports the aggregation depth L.
+func (b *Batch) Layers() int { return len(b.Fanouts) }
+
+// NumOutputNodes reports the seed count.
+func (b *Batch) NumOutputNodes() int { return len(b.Seeds) }
+
+// Frontier returns the distinct nodes at hop h (h = 0 are the seeds;
+// h = Layers() is the innermost input frontier).
+func (b *Batch) Frontier(h int) []graph.NodeID {
+	if h < len(b.Hops) {
+		return b.Hops[h].Dst
+	}
+	// Innermost frontier: the last hop's destinations followed by the
+	// distinct neighbors the last hop sampled.
+	last := &b.Hops[len(b.Hops)-1]
+	seen := make(map[graph.NodeID]bool, len(last.Dst))
+	out := append([]graph.NodeID(nil), last.Dst...)
+	for _, d := range last.Dst {
+		seen[d] = true
+	}
+	for _, nbrs := range last.Nbrs {
+		for _, u := range nbrs {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// AllNodes returns the distinct nodes appearing anywhere in the batch.
+func (b *Batch) AllNodes() []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
+	add := func(v graph.NodeID) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for h := range b.Hops {
+		for i, d := range b.Hops[h].Dst {
+			add(d)
+			for _, u := range b.Hops[h].Nbrs[i] {
+				add(u)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumEdges reports the total sampled adjacency entries across hops.
+func (b *Batch) NumEdges() int64 {
+	var m int64
+	for h := range b.Hops {
+		for _, nbrs := range b.Hops[h].Nbrs {
+			m += int64(len(nbrs))
+		}
+	}
+	return m
+}
+
+// MergedAdjacency flattens the batch into a single adjacency map (the union
+// of all hops' sampled edges). The naive Betty/DGL-style block generator
+// works from this merged view and must rediscover per-layer structure with
+// repeated connection checks — the cost Buffalo's sampling-order bookkeeping
+// avoids.
+func (b *Batch) MergedAdjacency() map[graph.NodeID][]graph.NodeID {
+	merged := make(map[graph.NodeID][]graph.NodeID)
+	for h := range b.Hops {
+		hop := &b.Hops[h]
+		for i, d := range hop.Dst {
+			merged[d] = append(merged[d], hop.Nbrs[i]...)
+		}
+	}
+	for v, nbrs := range merged {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		w := 0
+		for i := range nbrs {
+			if i == 0 || nbrs[i] != nbrs[i-1] {
+				nbrs[w] = nbrs[i]
+				w++
+			}
+		}
+		merged[v] = nbrs[:w]
+	}
+	return merged
+}
+
+// SampleBatch draws one batch: seeds' neighbors at fanouts[0], their
+// neighbors at fanouts[1], and so on. Each node's neighbors are sampled
+// independently per hop (re-sampled every iteration, as in DGL). Duplicate
+// seeds are rejected.
+func SampleBatch(g *graph.Graph, seeds []graph.NodeID, fanouts []int, rng *rand.Rand) (*Batch, error) {
+	if len(fanouts) == 0 {
+		return nil, fmt.Errorf("sampling: need at least one fanout")
+	}
+	for _, f := range fanouts {
+		if f < 1 {
+			return nil, fmt.Errorf("sampling: fanout must be >= 1, got %d", f)
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sampling: need at least one seed")
+	}
+	seen := make(map[graph.NodeID]bool, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.NumNodes() {
+			return nil, fmt.Errorf("sampling: seed %d out of range", s)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("sampling: duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	b := &Batch{
+		Graph:   g,
+		Seeds:   append([]graph.NodeID(nil), seeds...),
+		Fanouts: append([]int(nil), fanouts...),
+		Hops:    make([]HopAdj, len(fanouts)),
+	}
+	frontier := b.Seeds
+	for h, fanout := range fanouts {
+		hop := &b.Hops[h]
+		hop.Dst = frontier
+		hop.Nbrs = make([][]graph.NodeID, len(frontier))
+		hop.Index = make(map[graph.NodeID]int, len(frontier))
+		// The next frontier carries the current destinations first (GNN
+		// layers need each node's own previous-layer state — DGL's "dst
+		// nodes are a prefix of src nodes" convention) followed by newly
+		// discovered sampled neighbors.
+		nextSeen := make(map[graph.NodeID]bool, len(frontier))
+		next := append([]graph.NodeID(nil), frontier...)
+		for _, v := range frontier {
+			nextSeen[v] = true
+		}
+		for i, v := range frontier {
+			hop.Index[v] = i
+			hop.Nbrs[i] = sampleNeighbors(g, v, fanout, rng)
+			for _, u := range hop.Nbrs[i] {
+				if !nextSeen[u] {
+					nextSeen[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return b, nil
+}
+
+// sampleNeighbors returns up to fanout distinct neighbors of v. When the
+// degree is within the fanout it returns the full (copied) list; otherwise a
+// uniform sample without replacement via partial Fisher-Yates.
+func sampleNeighbors(g *graph.Graph, v graph.NodeID, fanout int, rng *rand.Rand) []graph.NodeID {
+	nbs := g.Neighbors(v)
+	if len(nbs) <= fanout {
+		return append([]graph.NodeID(nil), nbs...)
+	}
+	pool := append([]graph.NodeID(nil), nbs...)
+	for i := 0; i < fanout; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:fanout]
+}
+
+// UniformSeeds draws count distinct nodes uniformly from g as seeds.
+func UniformSeeds(g *graph.Graph, count int, rng *rand.Rand) ([]graph.NodeID, error) {
+	n := g.NumNodes()
+	if count < 1 || count > n {
+		return nil, fmt.Errorf("sampling: seed count %d out of range [1,%d]", count, n)
+	}
+	perm := rng.Perm(n)[:count]
+	seeds := make([]graph.NodeID, count)
+	for i, p := range perm {
+		seeds[i] = graph.NodeID(p)
+	}
+	return seeds, nil
+}

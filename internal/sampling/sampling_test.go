@@ -1,0 +1,259 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"buffalo/internal/graph"
+)
+
+// ring builds a symmetric ring of n nodes with k nearest neighbors per side.
+func ring(t *testing.T, n, k int) *graph.Graph {
+	t.Helper()
+	var src, dst []graph.NodeID
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			src = append(src, graph.NodeID(v))
+			dst = append(dst, graph.NodeID((v+j)%n))
+		}
+	}
+	g, err := graph.FromEdges(n, src, dst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSampleBatchStructure(t *testing.T) {
+	g := ring(t, 20, 2) // degree 4 everywhere
+	rng := rand.New(rand.NewSource(1))
+	seeds := []graph.NodeID{0, 5, 10}
+	b, err := SampleBatch(g, seeds, []int{3, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Layers() != 2 || b.NumOutputNodes() != 3 {
+		t.Fatalf("layers=%d outputs=%d", b.Layers(), b.NumOutputNodes())
+	}
+	if len(b.Hops) != 2 {
+		t.Fatalf("hops = %d", len(b.Hops))
+	}
+	// Hop 0 destinations are exactly the seeds.
+	for i, s := range seeds {
+		if b.Hops[0].Dst[i] != s {
+			t.Fatalf("hop0 dst[%d] = %d, want %d", i, b.Hops[0].Dst[i], s)
+		}
+		if d := b.Hops[0].Degree(s); d > 3 || d < 1 {
+			t.Fatalf("sampled degree %d outside [1,3]", d)
+		}
+	}
+	// All sampled neighbors are true graph neighbors and distinct.
+	for h := range b.Hops {
+		fanout := b.Fanouts[h]
+		for i, v := range b.Hops[h].Dst {
+			nbrs := b.Hops[h].Nbrs[i]
+			if len(nbrs) > fanout {
+				t.Fatalf("hop %d: %d neighbors exceeds fanout %d", h, len(nbrs), fanout)
+			}
+			seen := map[graph.NodeID]bool{}
+			for _, u := range nbrs {
+				if !g.HasEdge(v, u) {
+					t.Fatalf("sampled non-edge %d->%d", v, u)
+				}
+				if seen[u] {
+					t.Fatalf("duplicate sampled neighbor %d of %d", u, v)
+				}
+				seen[u] = true
+			}
+		}
+	}
+}
+
+func TestSampleBatchFullDegreeKept(t *testing.T) {
+	g := ring(t, 10, 2) // degree 4
+	rng := rand.New(rand.NewSource(2))
+	b, err := SampleBatch(g, []graph.NodeID{0}, []int{10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := b.Hops[0].Degree(0); d != 4 {
+		t.Fatalf("fanout above degree must keep all 4 neighbors, got %d", d)
+	}
+	if b.Hops[0].Degree(99) != -1 {
+		t.Fatal("Degree of absent node should be -1")
+	}
+}
+
+func TestFrontiers(t *testing.T) {
+	g := ring(t, 30, 1) // plain cycle, degree 2
+	rng := rand.New(rand.NewSource(3))
+	b, err := SampleBatch(g, []graph.NodeID{0}, []int{2, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := b.Frontier(0)
+	if len(f0) != 1 || f0[0] != 0 {
+		t.Fatalf("frontier0 = %v", f0)
+	}
+	f1 := b.Frontier(1)
+	// Seed 0 carries over, plus its two ring neighbors {1, 29}.
+	if len(f1) != 3 || f1[0] != 0 {
+		t.Fatalf("frontier1 = %v, want [0 1 29]", f1)
+	}
+	f2 := b.Frontier(2)
+	// f1 carries over plus neighbors of {0,1,29} = {1,29,0,2,28,0}:
+	// distinct union {0,1,29,2,28}.
+	if len(f2) != 5 {
+		t.Fatalf("frontier2 = %v", f2)
+	}
+	all := b.AllNodes()
+	if len(all) != 5 { // {0,1,2,28,29}
+		t.Fatalf("AllNodes = %v", all)
+	}
+	if b.NumEdges() != 2+6 {
+		t.Fatalf("NumEdges = %d, want 8", b.NumEdges())
+	}
+}
+
+func TestMergedAdjacency(t *testing.T) {
+	g := ring(t, 12, 1)
+	rng := rand.New(rand.NewSource(4))
+	b, err := SampleBatch(g, []graph.NodeID{0, 6}, []int{2, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := b.MergedAdjacency()
+	// Every hop edge appears in the merged view.
+	for h := range b.Hops {
+		for i, v := range b.Hops[h].Dst {
+			for _, u := range b.Hops[h].Nbrs[i] {
+				found := false
+				for _, w := range merged[v] {
+					if w == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("merged adjacency missing %d->%d", v, u)
+				}
+			}
+		}
+	}
+	// Sorted and deduped.
+	for v, nbrs := range merged {
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i-1] >= nbrs[i] {
+				t.Fatalf("merged[%d] not strictly sorted: %v", v, nbrs)
+			}
+		}
+	}
+}
+
+func TestSampleBatchErrors(t *testing.T) {
+	g := ring(t, 10, 1)
+	rng := rand.New(rand.NewSource(5))
+	if _, err := SampleBatch(g, []graph.NodeID{0}, nil, rng); err == nil {
+		t.Error("want error for no fanouts")
+	}
+	if _, err := SampleBatch(g, []graph.NodeID{0}, []int{0}, rng); err == nil {
+		t.Error("want error for zero fanout")
+	}
+	if _, err := SampleBatch(g, nil, []int{2}, rng); err == nil {
+		t.Error("want error for no seeds")
+	}
+	if _, err := SampleBatch(g, []graph.NodeID{0, 0}, []int{2}, rng); err == nil {
+		t.Error("want error for duplicate seeds")
+	}
+	if _, err := SampleBatch(g, []graph.NodeID{99}, []int{2}, rng); err == nil {
+		t.Error("want error for out-of-range seed")
+	}
+}
+
+func TestUniformSeeds(t *testing.T) {
+	g := ring(t, 50, 1)
+	rng := rand.New(rand.NewSource(6))
+	seeds, err := UniformSeeds(g, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 10 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatal("duplicate seed")
+		}
+		seen[s] = true
+	}
+	if _, err := UniformSeeds(g, 0, rng); err == nil {
+		t.Error("want error for count 0")
+	}
+	if _, err := UniformSeeds(g, 51, rng); err == nil {
+		t.Error("want error for count > n")
+	}
+}
+
+// Property: sampled degrees never exceed min(fanout, true degree), and
+// every destination of hop h+1... every sampled neighbor of hop h appears
+// as a potential destination of hop h+1 (frontier propagation is complete).
+func TestQuickSamplingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		var src, dst []graph.NodeID
+		for i := 0; i < n*3; i++ {
+			src = append(src, graph.NodeID(rng.Intn(n)))
+			dst = append(dst, graph.NodeID(rng.Intn(n)))
+		}
+		g, err := graph.FromEdges(n, src, dst, true)
+		if err != nil {
+			return false
+		}
+		seeds, err := UniformSeeds(g, 1+rng.Intn(5), rng)
+		if err != nil {
+			return false
+		}
+		fanouts := []int{1 + rng.Intn(4), 1 + rng.Intn(4)}
+		b, err := SampleBatch(g, seeds, fanouts, rng)
+		if err != nil {
+			return false
+		}
+		for h := range b.Hops {
+			for i, v := range b.Hops[h].Dst {
+				limit := fanouts[h]
+				if d := g.Degree(v); d < limit {
+					limit = d
+				}
+				if len(b.Hops[h].Nbrs[i]) != limit {
+					return false
+				}
+			}
+		}
+		// Frontier propagation: hop1 destinations == hop0 destinations
+		// plus distinct hop0 neighbors.
+		want := map[graph.NodeID]bool{}
+		for _, d := range b.Hops[0].Dst {
+			want[d] = true
+		}
+		for _, nbrs := range b.Hops[0].Nbrs {
+			for _, u := range nbrs {
+				want[u] = true
+			}
+		}
+		if len(want) != len(b.Hops[1].Dst) {
+			return false
+		}
+		for _, d := range b.Hops[1].Dst {
+			if !want[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

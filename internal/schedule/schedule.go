@@ -1,0 +1,296 @@
+// Package schedule implements the Buffalo Scheduler (Algorithms 3 and 4):
+// degree-bucketize the batch's output layer, split the explosion bucket into
+// K micro-buckets, pack buckets into K memory-balanced groups with a greedy
+// load-balanced bin-packing pass driven by the redundancy-aware memory
+// estimator, and grow K until every group fits the device budget.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"buffalo/internal/bucket"
+	"buffalo/internal/memest"
+	"buffalo/internal/sampling"
+)
+
+// Options configure the scheduler. The zero value of optional fields uses
+// defaults.
+type Options struct {
+	// MemLimit is the device-memory budget in bytes one micro-batch's
+	// activations + features may use (the GPU capacity minus the fixed
+	// model/optimizer footprint). Required.
+	MemLimit int64
+	// KMax bounds the search; defaults to the number of output nodes.
+	KMax int
+	// KStart forces the search to begin at a given K (used by experiments
+	// that sweep micro-batch counts); defaults to 1.
+	KStart int
+	// Explosion tunes bucket-explosion detection.
+	Explosion bucket.ExplosionOptions
+	// DisableRedundancy makes the group estimator use R_group = 1 (the
+	// ablation of Eq. 1: plain linear addition of bucket estimates).
+	DisableRedundancy bool
+}
+
+// Plan is the scheduler's result: K bucket groups, each of which becomes one
+// micro-batch, plus the per-group memory estimates that justified the plan.
+type Plan struct {
+	K         int
+	Groups    []*bucket.Group
+	Estimates []int64 // redundancy-aware estimate per group, bytes
+	// Exploded reports whether the cut-off bucket was split, and into how
+	// many micro-buckets.
+	Exploded   bool
+	SplitParts int
+}
+
+// MaxEstimate returns the largest per-group estimate.
+func (p *Plan) MaxEstimate() int64 {
+	var mx int64
+	for _, e := range p.Estimates {
+		if e > mx {
+			mx = e
+		}
+	}
+	return mx
+}
+
+// Imbalance reports (max-min)/max across group estimates: the Fig 14
+// load-balance metric. Plans with one group report 0.
+func (p *Plan) Imbalance() float64 {
+	if len(p.Estimates) < 2 {
+		return 0
+	}
+	mn, mx := p.Estimates[0], p.Estimates[0]
+	for _, e := range p.Estimates[1:] {
+		if e < mn {
+			mn = e
+		}
+		if e > mx {
+			mx = e
+		}
+	}
+	if mx == 0 {
+		return 0
+	}
+	return float64(mx-mn) / float64(mx)
+}
+
+// Schedule is Algorithm 3: it searches for the smallest K whose
+// memory-balanced grouping fits the budget and returns the winning plan.
+func Schedule(b *sampling.Batch, est *memest.Estimator, opts Options) (*Plan, error) {
+	if opts.MemLimit <= 0 {
+		return nil, fmt.Errorf("schedule: MemLimit must be positive")
+	}
+	base := bucket.Bucketize(b)
+	kmax := opts.KMax
+	if kmax <= 0 {
+		kmax = base.TotalNodes()
+	}
+	k := opts.KStart
+	if k < 1 {
+		k = 1
+	}
+	// K = 1 special case (Algorithm 3's "do not do anything" branch): if the
+	// whole batch fits, the original batch is the single micro-batch.
+	if k == 1 {
+		whole := &bucket.Group{Buckets: base.Buckets}
+		m, err := groupMem(est, b, whole, opts.DisableRedundancy)
+		if err != nil {
+			return nil, err
+		}
+		if m <= opts.MemLimit {
+			return &Plan{K: 1, Groups: []*bucket.Group{whole}, Estimates: []int64{m}}, nil
+		}
+		// No K below ceil(whole/limit) can be feasible — the total memory
+		// must spread across groups each holding at most the limit — so the
+		// incremental search starts at that lower bound.
+		k = int(m / opts.MemLimit)
+		if k < 2 {
+			k = 2
+		}
+	}
+	for ; k <= kmax; k++ {
+		plan, ok, err := tryK(b, base, est, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return plan, nil
+		}
+	}
+	return nil, fmt.Errorf("schedule: no feasible plan within K <= %d for budget %d bytes", kmax, opts.MemLimit)
+}
+
+// tryK is one iteration of Algorithm 3's loop: split the explosion bucket
+// into K micro-buckets, run MemBalancedGrouping, and check the budget.
+func tryK(b *sampling.Batch, base *bucket.Bucketing, est *memest.Estimator, k int, opts Options) (*Plan, bool, error) {
+	working := base
+	exploded := false
+	splitParts := 0
+	if target, ok := base.DetectExplosion(opts.Explosion); ok {
+		split, err := base.ReplaceWithSplit(target, k)
+		if err != nil {
+			return nil, false, err
+		}
+		working = split
+		exploded = true
+		splitParts = len(split.Buckets) - len(base.Buckets) + 1
+	}
+	// §IV-A allows groups to hold "a portion of a large-sized degree-bucket"
+	// in general: any bucket whose own (redundancy-aware, singleton-group)
+	// estimate exceeds the budget can never fit a group, so split it into
+	// just enough micro-buckets. The check must use the same estimator the
+	// grouping feasibility check uses, or split buckets could still be
+	// rejected by every group.
+	for {
+		var oversized *bucket.Bucket
+		var parts int
+		for _, bu := range working.Buckets {
+			if bu.Volume() <= 1 {
+				continue
+			}
+			m, err := groupMem(est, b, &bucket.Group{Buckets: []*bucket.Bucket{bu}}, opts.DisableRedundancy)
+			if err != nil {
+				return nil, false, err
+			}
+			if m > opts.MemLimit {
+				oversized = bu
+				parts = int(m/opts.MemLimit) + 1
+				break
+			}
+		}
+		if oversized == nil {
+			break
+		}
+		split, err := working.ReplaceWithSplit(oversized, parts)
+		if err != nil {
+			return nil, false, err
+		}
+		working = split
+	}
+	groups, estimates, err := MemBalancedGrouping(b, working, est, k, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, m := range estimates {
+		if m > opts.MemLimit {
+			return nil, false, nil // infeasible at this K
+		}
+	}
+	return &Plan{
+		K: k, Groups: groups, Estimates: estimates,
+		Exploded: exploded, SplitParts: splitParts,
+	}, true, nil
+}
+
+// MemBalancedGrouping is Algorithm 4: sort buckets by estimated memory
+// descending, then place each into the group with the lowest
+// redundancy-aware estimate so far (greedy load-balanced bin packing with
+// value = weight = estimated bucket memory).
+func MemBalancedGrouping(b *sampling.Batch, bk *bucket.Bucketing, est *memest.Estimator, k int, opts Options) ([]*bucket.Group, []int64, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("schedule: K must be >= 1, got %d", k)
+	}
+	type weighted struct {
+		b *bucket.Bucket
+		m int64
+	}
+	items := make([]weighted, 0, len(bk.Buckets))
+	for _, bu := range bk.Buckets {
+		items = append(items, weighted{b: bu, m: est.BucketMem(bu.Volume(), bu.Degree)})
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].m > items[j].m })
+
+	groups := make([]*bucket.Group, k)
+	estimates := make([]int64, k)
+	for i := range groups {
+		groups[i] = &bucket.Group{}
+	}
+	for _, it := range items {
+		// Place into the group with the lowest current estimate.
+		best := 0
+		for gi := 1; gi < k; gi++ {
+			if estimates[gi] < estimates[best] {
+				best = gi
+			}
+		}
+		groups[best].Buckets = append(groups[best].Buckets, it.b)
+		m, err := groupMem(est, b, groups[best], opts.DisableRedundancy)
+		if err != nil {
+			return nil, nil, err
+		}
+		estimates[best] = m
+	}
+	// Drop empty groups (K above the bucket count).
+	outG := groups[:0]
+	outE := estimates[:0]
+	for i, g := range groups {
+		if len(g.Buckets) > 0 {
+			outG = append(outG, g)
+			outE = append(outE, estimates[i])
+		}
+	}
+	return outG, outE, nil
+}
+
+// groupMem dispatches between the redundancy-aware estimator and its
+// ablation (R_group forced to 1).
+func groupMem(est *memest.Estimator, b *sampling.Batch, g *bucket.Group, disableRedundancy bool) (int64, error) {
+	if !disableRedundancy {
+		return est.GroupMem(b, g)
+	}
+	var total int64
+	for _, bu := range g.Buckets {
+		total += est.BucketMem(bu.Volume(), bu.Degree)
+	}
+	return total, nil
+}
+
+// FirstFitGrouping is the ablation baseline for Algorithm 4: first-fit
+// decreasing bin packing against the budget, with no balance objective. It
+// returns however many groups first-fit opens.
+func FirstFitGrouping(b *sampling.Batch, bk *bucket.Bucketing, est *memest.Estimator, memLimit int64) ([]*bucket.Group, []int64, error) {
+	type weighted struct {
+		b *bucket.Bucket
+		m int64
+	}
+	items := make([]weighted, 0, len(bk.Buckets))
+	for _, bu := range bk.Buckets {
+		items = append(items, weighted{b: bu, m: est.BucketMem(bu.Volume(), bu.Degree)})
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].m > items[j].m })
+	var groups []*bucket.Group
+	var estimates []int64
+	for _, it := range items {
+		placed := false
+		for gi, g := range groups {
+			g.Buckets = append(g.Buckets, it.b)
+			m, err := est.GroupMem(b, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			if m <= memLimit {
+				estimates[gi] = m
+				placed = true
+				break
+			}
+			g.Buckets = g.Buckets[:len(g.Buckets)-1]
+		}
+		if !placed {
+			g := &bucket.Group{Buckets: []*bucket.Bucket{it.b}}
+			m, err := est.GroupMem(b, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			if m > memLimit {
+				return nil, nil, fmt.Errorf("schedule: bucket %s alone exceeds the budget (%d > %d)",
+					it.b.Label(), m, memLimit)
+			}
+			groups = append(groups, g)
+			estimates = append(estimates, m)
+		}
+	}
+	return groups, estimates, nil
+}

@@ -1,0 +1,316 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"buffalo/internal/bucket"
+	"buffalo/internal/datagen"
+	"buffalo/internal/device"
+	"buffalo/internal/gnn"
+	"buffalo/internal/graph"
+	"buffalo/internal/memest"
+	"buffalo/internal/sampling"
+)
+
+func setup(t testing.TB, dataset string, seeds int, fanouts []int, agg gnn.Aggregator) (*sampling.Batch, *memest.Estimator) {
+	t.Helper()
+	ds, err := datagen.Load(dataset, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	sd, err := sampling.UniformSeeds(ds.Graph, seeds, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampling.SampleBatch(ds.Graph, sd, fanouts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gnn.Config{Arch: gnn.SAGE, Aggregator: agg, Layers: len(fanouts),
+		InDim: 64, Hidden: 64, OutDim: 16, Seed: 1}
+	est, err := memest.New(memest.SpecFromConfig(cfg),
+		memest.ProfileBatch(b, ds.Graph.ApproxClusteringCoefficient(1, 2000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, est
+}
+
+// assertValidPlan checks the scheduler's structural invariants: the groups'
+// output nodes are disjoint and cover the batch's seeds exactly.
+func assertValidPlan(t *testing.T, b *sampling.Batch, p *Plan) {
+	t.Helper()
+	if p.K != len(p.Groups) || len(p.Estimates) != len(p.Groups) {
+		t.Fatalf("plan shape: K=%d groups=%d estimates=%d", p.K, len(p.Groups), len(p.Estimates))
+	}
+	seen := map[graph.NodeID]bool{}
+	total := 0
+	for _, g := range p.Groups {
+		for _, v := range g.Nodes() {
+			if seen[v] {
+				t.Fatalf("node %d in two groups", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != len(b.Seeds) {
+		t.Fatalf("groups cover %d nodes, want %d", total, len(b.Seeds))
+	}
+	for _, s := range b.Seeds {
+		if !seen[s] {
+			t.Fatalf("seed %d missing from plan", s)
+		}
+	}
+}
+
+func TestScheduleWholeBatchFits(t *testing.T) {
+	b, est := setup(t, "ogbn-arxiv", 300, []int{10, 25}, gnn.Mean)
+	p, err := Schedule(b, est, Options{MemLimit: 100 * device.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 1 {
+		t.Fatalf("huge budget should give K=1, got %d", p.K)
+	}
+	assertValidPlan(t, b, p)
+}
+
+func TestScheduleSplitsUnderPressure(t *testing.T) {
+	b, est := setup(t, "ogbn-arxiv", 1000, []int{10, 25}, gnn.LSTM)
+	whole, err := est.BatchMem(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := whole / 4
+	p, err := Schedule(b, est, Options{MemLimit: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K < 2 {
+		t.Fatalf("quarter budget should need K >= 2, got %d", p.K)
+	}
+	assertValidPlan(t, b, p)
+	for i, m := range p.Estimates {
+		if m > budget {
+			t.Fatalf("group %d estimate %d exceeds budget %d", i, m, budget)
+		}
+	}
+	if !p.Exploded {
+		t.Error("arxiv under pressure should split the explosion bucket")
+	}
+}
+
+func TestScheduleBalance(t *testing.T) {
+	b, est := setup(t, "ogbn-arxiv", 1500, []int{10, 25}, gnn.LSTM)
+	whole, err := est.BatchMem(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Schedule(b, est, Options{MemLimit: whole / 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidPlan(t, b, p)
+	// Fig 14 reports 4-6% spread; allow a loose 35% at reproduction scale.
+	if im := p.Imbalance(); im > 0.35 {
+		t.Errorf("imbalance %.2f too high (estimates %v)", im, p.Estimates)
+	}
+}
+
+func TestScheduleMinimizesK(t *testing.T) {
+	b, est := setup(t, "ogbn-arxiv", 800, []int{10, 25}, gnn.LSTM)
+	whole, err := est.BatchMem(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Schedule(b, est, Options{MemLimit: whole / 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K-1 groups must NOT have been feasible: verify by re-running with
+	// KStart pinned below and confirming the same K wins.
+	if p.K > 1 {
+		p2, err := Schedule(b, est, Options{MemLimit: whole / 3, KStart: p.K - 1, KMax: p.K - 1})
+		if err == nil {
+			// If a plan exists at K-1 it must violate the budget; Schedule
+			// returning one would be a bug.
+			for _, m := range p2.Estimates {
+				if m > whole/3 {
+					t.Fatal("scheduler returned an over-budget plan")
+				}
+			}
+			t.Fatalf("K=%d accepted but scheduler chose K=%d", p.K-1, p.K)
+		}
+	}
+}
+
+func TestScheduleInfeasible(t *testing.T) {
+	b, est := setup(t, "ogbn-arxiv", 200, []int{10, 25}, gnn.LSTM)
+	if _, err := Schedule(b, est, Options{MemLimit: 1}); err == nil {
+		t.Fatal("1-byte budget cannot be feasible")
+	}
+	if _, err := Schedule(b, est, Options{MemLimit: 0}); err == nil {
+		t.Fatal("want error for zero budget")
+	}
+}
+
+func TestScheduleKStart(t *testing.T) {
+	b, est := setup(t, "ogbn-arxiv", 500, []int{10, 25}, gnn.Mean)
+	p, err := Schedule(b, est, Options{MemLimit: 100 * device.GB, KStart: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 4 {
+		t.Fatalf("KStart=4 with ample budget should yield K=4, got %d", p.K)
+	}
+	assertValidPlan(t, b, p)
+}
+
+func TestMemBalancedGroupingErrors(t *testing.T) {
+	b, est := setup(t, "cora", 100, []int{5, 5}, gnn.Mean)
+	bk := bucket.Bucketize(b)
+	if _, _, err := MemBalancedGrouping(b, bk, est, 0, Options{}); err == nil {
+		t.Fatal("want error for K=0")
+	}
+	// K above bucket count: empty groups dropped.
+	groups, ests, err := MemBalancedGrouping(b, bk, est, len(bk.Buckets)+5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != len(bk.Buckets) {
+		t.Fatalf("got %d groups for %d buckets", len(groups), len(bk.Buckets))
+	}
+	if len(ests) != len(groups) {
+		t.Fatal("estimates misaligned")
+	}
+}
+
+func TestDisableRedundancyAblation(t *testing.T) {
+	b, est := setup(t, "ogbn-arxiv", 800, []int{10, 25}, gnn.LSTM)
+	whole, err := est.BatchMem(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := whole / 3
+	aware, err := Schedule(b, est, Options{MemLimit: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Schedule(b, est, Options{MemLimit: budget, DisableRedundancy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ignoring redundancy (R=1) over-estimates group memory, so the naive
+	// plan needs at least as many micro-batches.
+	if naive.K < aware.K {
+		t.Fatalf("linear estimation chose fewer groups (%d) than redundancy-aware (%d)", naive.K, aware.K)
+	}
+}
+
+func TestFirstFitGrouping(t *testing.T) {
+	b, est := setup(t, "ogbn-arxiv", 800, []int{10, 25}, gnn.LSTM)
+	whole, err := est.BatchMem(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := whole / 3
+	base := bucket.Bucketize(b)
+	// First-fit needs the explosion bucket split to have any chance.
+	if target, ok := base.DetectExplosion(bucket.ExplosionOptions{}); ok {
+		base, err = base.ReplaceWithSplit(target, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	groups, ests, err := FirstFitGrouping(b, base, est, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	for i, m := range ests {
+		if m > budget {
+			t.Fatalf("group %d over budget", i)
+		}
+	}
+	if _, _, err := FirstFitGrouping(b, base, est, 1); err == nil {
+		t.Fatal("want error when a single bucket exceeds the budget")
+	}
+}
+
+// Property: for random budgets, plans are valid partitions and respect the
+// budget.
+func TestQuickSchedulePartition(t *testing.T) {
+	b, est := setup(t, "ogbn-arxiv", 600, []int{10, 25}, gnn.LSTM)
+	whole, err := est.BatchMem(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		budget := whole/8 + rng.Int63n(whole)
+		p, err := Schedule(b, est, Options{MemLimit: budget})
+		if err != nil {
+			return false
+		}
+		seen := map[graph.NodeID]bool{}
+		total := 0
+		for gi, g := range p.Groups {
+			if p.Estimates[gi] > budget {
+				return false
+			}
+			for _, v := range g.Nodes() {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == len(b.Seeds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scheduling is deterministic: identical batch, estimator and options give
+// identical plans (bucket labels, node assignment, estimates).
+func TestScheduleDeterministic(t *testing.T) {
+	b, est := setup(t, "ogbn-arxiv", 600, []int{10, 25}, gnn.LSTM)
+	whole, err := est.BatchMem(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MemLimit: whole / 3}
+	p1, err := Schedule(b, est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Schedule(b, est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.K != p2.K {
+		t.Fatalf("K differs: %d vs %d", p1.K, p2.K)
+	}
+	for i := range p1.Groups {
+		n1, n2 := p1.Groups[i].Nodes(), p2.Groups[i].Nodes()
+		if len(n1) != len(n2) {
+			t.Fatalf("group %d sizes differ", i)
+		}
+		for j := range n1 {
+			if n1[j] != n2[j] {
+				t.Fatalf("group %d node %d differs", i, j)
+			}
+		}
+		if p1.Estimates[i] != p2.Estimates[i] {
+			t.Fatalf("group %d estimates differ", i)
+		}
+	}
+}

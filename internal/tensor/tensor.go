@@ -1,0 +1,355 @@
+// Package tensor implements the dense float32 matrix kernel used by the
+// neural-network stack: allocation, GEMM, transpose products, elementwise
+// maps, row/column reductions, and row-wise softmax. It is deliberately
+// minimal — just the operations GraphSAGE/GAT forward and backward passes
+// need — and allocation-conscious so the simulated-GPU memory ledger can
+// account for every buffer a layer creates.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len Rows*Cols, row-major
+}
+
+// New allocates a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols matrix.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data len %d != %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Bytes reports the storage footprint of the matrix payload.
+func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 4 }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice view (aliasing the matrix storage).
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CopyFrom copies src's contents into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// MatMul computes a @ b into a new matrix.
+func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b, false)
+	return out
+}
+
+// MatMulInto computes out = a @ b, or out += a @ b when accumulate is true.
+// Inner loops run in i-k-j order for cache-friendly row access; large
+// products parallelize across output rows (they are disjoint).
+func MatMulInto(out, a, b *Matrix, accumulate bool) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shapes %dx%d @ %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	if !accumulate {
+		out.Zero()
+	}
+	parallelRows(a.Rows, int64(a.Rows)*int64(a.Cols)*int64(b.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k := 0; k < a.Cols; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j := range brow {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+}
+
+// parallelFlopThreshold is the scalar-multiply count above which the GEMM
+// kernels fan out across GOMAXPROCS goroutines.
+const parallelFlopThreshold = 1 << 21
+
+// parallelRows runs fn over [0, n) row ranges, in parallel when the work
+// estimate justifies goroutine overhead.
+func parallelRows(n int, flops int64, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelFlopThreshold || workers < 2 || n < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulATB computes aᵀ @ b into a new matrix (used for weight gradients).
+func MatMulATB(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	MatMulATBInto(out, a, b, false)
+	return out
+}
+
+// MatMulATBInto computes out = aᵀ @ b, or out += aᵀ @ b when accumulate.
+func MatMulATBInto(out, a, b *Matrix, accumulate bool) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulATB shapes %dx%dᵀ @ %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	if !accumulate {
+		out.Zero()
+	}
+	// Parallelize over output rows (columns of a): each worker owns a
+	// disjoint slice of out and scans all of a/b.
+	parallelRows(a.Cols, int64(a.Rows)*int64(a.Cols)*int64(b.Cols), func(lo, hi int) {
+		for r := 0; r < a.Rows; r++ {
+			arow := a.Row(r)
+			brow := b.Row(r)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Row(i)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulABT computes a @ bᵀ into a new matrix (used for input gradients).
+func MatMulABT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulABTInto(out, a, b, false)
+	return out
+}
+
+// MatMulABTInto computes out = a @ bᵀ, or out += a @ bᵀ when accumulate.
+func MatMulABTInto(out, a, b *Matrix, accumulate bool) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulABT shapes %dx%d @ %dx%dᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	if !accumulate {
+		out.Zero()
+	}
+	parallelRows(a.Rows, int64(a.Rows)*int64(a.Cols)*int64(b.Rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float32
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] += s
+			}
+		}
+	})
+}
+
+// Transpose returns a new matrix mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	checkSameShape("Add", a, b)
+	out := a.Clone()
+	out.AddInPlace(b)
+	return out
+}
+
+// AddInPlace computes m += other elementwise.
+func (m *Matrix) AddInPlace(other *Matrix) {
+	checkSameShape("AddInPlace", m, other)
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// AddScaled computes m += alpha * other elementwise.
+func (m *Matrix) AddScaled(other *Matrix, alpha float32) {
+	checkSameShape("AddScaled", m, other)
+	for i, v := range other.Data {
+		m.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (m *Matrix) Scale(alpha float32) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// Hadamard returns a ⊙ b (elementwise product).
+func Hadamard(a, b *Matrix) *Matrix {
+	checkSameShape("Hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// HadamardInto computes out = a ⊙ b, or out += a ⊙ b when accumulate.
+func HadamardInto(out, a, b *Matrix, accumulate bool) {
+	checkSameShape("HadamardInto", a, b)
+	checkSameShape("HadamardInto out", out, a)
+	if accumulate {
+		for i, v := range a.Data {
+			out.Data[i] += v * b.Data[i]
+		}
+		return
+	}
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+}
+
+// AddRowVector adds vec (1 x Cols) to every row of m (bias broadcast).
+func (m *Matrix) AddRowVector(vec *Matrix) {
+	if vec.Rows != 1 || vec.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector shape %dx%d to %dx%d", vec.Rows, vec.Cols, m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += vec.Data[j]
+		}
+	}
+}
+
+// SumRows returns the 1 x Cols column-wise sum of m (bias gradients).
+func (m *Matrix) SumRows() *Matrix {
+	out := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// Apply maps f over every element in place.
+func (m *Matrix) Apply(f func(float32) float32) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// MaxAbs returns the maximum absolute element, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float32 {
+	var mx float32
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// SoftmaxRows computes a numerically stable row-wise softmax into a new matrix.
+func SoftmaxRows(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		mx := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float32
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - mx)))
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+func checkSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,250 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"buffalo/internal/block"
+	"buffalo/internal/datagen"
+	"buffalo/internal/device"
+	"buffalo/internal/gnn"
+	"buffalo/internal/memest"
+	"buffalo/internal/nn"
+	"buffalo/internal/sampling"
+	"buffalo/internal/schedule"
+	"buffalo/internal/tensor"
+)
+
+// DataParallel trains with Buffalo scheduling across a simulated multi-GPU
+// cluster (§V-G): micro-batches are scheduled against the per-GPU budget,
+// dealt round-robin to the devices, executed "concurrently" (the iteration's
+// GPU-compute wall time is the maximum across devices, since real devices
+// run in parallel), and gradients are combined with a simulated ring
+// all-reduce before the optimizer step.
+type DataParallel struct {
+	Cfg     Config
+	Data    *datagen.Dataset
+	Cluster *device.Cluster
+
+	// replicas[i] is GPU i's model copy; replica 0 is the authoritative one
+	// the optimizer updates.
+	replicas []*gnn.Model
+	opt      nn.Optimizer
+	rng      *rand.Rand
+	clusterC float64
+	fixed    []*device.Allocation
+}
+
+// NewDataParallel builds a data-parallel run over gpus identical devices.
+// Only the Buffalo system is supported: the paper's multi-GPU evaluation
+// repeats the Buffalo pipeline with per-GPU budgets.
+func NewDataParallel(ds *datagen.Dataset, cfg Config, gpus int) (*DataParallel, error) {
+	if cfg.System != Buffalo {
+		return nil, fmt.Errorf("train: data-parallel supports the buffalo system, got %q", cfg.System)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gpus < 1 {
+		return nil, fmt.Errorf("train: need at least 1 GPU, got %d", gpus)
+	}
+	cluster, err := device.NewCluster("gpu", gpus, cfg.MemBudget)
+	if err != nil {
+		return nil, err
+	}
+	dp := &DataParallel{
+		Cfg: cfg, Data: ds, Cluster: cluster,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		clusterC: ds.Graph.ApproxClusteringCoefficient(cfg.Seed, 2000),
+	}
+	for i := 0; i < gpus; i++ {
+		m, err := gnn.New(cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		dp.replicas = append(dp.replicas, m)
+		fixed := 2 * m.Params.Bytes()
+		a, err := cluster.GPU(i).Alloc("model+optimizer", fixed)
+		if err != nil {
+			return nil, fmt.Errorf("train: replica %d does not fit: %w", i, err)
+		}
+		dp.fixed = append(dp.fixed, a)
+	}
+	lr := cfg.LearningRate
+	if lr == 0 {
+		lr = 0.01
+	}
+	dp.opt = nn.NewAdam(lr)
+	return dp, nil
+}
+
+// Close releases the fixed device allocations.
+func (dp *DataParallel) Close() {
+	for _, a := range dp.fixed {
+		a.Free()
+	}
+	dp.fixed = nil
+}
+
+// MultiGPUResult extends IterationResult with per-device timing.
+type MultiGPUResult struct {
+	IterationResult
+	PerGPUCompute []time.Duration
+}
+
+// RunIteration executes one data-parallel iteration.
+func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
+	seeds, err := sampling.UniformSeeds(dp.Data.Graph, dp.Cfg.BatchSize, dp.rng)
+	if err != nil {
+		return nil, err
+	}
+	b, err := sampling.SampleBatch(dp.Data.Graph, seeds, dp.Cfg.Fanouts, dp.rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &MultiGPUResult{}
+	mainModel := dp.replicas[0]
+
+	// Schedule against the per-GPU activation budget (same for all devices).
+	est, err := memestFor(dp.Cfg.Model, b, dp.clusterC)
+	if err != nil {
+		return nil, err
+	}
+	gpu0 := dp.Cluster.GPU(0)
+	limit := (gpu0.Capacity() - gpu0.Live()) * 9 / 10
+	t0 := time.Now()
+	plan, err := schedule.Schedule(b, est, schedule.Options{
+		MemLimit: limit,
+		KStart:   dp.Cfg.MicroBatches,
+	})
+	res.Phases.Scheduling = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Replicate parameters and zero all gradients.
+	for i, m := range dp.replicas {
+		if i > 0 {
+			if err := m.Params.CopyValuesFrom(mainModel.Params); err != nil {
+				return nil, err
+			}
+		}
+		m.Params.ZeroGrad()
+	}
+
+	// Deal micro-batches round-robin; execute, tracking per-GPU compute.
+	perCompute := make([]time.Duration, dp.Cluster.Size())
+	var lossSum float32
+	for gi, g := range plan.Groups {
+		dev := gi % dp.Cluster.Size()
+		gpu := dp.Cluster.GPU(dev)
+		model := dp.replicas[dev]
+		tB := time.Now()
+		mb, err := block.Generate(b, g.Nodes())
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.BlockGen += time.Since(tB)
+		mLoss, bytes, compute, err := dp.executeOn(gpu, model, b, mb)
+		if err != nil {
+			return nil, err
+		}
+		lossSum += mLoss
+		perCompute[dev] += compute
+		res.PerMicroBytes = append(res.PerMicroBytes, bytes)
+		res.TotalNodes += mb.NumNodes()
+	}
+
+	// All-reduce gradients into replica 0 and step once.
+	for i := 1; i < len(dp.replicas); i++ {
+		if err := mainModel.Params.AddGradsFrom(dp.replicas[i].Params); err != nil {
+			return nil, err
+		}
+	}
+	res.Phases.Communication = dp.Cluster.AllReduce(mainModel.Params.Bytes() / 2)
+	tStep := time.Now()
+	dp.opt.Step(mainModel.Params)
+	perCompute[0] += time.Duration(float64(time.Since(tStep)) / dp.Cfg.gpuSpeedup())
+
+	// Devices run concurrently: the compute phase costs the slowest device.
+	var maxCompute time.Duration
+	for _, c := range perCompute {
+		if c > maxCompute {
+			maxCompute = c
+		}
+	}
+	res.Phases.GPUCompute = maxCompute
+	res.PerGPUCompute = perCompute
+	res.K = len(plan.Groups)
+	res.Loss = lossSum
+	var peak int64
+	var transfer time.Duration
+	for i := 0; i < dp.Cluster.Size(); i++ {
+		st := dp.Cluster.GPU(i).Stats()
+		if st.Peak > peak {
+			peak = st.Peak
+		}
+		if st.TransferTime > transfer {
+			transfer = st.TransferTime
+		}
+	}
+	res.Peak = peak
+	res.Phases.DataLoading = transfer
+	return res, nil
+}
+
+// executeOn runs one micro-batch on one device/replica pair.
+func (dp *DataParallel) executeOn(gpu *device.GPU, model *gnn.Model, b *sampling.Batch, mb *block.MicroBatch) (loss float32, microBytes int64, compute time.Duration, err error) {
+	inDim := dp.Cfg.Model.InDim
+	inputs := mb.InputNodes()
+	feats := tensor.New(len(inputs), inDim)
+	for i, v := range inputs {
+		copy(feats.Row(i), dp.Data.FeatureRow(v)[:inDim])
+	}
+	featAlloc, err := gpu.Alloc("features", feats.Bytes())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer featAlloc.Free()
+	gpu.TransferH2D(feats.Bytes())
+
+	var allocs []*device.Allocation
+	defer func() {
+		for _, a := range allocs {
+			a.Free()
+		}
+	}()
+	t0 := time.Now()
+	fwd, err := model.ForwardWithHook(mb, feats, func(layer int, planned int64) error {
+		a, err := gpu.Alloc(fmt.Sprintf("activations/layer%d", layer), planned)
+		if err != nil {
+			return err
+		}
+		allocs = append(allocs, a)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	labels := make([]int32, len(mb.Outputs))
+	for i, v := range mb.Outputs {
+		labels[i] = dp.Data.Labels[v]
+	}
+	scale := float32(len(mb.Outputs)) / float32(b.NumOutputNodes())
+	mLoss, dLogits, err := nn.CrossEntropy(fwd.Logits, labels, scale)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := model.Backward(fwd, dLogits); err != nil {
+		return 0, 0, 0, err
+	}
+	compute = time.Duration(float64(time.Since(t0)) / dp.Cfg.gpuSpeedup())
+	gpu.AddComputeTime(compute)
+	return mLoss, feats.Bytes() + fwd.ActivationBytes(), compute, nil
+}
+
+// memestFor builds the analytical memory estimator for a model/batch pair.
+func memestFor(cfg gnn.Config, b *sampling.Batch, c float64) (*memest.Estimator, error) {
+	return memest.New(memest.SpecFromConfig(cfg), memest.ProfileBatch(b, c))
+}

@@ -1,0 +1,560 @@
+// Package train runs GNN training against the simulated GPU, implementing
+// both the baseline pipelines (DGL/PyG full-batch, Betty, Random/Range/METIS
+// batch-level partitioning) and Buffalo's Algorithm 2: schedule bucket
+// groups, build a micro-batch per group, and accumulate gradients across
+// micro-batches before one optimizer step.
+//
+// Every tensor a CUDA framework would place in device memory is charged to
+// the GPU ledger: model parameters, gradients and optimizer state up front;
+// per micro-batch, the input-feature tensor and the layer activations
+// (charged layer by layer during the forward pass, so OOM faults fire
+// exactly where a CUDA allocation would fail). Phase timings follow Fig 11's
+// component breakdown.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"buffalo/internal/baseline/betty"
+	"buffalo/internal/block"
+	"buffalo/internal/bucket"
+	"buffalo/internal/datagen"
+	"buffalo/internal/device"
+	"buffalo/internal/gnn"
+	"buffalo/internal/graph"
+	"buffalo/internal/memest"
+	"buffalo/internal/nn"
+	"buffalo/internal/partition"
+	"buffalo/internal/sampling"
+	"buffalo/internal/schedule"
+	"buffalo/internal/tensor"
+)
+
+// System selects the training pipeline.
+type System string
+
+// Supported systems. DGL and PyG are whole-batch (no partitioning); Betty
+// and Buffalo partition per their papers; Random/Range/Metis are the Fig 16
+// batch-level partitioning strategies.
+const (
+	DGL     System = "dgl"
+	PyG     System = "pyg"
+	Betty   System = "betty"
+	Buffalo System = "buffalo"
+	RandomP System = "random"
+	RangeP  System = "range"
+	MetisP  System = "metis"
+)
+
+// pygComputePenalty scales PyG's recorded GPU-compute phase. The paper's
+// cited benchmark reports DGL at ~2x PyG's training throughput for GNNs on
+// identical hardware; the simulated clock reflects that constant.
+const pygComputePenalty = 2.0
+
+// Phases is the Fig 11 component breakdown of one iteration.
+type Phases struct {
+	Scheduling      time.Duration // Buffalo scheduler
+	REGConstruction time.Duration // Betty
+	MetisPartition  time.Duration // Betty / METIS-strategy partitioning
+	ConnectionCheck time.Duration // naive block generation, check part
+	BlockGen        time.Duration // block construction (fast gen or naive build part)
+	DataLoading     time.Duration // simulated H2D transfers
+	GPUCompute      time.Duration // forward + backward + step
+	Communication   time.Duration // multi-GPU all-reduce
+}
+
+// Total sums all phases.
+func (p Phases) Total() time.Duration {
+	return p.Scheduling + p.REGConstruction + p.MetisPartition +
+		p.ConnectionCheck + p.BlockGen + p.DataLoading + p.GPUCompute + p.Communication
+}
+
+// Add accumulates other's components into p (for aggregating across
+// iterations in reports).
+func (p *Phases) Add(other Phases) {
+	p.Scheduling += other.Scheduling
+	p.REGConstruction += other.REGConstruction
+	p.MetisPartition += other.MetisPartition
+	p.ConnectionCheck += other.ConnectionCheck
+	p.BlockGen += other.BlockGen
+	p.DataLoading += other.DataLoading
+	p.GPUCompute += other.GPUCompute
+	p.Communication += other.Communication
+}
+
+// Config describes a training session.
+type Config struct {
+	System  System
+	Model   gnn.Config
+	Fanouts []int
+	// BatchSize is the number of seed (output) nodes sampled per iteration.
+	BatchSize int
+	// MemBudget is the simulated GPU capacity in bytes.
+	MemBudget int64
+	// MicroBatches fixes K (> 0) instead of letting the system search for
+	// the smallest feasible K against the budget.
+	MicroBatches int
+	// LearningRate for the Adam optimizer; 0 defaults to 0.01.
+	LearningRate float32
+	// GPUSpeedup is the modeled ratio of accelerator math throughput to
+	// this host's single-core throughput: the simulated kernel clock
+	// advances by measured-CPU-time / GPUSpeedup. 0 defaults to 100,
+	// roughly one GPU vs one CPU core on dense float32 math. This is what
+	// keeps the Fig 5/11 phase ratios faithful — partitioning and block
+	// generation run at native speed on both platforms, while the GNN math
+	// the paper runs on CUDA cores must not be billed at CPU speed.
+	GPUSpeedup float64
+	Seed       int64
+
+	// Ablation knobs.
+	DisableRedundancy bool // Buffalo: use R_group = 1 in the estimator
+	NaiveBlockGen     bool // Buffalo: use the connection-check generator
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch c.System {
+	case DGL, PyG, Betty, Buffalo, RandomP, RangeP, MetisP:
+	default:
+		return fmt.Errorf("train: unknown system %q", c.System)
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if len(c.Fanouts) != c.Model.Layers {
+		return fmt.Errorf("train: %d fanouts for %d layers", len(c.Fanouts), c.Model.Layers)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("train: BatchSize must be >= 1")
+	}
+	if c.MemBudget < 1 {
+		return fmt.Errorf("train: MemBudget must be >= 1")
+	}
+	return nil
+}
+
+// IterationResult reports one training iteration.
+type IterationResult struct {
+	Loss     float32
+	Accuracy float64
+	K        int   // micro-batches executed
+	Peak     int64 // device peak bytes during the iteration
+	// PerMicroBytes is each micro-batch's features+activations footprint
+	// (Fig 14's load-balance data).
+	PerMicroBytes []int64
+	// TotalNodes is the summed node count across micro-batches (Fig 16's
+	// computation-efficiency numerator).
+	TotalNodes int64
+	Phases     Phases
+}
+
+// Session is a live training run on one simulated GPU.
+type Session struct {
+	Cfg   Config
+	Data  *datagen.Dataset
+	Model *gnn.Model
+	Opt   nn.Optimizer
+	GPU   *device.GPU
+
+	rng        *rand.Rand
+	clusterC   float64
+	fixedAlloc *device.Allocation // params + grads + optimizer state
+}
+
+// NewSession builds a session: model, optimizer, device, and the fixed
+// device-resident footprint. It fails with an OOM error if the model itself
+// does not fit the budget.
+func NewSession(ds *datagen.Dataset, cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model.InDim > ds.FeatDim() {
+		return nil, fmt.Errorf("train: model InDim %d exceeds dataset feature dim %d", cfg.Model.InDim, ds.FeatDim())
+	}
+	if cfg.Model.OutDim < ds.NumClasses {
+		return nil, fmt.Errorf("train: model OutDim %d below %d classes", cfg.Model.OutDim, ds.NumClasses)
+	}
+	model, err := gnn.New(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	lr := cfg.LearningRate
+	if lr == 0 {
+		lr = 0.01
+	}
+	opt := nn.NewAdam(lr)
+	gpu := device.NewGPU(string(cfg.System), cfg.MemBudget)
+	// Fixed footprint: parameters + gradients + Adam moments (2x params).
+	fixed := model.Params.Bytes() + model.Params.Bytes()
+	alloc, err := gpu.Alloc("model+optimizer", fixed)
+	if err != nil {
+		return nil, fmt.Errorf("train: model does not fit the device: %w", err)
+	}
+	s := &Session{
+		Cfg: cfg, Data: ds, Model: model, Opt: opt, GPU: gpu,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		clusterC:   ds.Graph.ApproxClusteringCoefficient(cfg.Seed, 2000),
+		fixedAlloc: alloc,
+	}
+	return s, nil
+}
+
+// Close releases the session's fixed device allocation.
+func (s *Session) Close() {
+	if s.fixedAlloc != nil {
+		s.fixedAlloc.Free()
+		s.fixedAlloc = nil
+	}
+}
+
+// activationBudget is the device memory available to one micro-batch's
+// features + activations.
+func (s *Session) activationBudget() int64 {
+	return s.GPU.Capacity() - s.GPU.Live()
+}
+
+// SampleBatch draws the next iteration's batch.
+func (s *Session) SampleBatch() (*sampling.Batch, error) {
+	seeds, err := sampling.UniformSeeds(s.Data.Graph, s.Cfg.BatchSize, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	return sampling.SampleBatch(s.Data.Graph, seeds, s.Cfg.Fanouts, s.rng)
+}
+
+// estimator builds the analytical memory model for a batch.
+func (s *Session) estimator(b *sampling.Batch) (*memest.Estimator, error) {
+	return memest.New(memest.SpecFromConfig(s.Cfg.Model), memest.ProfileBatch(b, s.clusterC))
+}
+
+// RunIteration executes one full training iteration: sample, plan, execute
+// every micro-batch with gradient accumulation, and step the optimizer.
+func (s *Session) RunIteration() (*IterationResult, error) {
+	b, err := s.SampleBatch()
+	if err != nil {
+		return nil, err
+	}
+	return s.RunIterationOn(b)
+}
+
+// RunIterationOn is RunIteration against a pre-sampled batch (used by
+// experiments that compare systems on identical batches).
+func (s *Session) RunIterationOn(b *sampling.Batch) (*IterationResult, error) {
+	res := &IterationResult{}
+	parts, err := s.plan(b, res)
+	if err != nil {
+		return nil, err
+	}
+	s.GPU.ResetPeak()
+	s.GPU.ResetClocks()
+	s.Model.Params.ZeroGrad()
+
+	var lossSum float32
+	var correct, counted int
+	for _, outputs := range parts {
+		mb, err := s.buildMicroBatch(b, outputs, res)
+		if err != nil {
+			return nil, err
+		}
+		mLoss, mAcc, bytes, err := s.executeMicroBatch(b, mb, res)
+		if err != nil {
+			return nil, err
+		}
+		lossSum += mLoss
+		correct += int(mAcc * float64(len(outputs)))
+		counted += len(outputs)
+		res.PerMicroBytes = append(res.PerMicroBytes, bytes)
+		res.TotalNodes += mb.NumNodes()
+	}
+	tStep := time.Now()
+	s.Opt.Step(s.Model.Params)
+	s.addCompute(time.Since(tStep), res)
+
+	res.K = len(parts)
+	res.Loss = lossSum
+	if counted > 0 {
+		res.Accuracy = float64(correct) / float64(counted)
+	}
+	res.Peak = s.GPU.Peak()
+	res.Phases.DataLoading = s.GPU.Stats().TransferTime
+	return res, nil
+}
+
+// plan produces the micro-batch output partitions per the configured system.
+func (s *Session) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeID, error) {
+	switch s.Cfg.System {
+	case DGL, PyG:
+		return [][]graph.NodeID{b.Seeds}, nil
+	case Buffalo:
+		est, err := s.estimator(b)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		// Keep 10% headroom under the remaining device memory: the
+		// analytical estimate carries a few percent of error and transient
+		// buffers (loss, logits gradient) ride on top of the activations.
+		limit := s.activationBudget() * 9 / 10
+		plan, err := schedule.Schedule(b, est, schedule.Options{
+			MemLimit:          limit,
+			KStart:            s.Cfg.MicroBatches,
+			KMax:              s.fixedKMax(b),
+			DisableRedundancy: s.Cfg.DisableRedundancy,
+		})
+		res.Phases.Scheduling += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		parts := make([][]graph.NodeID, len(plan.Groups))
+		for i, g := range plan.Groups {
+			parts[i] = g.Nodes()
+		}
+		return parts, nil
+	case Betty:
+		est, err := s.estimator(b)
+		if err != nil {
+			return nil, err
+		}
+		var plan *betty.Plan
+		if s.Cfg.MicroBatches > 0 {
+			plan, err = betty.Partition(b, s.Cfg.MicroBatches, s.Cfg.Seed)
+		} else {
+			plan, err = betty.FindPlan(b, est, s.activationBudget(), 0, s.Cfg.Seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.REGConstruction += plan.REGTime
+		res.Phases.MetisPartition += plan.MetisTime
+		return plan.Parts, nil
+	case RandomP, RangeP, MetisP:
+		k := s.Cfg.MicroBatches
+		if k < 1 {
+			k = 1
+		}
+		var strat partition.Strategy
+		switch s.Cfg.System {
+		case RandomP:
+			strat = partition.Random{}
+		case RangeP:
+			strat = partition.Range{}
+		default:
+			strat = partition.Metis{}
+		}
+		t0 := time.Now()
+		parts, err := strat.Partition(b, k, s.Cfg.Seed)
+		res.Phases.MetisPartition += time.Since(t0)
+		return parts, err
+	}
+	return nil, fmt.Errorf("train: unknown system %q", s.Cfg.System)
+}
+
+// fixedKMax bounds Buffalo's K search when MicroBatches pins K exactly.
+func (s *Session) fixedKMax(b *sampling.Batch) int {
+	if s.Cfg.MicroBatches > 0 {
+		return s.Cfg.MicroBatches
+	}
+	return len(b.Seeds)
+}
+
+// buildMicroBatch constructs the blocks for one partition. Only Buffalo uses
+// the fast sampling-order generator (its §IV-E contribution); every baseline
+// pays the standard connection-check cost the paper's Fig 5 measures in
+// existing frameworks.
+func (s *Session) buildMicroBatch(b *sampling.Batch, outputs []graph.NodeID, res *IterationResult) (*block.MicroBatch, error) {
+	naive := s.Cfg.System != Buffalo || s.Cfg.NaiveBlockGen
+	if naive {
+		mb, check, build, err := block.GenerateNaiveTimed(b, outputs)
+		res.Phases.ConnectionCheck += check
+		res.Phases.BlockGen += build
+		return mb, err
+	}
+	t0 := time.Now()
+	mb, err := block.Generate(b, outputs)
+	res.Phases.BlockGen += time.Since(t0)
+	return mb, err
+}
+
+// executeMicroBatch moves one micro-batch through the device: feature
+// transfer, layer-by-layer charged forward, loss, backward, release.
+func (s *Session) executeMicroBatch(b *sampling.Batch, mb *block.MicroBatch, res *IterationResult) (loss float32, acc float64, microBytes int64, err error) {
+	inDim := s.Cfg.Model.InDim
+	inputs := mb.InputNodes()
+	feats := tensor.New(len(inputs), inDim)
+	for i, v := range inputs {
+		copy(feats.Row(i), s.Data.FeatureRow(v)[:inDim])
+	}
+	featAlloc, err := s.GPU.Alloc("features", feats.Bytes())
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("train: loading features: %w", err)
+	}
+	defer featAlloc.Free()
+	s.GPU.TransferH2D(feats.Bytes())
+
+	var layerAllocs []*device.Allocation
+	defer func() {
+		for _, a := range layerAllocs {
+			a.Free()
+		}
+	}()
+	tFwd := time.Now()
+	fwd, err := s.Model.ForwardWithHook(mb, feats, func(layer int, plannedBytes int64) error {
+		a, err := s.GPU.Alloc(fmt.Sprintf("activations/layer%d", layer), plannedBytes)
+		if err != nil {
+			return err
+		}
+		layerAllocs = append(layerAllocs, a)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("train: forward: %w", err)
+	}
+	labels := make([]int32, len(mb.Outputs))
+	for i, v := range mb.Outputs {
+		labels[i] = s.Data.Labels[v]
+	}
+	scale := float32(len(mb.Outputs)) / float32(b.NumOutputNodes())
+	mLoss, dLogits, err := nn.CrossEntropy(fwd.Logits, labels, scale)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := s.Model.Backward(fwd, dLogits); err != nil {
+		return 0, 0, 0, err
+	}
+	s.addCompute(time.Since(tFwd), res)
+
+	acc = nn.Accuracy(fwd.Logits, labels)
+	return mLoss, acc, feats.Bytes() + fwd.ActivationBytes(), nil
+}
+
+// addCompute records measured host compute time onto the simulated kernel
+// clock: scaled by the modeled GPU speedup, with the PyG penalty on top.
+func (s *Session) addCompute(d time.Duration, res *IterationResult) {
+	d = time.Duration(float64(d) / s.Cfg.gpuSpeedup())
+	if s.Cfg.System == PyG {
+		d = time.Duration(float64(d) * pygComputePenalty)
+	}
+	s.GPU.AddComputeTime(d)
+	res.Phases.GPUCompute += d
+}
+
+// gpuSpeedup returns the configured speedup with its default.
+func (c Config) gpuSpeedup() float64 {
+	if c.GPUSpeedup <= 0 {
+		return 100
+	}
+	return c.GPUSpeedup
+}
+
+// EpochResult summarizes one pass of TrainEpochs.
+type EpochResult struct {
+	Loss     float32
+	Accuracy float64
+}
+
+// TrainEpochs runs n iterations (one sampled batch each) and returns the
+// per-iteration loss/accuracy trajectory — the Fig 17 convergence data.
+func (s *Session) TrainEpochs(n int) ([]EpochResult, error) {
+	out := make([]EpochResult, 0, n)
+	for i := 0; i < n; i++ {
+		res, err := s.RunIteration()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, EpochResult{Loss: res.Loss, Accuracy: res.Accuracy})
+	}
+	return out, nil
+}
+
+// BucketVolumes is a convenience for Fig 4: the batch's output-layer bucket
+// volume distribution.
+func BucketVolumes(b *sampling.Batch) []int {
+	return bucket.Bucketize(b).Volumes()
+}
+
+// Evaluate runs inference (forward only, no gradients, no optimizer step)
+// over the given nodes and reports mean loss and accuracy. The evaluation
+// batch is built with the session's fanouts; memory is charged and released
+// like a training micro-batch, but Evaluate splits the nodes into
+// budget-sized micro-batches with the Buffalo scheduler regardless of the
+// configured system, since inference has no system-specific semantics.
+func (s *Session) Evaluate(nodes []graph.NodeID) (loss float32, acc float64, err error) {
+	if len(nodes) == 0 {
+		return 0, 0, fmt.Errorf("train: Evaluate needs at least one node")
+	}
+	b, err := sampling.SampleBatch(s.Data.Graph, nodes, s.Cfg.Fanouts, s.rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	est, err := s.estimator(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	plan, err := schedule.Schedule(b, est, schedule.Options{MemLimit: s.activationBudget() * 9 / 10})
+	if err != nil {
+		return 0, 0, err
+	}
+	correct, counted := 0, 0
+	res := &IterationResult{}
+	for _, g := range plan.Groups {
+		mb, err := block.Generate(b, g.Nodes())
+		if err != nil {
+			return 0, 0, err
+		}
+		mLoss, mAcc, _, err := s.executeEval(b, mb, res)
+		if err != nil {
+			return 0, 0, err
+		}
+		loss += mLoss
+		correct += int(mAcc * float64(len(mb.Outputs)))
+		counted += len(mb.Outputs)
+	}
+	return loss, float64(correct) / float64(counted), nil
+}
+
+// executeEval is executeMicroBatch without the backward pass.
+func (s *Session) executeEval(b *sampling.Batch, mb *block.MicroBatch, res *IterationResult) (loss float32, acc float64, bytes int64, err error) {
+	inDim := s.Cfg.Model.InDim
+	inputs := mb.InputNodes()
+	feats := tensor.New(len(inputs), inDim)
+	for i, v := range inputs {
+		copy(feats.Row(i), s.Data.FeatureRow(v)[:inDim])
+	}
+	featAlloc, err := s.GPU.Alloc("eval/features", feats.Bytes())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer featAlloc.Free()
+	s.GPU.TransferH2D(feats.Bytes())
+	var allocs []*device.Allocation
+	defer func() {
+		for _, a := range allocs {
+			a.Free()
+		}
+	}()
+	t0 := time.Now()
+	fwd, err := s.Model.ForwardWithHook(mb, feats, func(layer int, planned int64) error {
+		a, err := s.GPU.Alloc(fmt.Sprintf("eval/activations/layer%d", layer), planned)
+		if err != nil {
+			return err
+		}
+		allocs = append(allocs, a)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	labels := make([]int32, len(mb.Outputs))
+	for i, v := range mb.Outputs {
+		labels[i] = s.Data.Labels[v]
+	}
+	scale := float32(len(mb.Outputs)) / float32(b.NumOutputNodes())
+	mLoss, _, err := nn.CrossEntropy(fwd.Logits, labels, scale)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s.addCompute(time.Since(t0), res)
+	return mLoss, nn.Accuracy(fwd.Logits, labels), feats.Bytes() + fwd.ActivationBytes(), nil
+}
