@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test vet check
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verify: fast, every PR must keep this green.
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# The repository's own static-analysis suite (see internal/analysis).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/buffalo-vet ./...
+
+# Extended verify tier: gofmt + go vet + buffalo-vet + race-enabled tests.
+check:
+	./scripts/check.sh

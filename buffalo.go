@@ -159,8 +159,8 @@ func WriteDatasetFile(ds *Dataset, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := ds.Save(f); err != nil {
+		_ = f.Close() // the Save failure is the error worth reporting
 		return err
 	}
 	return f.Close()
@@ -172,6 +172,6 @@ func ReadDatasetFile(path string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //buffalo:vet-ignore errcheck close of read-only file
 	return datagen.ReadDataset(f)
 }

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AllocFree flags device ledger allocations that can never be released: a
+// *device.Allocation returned by GPU.Alloc that is neither Freed (directly
+// or via defer), returned to the caller, nor stored somewhere that outlives
+// the function (struct field, slice, map, channel, argument). A leaked
+// allocation keeps its bytes charged to the simulated GPU forever, which
+// inflates live/peak counters and silently corrupts every OOM boundary and
+// peak-memory curve the reproduction reports.
+//
+// The check is per-call-site and flow-insensitive: any Free or escape of
+// the result anywhere in the enclosing function counts. That is weaker
+// than "freed on all paths" but catches the common leaks (result discarded,
+// or only inspected) without false-positive noise.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "device.GPU.Alloc results must be freed, returned, or stored",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAllocsInFunc(p, fd.Body)
+		}
+	}
+}
+
+// checkAllocsInFunc inspects one function body. Nested function literals
+// are scanned as part of the same body: a closure that frees or publishes
+// the allocation discharges the obligation (deferred cleanup closures are
+// the idiomatic pattern).
+func checkAllocsInFunc(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			// Bare `g.Alloc(...)` statement: result dropped on the floor.
+			if call, ok := s.X.(*ast.CallExpr); ok && isAllocCall(p, call) {
+				p.Reportf(call.Pos(), "result of %s is discarded: the reservation can never be freed", calleeLabel(p, call))
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isAllocCall(p, call) {
+				return true
+			}
+			target := s.Lhs[0]
+			id, ok := ast.Unparen(target).(*ast.Ident)
+			if !ok {
+				// Stored into a field, index, or dereference: escapes.
+				return true
+			}
+			if id.Name == "_" {
+				p.Reportf(call.Pos(), "result of %s is assigned to _: the reservation can never be freed", calleeLabel(p, call))
+				return true
+			}
+			obj := p.Info.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return true
+			}
+			if !allocReleasedOrEscapes(p, body, obj, id) {
+				p.Reportf(call.Pos(), "allocation %q may leak: result is neither freed, returned, nor stored", allocTag(p, call))
+			}
+		}
+		return true
+	})
+}
+
+// isAllocCall reports whether call statically invokes device.GPU.Alloc.
+func isAllocCall(p *Pass, call *ast.CallExpr) bool {
+	return isDeviceMethod(staticCallee(p.Info, call), "GPU", "Alloc")
+}
+
+// calleeLabel renders the callee for a diagnostic, e.g. "GPU.Alloc".
+func calleeLabel(p *Pass, call *ast.CallExpr) string {
+	fn := staticCallee(p.Info, call)
+	if fn == nil {
+		return "call"
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		return recv + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// allocTag extracts the literal tag argument of an Alloc call when visible.
+func allocTag(p *Pass, call *ast.CallExpr) string {
+	if len(call.Args) > 0 {
+		if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+			s := tv.Value.String()
+			if len(s) >= 2 && s[0] == '"' {
+				return s[1 : len(s)-1]
+			}
+			return s
+		}
+	}
+	return "?"
+}
+
+// allocReleasedOrEscapes scans body for any use of obj that releases the
+// allocation or lets it outlive the function:
+//
+//   - a call to obj.Free() (directly, deferred, or inside a closure)
+//   - obj returned, sent on a channel, or used as a bare call argument
+//   - obj on the right-hand side of an assignment (stored elsewhere)
+//   - obj's address taken, or obj placed in a composite literal
+//
+// Selector uses (obj.Tag, obj.Bytes) inspect the allocation without
+// releasing it and do not count.
+func allocReleasedOrEscapes(p *Pass, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	parents := buildParents(body)
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || id == def || p.Info.Uses[id] != obj {
+			return true
+		}
+		if useReleasesOrEscapes(p, parents, id) {
+			ok = true
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// useReleasesOrEscapes classifies one use of the tracked allocation var.
+func useReleasesOrEscapes(p *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	parent := parents[id]
+	switch pn := parent.(type) {
+	case *ast.SelectorExpr:
+		if pn.X != id {
+			return false
+		}
+		// obj.Free() releases; any other selector is a read.
+		if pn.Sel.Name != "Free" {
+			return false
+		}
+		call, ok := parents[pn].(*ast.CallExpr)
+		return ok && call.Fun == pn
+	case *ast.AssignStmt:
+		// On the LHS: reassignment, not a use that saves this allocation.
+		for _, l := range pn.Lhs {
+			if l == id {
+				return false
+			}
+		}
+		return true // RHS of an assignment: stored somewhere
+	case *ast.CallExpr:
+		if pn.Fun == id {
+			return false // calling the var (impossible for *Allocation)
+		}
+		return true // passed as an argument
+	case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.IndexExpr:
+		return true
+	case *ast.UnaryExpr:
+		return pn.Op.String() == "&"
+	case *ast.RangeStmt:
+		return false
+	default:
+		return false
+	}
+}
+
+// buildParents maps every node in body to its parent.
+func buildParents(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,258 @@
+// Package analysis implements buffalo-vet, a domain-aware static-analysis
+// suite for this repository. It is stdlib-only: packages are parsed with
+// go/parser and type-checked with go/types against the source importer, and
+// each analyzer walks the typed ASTs looking for violations of the
+// invariants Buffalo's memory-discipline results depend on:
+//
+//   - allocfree: simulated-GPU allocations must be freed or escape to an
+//     owner, or the ledger's peak-memory curves silently corrupt.
+//   - errcheck: error results must not be discarded; the memory estimator
+//     and scheduler communicate OOM through errors.
+//   - locksafe: no simulated-transfer, I/O, or ledger Alloc calls while a
+//     sync.Mutex is held (deadlock and latency hazards under concurrency).
+//   - shapecheck: literally visible tensor dimensions must be positive and
+//     matmul-compatible.
+//
+// A diagnostic can be suppressed with a line directive:
+//
+//	//buffalo:vet-ignore <analyzer>[,<analyzer>...]  [reason]
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. An empty analyzer list suppresses every analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named, independently enableable check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{AllocFree, ErrCheck, LockSafe, ShapeCheck}
+}
+
+// ByName resolves analyzer names (comma- or space-separated) against the
+// suite, erroring on unknown names.
+func ByName(names []string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range names {
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Pass carries one analyzer's view of one package plus the report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	ignores ignoreIndex
+	diags   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive suppresses
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr, or nil.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[expr]; ok {
+		return tv.Type
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Run executes the given analyzers over the given packages and returns the
+// merged diagnostics sorted by position.
+func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := buildIgnoreIndex(prog.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     prog.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				ignores:  ignores,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective is the parsed form of one //buffalo:vet-ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool // empty means all analyzers
+}
+
+func (d ignoreDirective) matches(analyzer string) bool {
+	return len(d.analyzers) == 0 || d.analyzers[analyzer]
+}
+
+// ignoreIndex maps file -> line -> directives that apply to that line.
+type ignoreIndex map[string]map[int][]ignoreDirective
+
+func (ix ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	for _, d := range ix[pos.Filename][pos.Line] {
+		if d.matches(analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// vetIgnorePrefix is the line-comment directive honored by every analyzer.
+const vetIgnorePrefix = "buffalo:vet-ignore"
+
+// buildIgnoreIndex scans file comments for vet-ignore directives. A
+// directive applies to the line it sits on; when the comment starts its
+// line (a standalone comment), it also applies to the following line.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	ix := make(ignoreIndex)
+	sources := make(map[string][]byte)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, vetIgnorePrefix)
+				if !ok {
+					continue
+				}
+				d := parseIgnore(rest)
+				pos := fset.Position(c.Pos())
+				byLine := ix[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]ignoreDirective)
+					ix[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				if startsLine(sources, pos) {
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// parseIgnore parses the analyzer list following the directive prefix. The
+// list ends at the first token that is not a known separator-joined word;
+// anything after it is treated as free-form justification.
+func parseIgnore(rest string) ignoreDirective {
+	d := ignoreDirective{analyzers: make(map[string]bool)}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return d
+	}
+	fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	for _, f := range fields {
+		known := false
+		for _, a := range All() {
+			if a.Name == f {
+				known = true
+				break
+			}
+		}
+		if !known {
+			break // start of the justification text
+		}
+		d.analyzers[f] = true
+	}
+	return d
+}
+
+// startsLine reports whether only whitespace precedes pos on its source
+// line (so the directive should cover the next line too). File contents are
+// cached in sources across calls.
+func startsLine(sources map[string][]byte, pos token.Position) bool {
+	if pos.Column == 1 {
+		return true
+	}
+	src, ok := sources[pos.Filename]
+	if !ok {
+		src, _ = os.ReadFile(pos.Filename)
+		sources[pos.Filename] = src
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	progOnce sync.Once
+	prog     *Program
+	progErr  error
+)
+
+// moduleProgram loads the repository module once for every test.
+func moduleProgram(t *testing.T) *Program {
+	t.Helper()
+	progOnce.Do(func() { prog, progErr = LoadModule(filepath.Join("..", "..")) })
+	if progErr != nil {
+		t.Fatalf("LoadModule: %v", progErr)
+	}
+	return prog
+}
+
+// loadFixture type-checks one seeded-violation package under testdata/src.
+func loadFixture(t *testing.T, name string) (*Program, *Package) {
+	t.Helper()
+	p := moduleProgram(t)
+	pkg, err := p.LoadDir(filepath.Join("testdata", "src", name), "fixture/"+name)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	return p, pkg
+}
+
+// wantLines scans the fixture sources for "want:<analyzer>" markers and
+// returns the set of "file:line" strings expected to be reported.
+func wantLines(t *testing.T, dir, analyzer string) map[string]bool {
+	t.Helper()
+	marker := "want:" + analyzer
+	want := make(map[string]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, marker) {
+				want[fmt.Sprintf("%s:%d", e.Name(), i+1)] = true
+			}
+		}
+	}
+	return want
+}
+
+// gotLines reduces diagnostics to the same "file:line" key space.
+func gotLines(diags []Diagnostic) map[string]bool {
+	got := make(map[string]bool)
+	for _, d := range diags {
+		got[fmt.Sprintf("%s:%d", filepath.Base(d.File), d.Line)] = true
+	}
+	return got
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkFixture runs exactly one analyzer over its fixture package and
+// demands the findings match the want markers line for line.
+func checkFixture(t *testing.T, analyzer *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", analyzer.Name)
+	p, pkg := loadFixture(t, analyzer.Name)
+	diags := Run(p, []*Package{pkg}, []*Analyzer{analyzer})
+	want := wantLines(t, dir, analyzer.Name)
+	got := gotLines(diags)
+	if len(want) == 0 {
+		t.Fatalf("fixture %s has no want markers", dir)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("%s: expected a %s finding at %s, got none", dir, analyzer.Name, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("%s: unexpected %s finding at %s", dir, analyzer.Name, k)
+		}
+	}
+	if t.Failed() {
+		t.Logf("want: %v", keys(want))
+		t.Logf("got:  %v", keys(got))
+		for _, d := range diags {
+			t.Logf("diag: %s", d)
+		}
+	}
+}
+
+func TestAllocFreeFixture(t *testing.T)  { checkFixture(t, AllocFree) }
+func TestErrCheckFixture(t *testing.T)   { checkFixture(t, ErrCheck) }
+func TestLockSafeFixture(t *testing.T)   { checkFixture(t, LockSafe) }
+func TestShapeCheckFixture(t *testing.T) { checkFixture(t, ShapeCheck) }
+
+// TestIgnoreDirective proves //buffalo:vet-ignore suppresses exactly the
+// named analyzer, in both inline and preceding-line placement, and that a
+// directive naming a different analyzer does not suppress.
+func TestIgnoreDirective(t *testing.T) {
+	p, pkg := loadFixture(t, "ignored")
+	diags := Run(p, []*Package{pkg}, []*Analyzer{ShapeCheck})
+	want := wantLines(t, filepath.Join("testdata", "src", "ignored"), "shapecheck")
+	got := gotLines(diags)
+	if len(got) != len(want) {
+		t.Errorf("got %d findings, want %d (only the wrong-analyzer directive line)", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("expected surviving finding at %s", k)
+		}
+	}
+	for _, d := range diags {
+		t.Logf("diag: %s", d)
+	}
+}
+
+// TestModuleClean is the acceptance gate: the repository's own packages
+// must produce zero diagnostics under the full suite.
+func TestModuleClean(t *testing.T) {
+	p := moduleProgram(t)
+	diags := Run(p, p.Packages, All())
+	for _, d := range diags {
+		t.Errorf("repository finding: %s", d)
+	}
+}
+
+// TestByName covers analyzer selection.
+func TestByName(t *testing.T) {
+	got, err := ByName([]string{"allocfree", "shapecheck"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("ByName: %v, %d analyzers", err, len(got))
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+// TestLoadModuleShape sanity-checks the loader: the module path is read
+// from go.mod, dependencies precede dependents, and testdata is skipped.
+func TestLoadModuleShape(t *testing.T) {
+	p := moduleProgram(t)
+	if p.ModulePath != "buffalo" {
+		t.Fatalf("module path = %q", p.ModulePath)
+	}
+	pos := make(map[string]int)
+	for i, pkg := range p.Packages {
+		pos[pkg.ImportPath] = i
+		if strings.Contains(pkg.ImportPath, "testdata") {
+			t.Errorf("testdata package loaded: %s", pkg.ImportPath)
+		}
+		if pkg.Types == nil || pkg.Info == nil {
+			t.Errorf("package %s not type-checked", pkg.ImportPath)
+		}
+	}
+	dev, devOK := pos["buffalo/internal/device"]
+	train, trainOK := pos["buffalo/internal/train"]
+	if !devOK || !trainOK {
+		t.Fatalf("expected device and train packages, got %v", keys(boolSet(pos)))
+	}
+	if dev > train {
+		t.Errorf("device (%d) should be checked before train (%d)", dev, train)
+	}
+	// Build constraints are honored: internal/experiments carries a
+	// race_on.go//race_off.go pair and only the non-race half may load
+	// (loading both would redeclare raceEnabled and fail type-checking).
+	exp := p.Package("buffalo/internal/experiments")
+	if exp == nil {
+		t.Fatal("experiments package not loaded")
+	}
+	for _, f := range exp.Files {
+		if name := filepath.Base(p.Fset.Position(f.Pos()).Filename); name == "race_on.go" {
+			t.Error("race_on.go loaded despite its //go:build race constraint")
+		}
+	}
+}
+
+func boolSet(m map[string]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags calls whose error result is silently discarded: the call
+// appears as a bare statement (or a go/defer statement) and at least one of
+// its results is the built-in error type. Buffalo's scheduler and memory
+// estimator communicate OOM pressure exclusively through errors, so a
+// dropped error can swallow the very signal the bucket search relies on.
+//
+// An explicit `_ = f()` assignment is treated as a deliberate, reviewable
+// discard and is not flagged. A small set of best-effort calls is exempt:
+// fmt printing to stdout, fmt.Fprint* to os.Stdout/os.Stderr, and writes
+// into in-memory sinks (strings.Builder, bytes.Buffer) that are documented
+// never to fail.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "error results must not be silently discarded",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDiscardedError(p, call, "")
+				}
+			case *ast.GoStmt:
+				checkDiscardedError(p, s.Call, "go ")
+			case *ast.DeferStmt:
+				checkDiscardedError(p, s.Call, "defer ")
+			}
+			return true
+		})
+	}
+}
+
+func checkDiscardedError(p *Pass, call *ast.CallExpr, prefix string) {
+	tv, ok := p.Info.Types[call]
+	if !ok || !returnsError(tv.Type) {
+		return
+	}
+	fn := staticCallee(p.Info, call)
+	if errCheckExempt(p, fn, call) {
+		return
+	}
+	label := "call"
+	if fn != nil {
+		label = fn.FullName()
+	}
+	p.Reportf(call.Pos(), "%serror result of %s is discarded", prefix, label)
+}
+
+// errCheckExempt reports whether the callee is on the best-effort allowlist.
+func errCheckExempt(p *Pass, fn *types.Func, call *ast.CallExpr) bool {
+	if fn == nil {
+		return false
+	}
+	path := funcPkgPath(fn)
+	name := fn.Name()
+	switch path {
+	case "fmt":
+		if strings.HasPrefix(name, "Print") {
+			return true // stdout printing is best-effort
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return isStdStream(p, call.Args[0])
+		}
+	case "strings", "bytes":
+		// strings.Builder and bytes.Buffer writes are documented to never
+		// return a non-nil error.
+		recv := recvTypeName(fn)
+		return recv == "Builder" || recv == "Buffer"
+	}
+	return false
+}
+
+// isStdStream reports whether expr statically refers to os.Stdout or
+// os.Stderr.
+func isStdStream(p *Pass, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Info.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}

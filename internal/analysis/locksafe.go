@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockSafe flags blocking work performed while a sync.Mutex (or RWMutex
+// write lock) is held: simulated device transfers, ledger allocations,
+// all-reduces, real I/O (os, io, net), and time.Sleep. Buffalo's device
+// ledger serializes every allocator on one mutex, so blocking inside a
+// critical section stalls every trainer goroutine — and taking the ledger
+// lock around a call that itself locks the ledger deadlocks outright.
+//
+// The walk is a statement-ordered approximation, not a CFG: a lock is
+// considered held from x.Lock() (or from function entry to the end for
+// defer x.Unlock()) until a matching x.Unlock() at the same nesting level.
+// Function literals are analyzed independently with no locks held.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "no transfers, I/O, or ledger allocations while a mutex is held",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					walkLocked(p, fn.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				walkLocked(p, fn.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+}
+
+// walkLocked walks one statement list tracking which mutexes are held.
+// Nested blocks inherit a copy of the current state; state changes inside a
+// branch do not propagate past it (both branches of an if may lock, but
+// only statements inside the branch see that lock).
+func walkLocked(p *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, op, ok := lockOp(p, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[key] = true
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				continue
+			}
+			reportBlockingCalls(p, s, held)
+		case *ast.DeferStmt:
+			if key, op, ok := lockOp(p, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				// Deferred unlock: the mutex stays held for the remainder
+				// of the function, which is exactly when blocking calls
+				// after this point are hazardous.
+				held[key] = true
+				continue
+			}
+			reportBlockingCalls(p, s, held)
+		case *ast.BlockStmt:
+			walkLocked(p, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			reportBlockingCalls(p, s.Cond, held)
+			if s.Init != nil {
+				reportBlockingCalls(p, s.Init, held)
+			}
+			walkLocked(p, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				walkLocked(p, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				reportBlockingCalls(p, s.Init, held)
+			}
+			if s.Cond != nil {
+				reportBlockingCalls(p, s.Cond, held)
+			}
+			walkLocked(p, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			reportBlockingCalls(p, s.X, held)
+			walkLocked(p, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				reportBlockingCalls(p, s.Tag, held)
+			}
+			walkLocked(p, s.Body.List, copyHeld(held))
+		case *ast.TypeSwitchStmt:
+			walkLocked(p, s.Body.List, copyHeld(held))
+		case *ast.SelectStmt:
+			walkLocked(p, s.Body.List, copyHeld(held))
+		case *ast.CaseClause:
+			walkLocked(p, s.Body, copyHeld(held))
+		case *ast.CommClause:
+			walkLocked(p, s.Body, copyHeld(held))
+		case *ast.LabeledStmt:
+			walkLocked(p, []ast.Stmt{s.Stmt}, held)
+		default:
+			reportBlockingCalls(p, stmt, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// lockOp recognizes x.Lock()/x.Unlock()/x.RLock()/x.RUnlock() on a
+// sync.Mutex or sync.RWMutex and returns the mutex key and operation.
+func lockOp(p *Pass, e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := staticCallee(p.Info, call)
+	if fn == nil || funcPkgPath(fn) != "sync" {
+		return "", "", false
+	}
+	name := fn.Name()
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return exprKey(sel.X), name, true
+	}
+	return "", "", false
+}
+
+// reportBlockingCalls inspects node (a statement or expression) for calls
+// that must not run under a lock. Function literals are skipped: their
+// bodies execute later, under their own analysis.
+func reportBlockingCalls(p *Pass, node ast.Node, held map[string]bool) {
+	if len(held) == 0 || node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if why := blockingCallReason(p, call); why != "" {
+			p.Reportf(call.Pos(), "%s while holding %s", why, heldList(held))
+		}
+		return true
+	})
+}
+
+// blockingCallReason classifies a call that should not run under a mutex,
+// returning a human-readable reason or "".
+func blockingCallReason(p *Pass, call *ast.CallExpr) string {
+	fn := staticCallee(p.Info, call)
+	if fn == nil {
+		return ""
+	}
+	if isDeviceMethod(fn, "GPU", "Alloc") {
+		return "ledger allocation GPU.Alloc"
+	}
+	if isDeviceMethod(fn, "GPU", "TransferH2D") {
+		return "simulated transfer GPU.TransferH2D"
+	}
+	if isDeviceMethod(fn, "Cluster", "AllReduce") {
+		return "simulated collective Cluster.AllReduce"
+	}
+	path := funcPkgPath(fn)
+	switch path {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "os", "io", "io/ioutil", "net", "net/http", "bufio":
+		// Method values on sync/atomic types come from "sync"; anything
+		// declared in an I/O package is presumed to touch the outside
+		// world.
+		return "I/O call " + fn.FullName()
+	case "fmt":
+		if strings.HasPrefix(fn.Name(), "Fprint") {
+			return "I/O call " + fn.FullName()
+		}
+	}
+	return ""
+}
+
+// heldList renders the held mutex set for a diagnostic.
+func heldList(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	if len(names) == 1 {
+		return "mutex " + names[0]
+	}
+	sortStrings(names)
+	return "mutexes " + strings.Join(names, ", ")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package fixture seeds allocfree violations for the analyzer's unit test.
+// Marked lines must be reported; every other line must stay clean.
+package fixture
+
+import (
+	"fmt"
+
+	"buffalo/internal/device"
+)
+
+// Leak inspects the allocation but never frees or publishes it.
+func Leak(g *device.GPU) {
+	a, err := g.Alloc("leak", 64) // want:allocfree
+	if err != nil {
+		return
+	}
+	fmt.Println(a.Tag)
+}
+
+// DiscardResult drops the allocation on the floor.
+func DiscardResult(g *device.GPU) {
+	g.Alloc("discard", 1) // want:allocfree
+}
+
+// BlankResult throws the handle away while keeping the error.
+func BlankResult(g *device.GPU) error {
+	_, err := g.Alloc("blank", 1) // want:allocfree
+	return err
+}
+
+// Freed releases via defer: clean.
+func Freed(g *device.GPU) error {
+	a, err := g.Alloc("ok-freed", 8)
+	if err != nil {
+		return err
+	}
+	defer a.Free()
+	return nil
+}
+
+// ClosureFreed releases inside a deferred closure: clean.
+func ClosureFreed(g *device.GPU) error {
+	a, err := g.Alloc("ok-closure", 8)
+	if err != nil {
+		return err
+	}
+	defer func() { a.Free() }()
+	return nil
+}
+
+// Returned hands the allocation to the caller: clean.
+func Returned(g *device.GPU) (*device.Allocation, error) {
+	return g.Alloc("ok-returned", 8)
+}
+
+type holder struct {
+	a     *device.Allocation
+	extra []*device.Allocation
+}
+
+// Stored keeps the allocation in a struct field: clean.
+func Stored(g *device.GPU, h *holder) error {
+	a, err := g.Alloc("ok-stored", 8)
+	if err != nil {
+		return err
+	}
+	h.a = a
+	return nil
+}
+
+// Appended keeps the allocation in an owner slice: clean.
+func Appended(g *device.GPU, h *holder) error {
+	a, err := g.Alloc("ok-appended", 8)
+	if err != nil {
+		return err
+	}
+	h.extra = append(h.extra, a)
+	return nil
+}

@@ -1,0 +1,43 @@
+// Package fixture seeds errcheck violations for the analyzer's unit test.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Drops discards the error of a call that can fail.
+func Drops() {
+	os.Remove("/tmp/buffalo-vet-fixture") // want:errcheck
+}
+
+// GoDrop discards an error inside a go statement.
+func GoDrop() {
+	go os.Remove("/tmp/buffalo-vet-fixture") // want:errcheck
+}
+
+// DeferDrop discards a deferred Close error on a written file.
+func DeferDrop(f *os.File) {
+	defer f.Close() // want:errcheck
+}
+
+// Checked handles the error: clean.
+func Checked() error {
+	if err := os.Remove("/tmp/buffalo-vet-fixture"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Deliberate discards explicitly, which is reviewable: clean.
+func Deliberate() {
+	_ = os.Remove("/tmp/buffalo-vet-fixture")
+}
+
+// Exempt exercises the best-effort allowlist: clean.
+func Exempt(sb *strings.Builder) {
+	fmt.Println("stdout printing is best-effort")
+	fmt.Fprintln(os.Stderr, "stderr printing is best-effort")
+	sb.WriteString("in-memory sinks never fail")
+}

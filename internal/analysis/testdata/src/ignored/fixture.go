@@ -1,0 +1,25 @@
+// Package fixture exercises the //buffalo:vet-ignore directive.
+package fixture
+
+import "buffalo/internal/tensor"
+
+// SuppressedInline carries the directive at the end of the offending line.
+func SuppressedInline() *tensor.Matrix {
+	return tensor.New(3, -3) //buffalo:vet-ignore shapecheck seeded for the directive test
+}
+
+// SuppressedAbove carries the directive alone on the preceding line.
+func SuppressedAbove() *tensor.Matrix {
+	//buffalo:vet-ignore shapecheck
+	return tensor.New(-2, 3)
+}
+
+// SuppressedAll uses a bare directive, which silences every analyzer.
+func SuppressedAll() *tensor.Matrix {
+	return tensor.New(0, 0) //buffalo:vet-ignore
+}
+
+// WrongAnalyzer names a different analyzer, so shapecheck still fires.
+func WrongAnalyzer() *tensor.Matrix {
+	return tensor.New(-1, 1) //buffalo:vet-ignore allocfree -- want:shapecheck
+}

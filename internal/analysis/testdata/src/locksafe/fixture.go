@@ -1,0 +1,73 @@
+// Package fixture seeds locksafe violations for the analyzer's unit test.
+package fixture
+
+import (
+	"sync"
+	"time"
+
+	"buffalo/internal/device"
+)
+
+type ledger struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	gpu *device.GPU
+}
+
+// BadSleep sleeps inside the critical section.
+func (l *ledger) BadSleep() {
+	l.mu.Lock()
+	time.Sleep(time.Millisecond) // want:locksafe
+	l.mu.Unlock()
+}
+
+// BadAllocUnderDefer allocates while the deferred unlock keeps the mutex
+// held for the whole function.
+func (l *ledger) BadAllocUnderDefer() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, err := l.gpu.Alloc("locked", 1) // want:locksafe
+	if err != nil {
+		return err
+	}
+	a.Free()
+	return nil
+}
+
+// BadTransfer models a transfer while holding the ledger lock.
+func (l *ledger) BadTransfer() {
+	l.mu.Lock()
+	l.gpu.TransferH2D(1 << 20) // want:locksafe
+	l.mu.Unlock()
+}
+
+// BadWriteLock flags the RWMutex write lock too.
+func (l *ledger) BadWriteLock() {
+	l.rw.Lock()
+	time.Sleep(time.Microsecond) // want:locksafe
+	l.rw.Unlock()
+}
+
+// GoodAfterUnlock does the blocking work outside the critical section.
+func (l *ledger) GoodAfterUnlock() {
+	l.mu.Lock()
+	l.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// GoodClosure defers work to a function literal that runs later, with its
+// own analysis scope.
+func (l *ledger) GoodClosure() func() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return func() { time.Sleep(time.Millisecond) }
+}
+
+// GoodBranch unlocks in both branches before sleeping.
+func (l *ledger) GoodBranch(x bool) {
+	l.mu.Lock()
+	l.mu.Unlock()
+	if x {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// staticCallee resolves the *types.Func a call statically invokes: a
+// package-level function, a method (value or expression form), or nil for
+// indirect calls, conversions, and builtins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package declaring fn, or "".
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvTypeName returns the name of fn's receiver's named type (pointer
+// receivers are dereferenced), or "" for non-methods.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// isDeviceMethod reports whether fn is the named method on a type declared
+// in the simulated-device package. Matching is by import-path suffix so the
+// analyzers also recognize the package when loaded from a fixture tree.
+func isDeviceMethod(fn *types.Func, typeName, method string) bool {
+	if fn == nil || fn.Name() != method {
+		return false
+	}
+	path := funcPkgPath(fn)
+	if path != "buffalo/internal/device" && !strings.HasSuffix(path, "/internal/device") {
+		return false
+	}
+	return recvTypeName(fn) == typeName
+}
+
+// returnsError reports whether t (a single type or tuple) contains the
+// built-in error type.
+func returnsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// isErrorType reports whether t is exactly the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// exprKey renders a (small) expression as a stable string key, used to
+// identify which mutex an x.mu.Lock() call refers to.
+func exprKey(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprKey(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(v.X) + "[" + exprKey(v.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprKey(v.X)
+	case *ast.UnaryExpr:
+		return v.Op.String() + exprKey(v.X)
+	case *ast.CallExpr:
+		return exprKey(v.Fun) + "()"
+	case *ast.BasicLit:
+		return v.Value
+	default:
+		return "?"
+	}
+}

@@ -13,6 +13,7 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -43,17 +44,8 @@ func (e *OOMError) Error() string {
 
 // IsOOM reports whether err is (or wraps) an OOMError.
 func IsOOM(err error) bool {
-	for err != nil {
-		if _, ok := err.(*OOMError); ok {
-			return true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
-	}
-	return false
+	var oom *OOMError
+	return errors.As(err, &oom)
 }
 
 // GPU is a simulated accelerator: a capacity-limited allocation ledger plus

@@ -1,0 +1,36 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestIsOOMTable pins the errors.As-based IsOOM behavior across the wrap
+// depths the trainers actually produce: raw faults, single %w wraps from
+// the iteration loop, double wraps from the experiment harness, joined
+// errors from multi-GPU fan-in, and the nil fast path.
+func TestIsOOMTable(t *testing.T) {
+	oom := &OOMError{Device: "gpu-0", Tag: "activations/layer1", Requested: 64, Live: 960, Capacity: 1024}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"direct", oom, true},
+		{"wrapped", fmt.Errorf("iteration 3: %w", oom), true},
+		{"double-wrapped", fmt.Errorf("experiment fig10: %w", fmt.Errorf("iteration 3: %w", oom)), true},
+		{"joined", errors.Join(errors.New("replica 1 lagging"), fmt.Errorf("replica 0: %w", oom)), true},
+		{"unrelated", errors.New("disk full"), false},
+		{"wrapped-unrelated", fmt.Errorf("iteration 3: %w", errors.New("disk full")), false},
+		{"value-not-pointer", fmt.Errorf("msg: %s", oom.Error()), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsOOM(tc.err); got != tc.want {
+				t.Fatalf("IsOOM(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}

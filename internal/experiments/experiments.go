@@ -56,11 +56,28 @@ func (t *Table) AddRow(cells ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
-// Render writes the table as aligned text.
-func (t *Table) Render(w io.Writer) {
-	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+// stickyPrinter formats onto an io.Writer, remembering the first write
+// error and dropping everything after it. Rendering either fully succeeds
+// or reports why the output is truncated, instead of silently losing table
+// rows on a failed pipe or full disk.
+type stickyPrinter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *stickyPrinter) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Render writes the table as aligned text, returning the first write error.
+func (t *Table) Render(w io.Writer) error {
+	p := &stickyPrinter{w: w}
+	p.printf("== %s: %s ==\n", t.ID, t.Title)
 	if t.PaperClaim != "" {
-		fmt.Fprintf(w, "paper: %s\n", t.PaperClaim)
+		p.printf("paper: %s\n", t.PaperClaim)
 	}
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
@@ -78,7 +95,7 @@ func (t *Table) Render(w io.Writer) {
 		for i, c := range cells {
 			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
 		}
-		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		p.printf("%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
 	line(t.Headers)
 	sep := make([]string, len(t.Headers))
@@ -90,9 +107,10 @@ func (t *Table) Render(w io.Writer) {
 		line(r)
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "note: %s\n", n)
+		p.printf("note: %s\n", n)
 	}
-	fmt.Fprintln(w)
+	p.printf("\n")
+	return p.err
 }
 
 // Options tune experiment scale.
@@ -144,7 +162,9 @@ func Run(id string, opts Options, w io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("experiments: %s: %w", e.ID, err)
 			}
-			t.Render(w)
+			if err := t.Render(w); err != nil {
+				return fmt.Errorf("experiments: %s: rendering: %w", e.ID, err)
+			}
 			if id == e.ID {
 				return nil
 			}

@@ -15,7 +15,9 @@ func TestTableRender(t *testing.T) {
 	tb.AddRow(1.5, "z")
 	tb.Notes = append(tb.Notes, "n")
 	var buf bytes.Buffer
-	tb.Render(&buf)
+	if err := tb.Render(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
 	out := buf.String()
 	for _, want := range []string{"== x: T ==", "paper: c", "a", "bb", "note: n"} {
 		if !strings.Contains(out, want) {
@@ -67,6 +69,9 @@ func TestHeavyExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiments skipped with -short")
 	}
+	if raceEnabled {
+		t.Skip("single-goroutine numerical workload; runs race-free in tier-1")
+	}
 	// A bounded subset keeps the package under go test's default timeout on
 	// slow machines; the remaining artifacts run in TestAllExperiments
 	// (opt-in) and via `go run ./cmd/experiments -run all`.
@@ -106,6 +111,9 @@ func TestAllExperiments(t *testing.T) {
 func TestFig13ResolvesOOMs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("-short")
+	}
+	if raceEnabled {
+		t.Skip("single-goroutine numerical workload; runs race-free in tier-1")
 	}
 	tb, err := Fig13BreakWall(quick())
 	if err != nil {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether this build carries race instrumentation.
+// See race_on.go for why the heavy artifact tests consult it.
+const raceEnabled = false

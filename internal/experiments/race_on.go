@@ -1,0 +1,12 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this build carries race instrumentation.
+// The heavy artifact-regeneration tests skip themselves under race: they
+// are single-goroutine numerical workloads that race instrumentation can
+// only slow down (5-20x), enough to blow past any sane gate timeout.
+// Their functional coverage runs race-free in tier-1; the concurrent
+// paths they depend on have dedicated race coverage in internal/device,
+// internal/block, and internal/train.
+const raceEnabled = true

@@ -18,7 +18,7 @@ func CrossEntropy(logits *tensor.Matrix, labels []int32, scale float32) (float32
 		return 0, nil, fmt.Errorf("nn: %d labels for %d logit rows", len(labels), n)
 	}
 	if n == 0 {
-		return 0, tensor.New(0, logits.Cols), nil
+		return 0, tensor.New(0, logits.Cols), nil //buffalo:vet-ignore shapecheck empty batch yields an empty gradient
 	}
 	probs := tensor.SoftmaxRows(logits)
 	var loss float64

@@ -73,7 +73,7 @@ func (c *LSTMCache) Bytes() int64 {
 // for backward. An empty sequence returns a zero hidden state.
 func (c *LSTMCell) RunSequence(xs []*tensor.Matrix) (*tensor.Matrix, *LSTMCache) {
 	if len(xs) == 0 {
-		return tensor.New(0, c.Hidden), &LSTMCache{}
+		return tensor.New(0, c.Hidden), &LSTMCache{} //buffalo:vet-ignore shapecheck empty sequence yields an empty hidden state
 	}
 	n := xs[0].Rows
 	h := tensor.New(n, c.Hidden)

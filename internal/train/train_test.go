@@ -138,6 +138,9 @@ func TestPyGComputePenalty(t *testing.T) {
 }
 
 func TestFullBatchOOMOnLargeGraph(t *testing.T) {
+	if raceEnabled {
+		t.Skip("single-goroutine numerical workload; runs race-free in tier-1")
+	}
 	// arxiv-mini with LSTM at a small budget must OOM for DGL (Fig 10's
 	// shape) while Buffalo schedules around it.
 	ds := loadData(t, "ogbn-arxiv")
@@ -178,6 +181,9 @@ func TestFullBatchOOMOnLargeGraph(t *testing.T) {
 }
 
 func TestBuffaloRespectsBudgetPeaks(t *testing.T) {
+	if raceEnabled {
+		t.Skip("single-goroutine numerical workload; runs race-free in tier-1")
+	}
 	ds := loadData(t, "ogbn-arxiv")
 	cfg := baseConfig(ds, Buffalo)
 	cfg.Model.Aggregator = gnn.LSTM
@@ -456,6 +462,9 @@ func TestGATSystemIteration(t *testing.T) {
 }
 
 func TestBettyAutoK(t *testing.T) {
+	if raceEnabled {
+		t.Skip("single-goroutine numerical workload; runs race-free in tier-1")
+	}
 	ds := loadData(t, "ogbn-arxiv")
 	cfg := baseConfig(ds, Betty)
 	cfg.BatchSize = 400

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Extended verify tier for the Buffalo reproduction (see ROADMAP.md):
+#
+#   1. gofmt -l        every tracked Go file is formatted
+#   2. go vet          the stock toolchain analyzers
+#   3. buffalo-vet     the domain-aware suite (allocfree, errcheck,
+#                      locksafe, shapecheck) over every module package
+#   4. go test -race   the full test suite under the race detector
+#
+# Run from anywhere; the script cds to the repository root. Fails fast on
+# the first broken gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== buffalo-vet =="
+go run ./cmd/buffalo-vet ./...
+
+echo "== go test -race =="
+# Race instrumentation slows the heavy suites several-fold and packages
+# run concurrently, so the default 10m per-package timeout is too tight on
+# small machines; give them headroom. The single-goroutine artifact
+# regenerations in internal/experiments skip themselves under race (see
+# race_on.go there) — they run race-free in tier-1, and the concurrent
+# paths have dedicated race coverage in device/block/train.
+go test -race -timeout 30m ./...
+
+echo "check: all gates passed"
