@@ -17,6 +17,7 @@ import (
 	"buffalo/internal/device"
 	"buffalo/internal/gnn"
 	"buffalo/internal/memest"
+	"buffalo/internal/obs"
 	"buffalo/internal/partition"
 	"buffalo/internal/sampling"
 	"buffalo/internal/schedule"
@@ -372,6 +373,50 @@ func BenchmarkMultiGPU(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dp.RunIteration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunIteration_ObsDisabled and ...Enabled bound the observability
+// tax: the disabled path (nil recorder) must cost nothing, and the enabled
+// path (ring trace + metrics) must stay within a few percent of it. README
+// records the targets: <3% overhead enabled, 0 allocs/op attributable to
+// obs when disabled.
+func BenchmarkRunIteration_ObsDisabled(b *testing.B) {
+	s := coraSession(b, train.Buffalo, 4)
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunIteration_ObsEnabled(b *testing.B) {
+	st := fixtures(b)
+	rec := obs.NewRecorder(obs.NewRingTrace(4096), obs.NewMetrics())
+	s, err := train.NewSession(st.cora, train.Config{
+		System: train.Buffalo,
+		Model: gnn.Config{Arch: gnn.SAGE, Aggregator: gnn.Mean, Layers: 2,
+			InDim: st.cora.FeatDim(), Hidden: 16, OutDim: st.cora.NumClasses, Seed: 1},
+		Fanouts:      []int{5, 5},
+		BatchSize:    256,
+		MemBudget:    device.GB,
+		MicroBatches: 4,
+		Seed:         7,
+		Obs:          rec,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunIteration(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -149,7 +149,16 @@ func ExperimentIDs() []string {
 // renders it to w. Quick mode restricts datasets and iteration counts so a
 // full sweep finishes in minutes.
 func RunExperiment(id string, quick bool, seed int64, w io.Writer) error {
-	return experiments.Run(id, experiments.Options{Quick: quick, Seed: seed}, w)
+	return RunExperimentObserved(id, quick, seed, nil, w)
+}
+
+// RunExperimentObserved is RunExperiment with an observability recorder
+// attached to every training run. When the recorder carries a metrics
+// registry, each experiment's table is followed by a metrics summary and the
+// registry is reset between experiments. A nil recorder behaves exactly like
+// RunExperiment.
+func RunExperimentObserved(id string, quick bool, seed int64, rec *Recorder, w io.Writer) error {
+	return experiments.Run(id, experiments.Options{Quick: quick, Seed: seed, Obs: rec}, w)
 }
 
 // WriteDatasetFile serializes a dataset to path in the binary dataset

@@ -5,6 +5,12 @@
 //
 //	buffalo-train -dataset ogbn-arxiv -system buffalo -budget-mb 24 \
 //	    -agg lstm -hidden 64 -batch 2048 -iters 5
+//
+// Observability: -trace out.json records every scheduler decision, ledger
+// event and phase span to a file (-trace-format chrome loads directly into
+// Perfetto / chrome://tracing; jsonl is one event per line), -metrics prints
+// the metrics registry and a per-device memory-timeline summary after the
+// run, and -trace-ring bounds the trace's memory for long runs.
 package main
 
 import (
@@ -30,7 +36,31 @@ func main() {
 	micro := flag.Int("micro", 0, "fixed micro-batch count (0 = search against the budget)")
 	gpus := flag.Int("gpus", 1, "simulated GPUs (data parallel, buffalo only)")
 	seed := flag.Int64("seed", 7, "seed")
+	tracePath := flag.String("trace", "", "write an execution trace to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome|jsonl")
+	traceRing := flag.Int("trace-ring", 0, "bound the trace to the most recent N events (0 = unbounded)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry and memory-timeline summary after the run")
 	flag.Parse()
+
+	if *traceFormat != "chrome" && *traceFormat != "jsonl" {
+		fail(fmt.Errorf("unknown trace format %q (want chrome or jsonl)", *traceFormat))
+	}
+	var trace *buffalo.Trace
+	if *tracePath != "" || *metrics {
+		if *traceRing > 0 {
+			trace = buffalo.NewRingTrace(*traceRing)
+		} else {
+			trace = buffalo.NewTrace()
+		}
+	}
+	var rec *buffalo.Recorder
+	if trace != nil || *metrics {
+		var reg *buffalo.Metrics
+		if *metrics {
+			reg = buffalo.NewMetrics()
+		}
+		rec = buffalo.NewRecorder(trace, reg)
+	}
 
 	ds, err := buffalo.LoadDataset(*dataset, 3)
 	if err != nil {
@@ -56,6 +86,7 @@ func main() {
 		MemBudget:    *budgetMB * buffalo.MB,
 		MicroBatches: *micro,
 		Seed:         *seed,
+		Obs:          rec,
 	}
 	switch *system {
 	case "dgl":
@@ -104,6 +135,11 @@ func main() {
 				i, res.Loss, res.K, float64(res.Peak)/float64(buffalo.MB),
 				res.Phases.Total(), res.Phases.GPUCompute, res.Phases.Communication)
 		}
+		devices := make([]string, *gpus)
+		for i := range devices {
+			devices[i] = fmt.Sprintf("gpu-%d", i)
+		}
+		report(rec, trace, *tracePath, *traceFormat, *metrics, devices)
 		return
 	}
 	s, err := buffalo.NewSession(ds, cfg)
@@ -122,6 +158,54 @@ func main() {
 		}
 		fmt.Printf("iter %d: loss=%.4f acc=%.3f K=%d peak=%.1fMB total=%v\n",
 			i, res.Loss, res.Accuracy, res.K, float64(res.Peak)/float64(buffalo.MB), res.Phases.Total())
+	}
+	report(rec, trace, *tracePath, *traceFormat, *metrics, []string{string(cfg.System)})
+}
+
+// report renders the post-run observability artifacts: the metrics registry
+// and per-device memory timelines to stdout, and the trace to its file.
+// Every write error propagates to the exit status — a truncated trace file
+// must not look like a successful export.
+func report(rec *buffalo.Recorder, trace *buffalo.Trace, tracePath, traceFormat string, metrics bool, devices []string) {
+	if metrics && rec.Enabled() {
+		fmt.Println()
+		if err := rec.Metrics().WriteSummary(os.Stdout); err != nil {
+			fail(err)
+		}
+		if trace != nil {
+			for _, d := range devices {
+				tl := buffalo.ReconstructTimeline(trace.Events(), d)
+				fmt.Println()
+				if err := tl.WriteSummary(os.Stdout); err != nil {
+					fail(err)
+				}
+			}
+		}
+	}
+	if tracePath == "" {
+		return
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		fail(err)
+	}
+	switch traceFormat {
+	case "jsonl":
+		err = trace.WriteJSONL(f)
+	default:
+		err = trace.WriteChromeTrace(f)
+	}
+	if err != nil {
+		_ = f.Close() // the export failure is the error worth reporting
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	if d := trace.Dropped(); d > 0 {
+		fmt.Printf("trace: wrote %s (%d events, %d dropped by the ring)\n", tracePath, trace.Len(), d)
+	} else {
+		fmt.Printf("trace: wrote %s (%d events)\n", tracePath, trace.Len())
 	}
 }
 

@@ -20,6 +20,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced datasets/iterations (minutes instead of tens of minutes)")
 	seed := flag.Int64("seed", 3, "dataset and sampling seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metrics := flag.Bool("metrics", false, "append a per-experiment metrics summary table to each experiment")
 	flag.Parse()
 
 	if *list {
@@ -32,7 +33,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: pass -run <id> or -list; ids map to the paper's figures/tables (see DESIGN.md)")
 		os.Exit(2)
 	}
-	if err := buffalo.RunExperiment(*run, *quick, *seed, os.Stdout); err != nil {
+	var rec *buffalo.Recorder
+	if *metrics {
+		rec = buffalo.NewRecorder(nil, buffalo.NewMetrics())
+	}
+	if err := buffalo.RunExperimentObserved(*run, *quick, *seed, rec, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -2,7 +2,9 @@
 package fixture
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 )
@@ -33,6 +35,33 @@ func Checked() error {
 // Deliberate discards explicitly, which is reviewable: clean.
 func Deliberate() {
 	_ = os.Remove("/tmp/buffalo-vet-fixture")
+}
+
+// ExportDrop mimics a trace exporter that drops write errors: a truncated
+// file would look like a successful export. fmt.Fprint* is only exempt when
+// the destination is a std stream, not an arbitrary io.Writer.
+func ExportDrop(w io.Writer, events []int64) {
+	fmt.Fprintln(w, "[")          // want:errcheck
+	json.NewEncoder(w).Encode(42) // want:errcheck
+	for _, e := range events {
+		fmt.Fprintf(w, "%d\n", e) // want:errcheck
+	}
+}
+
+// ExportPropagates is the reviewable exporter shape — every write error
+// reaches the caller: clean.
+func ExportPropagates(w io.Writer, events []int64) error {
+	if _, err := fmt.Fprintln(w, "["); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "]")
+	return err
 }
 
 // Exempt exercises the best-effort allowlist: clean.

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"buffalo/internal/graph"
+	"buffalo/internal/obs"
 	"buffalo/internal/sampling"
 )
 
@@ -96,7 +97,15 @@ func (m *MicroBatch) NumNodes() int64 {
 // Buffalo's sampling-order fast path. Outputs must each be one of the
 // batch's seeds.
 func Generate(batch *sampling.Batch, outputs []graph.NodeID) (*MicroBatch, error) {
-	return generate(batch, outputs, true)
+	return generate(batch, outputs, true, nil)
+}
+
+// GenerateTraced is Generate with per-hop fan-out observability: each hop's
+// parallel gather is recorded as a KindFanout span carrying the frontier
+// size and the worker count it fanned out across. A nil recorder makes it
+// identical to Generate.
+func GenerateTraced(batch *sampling.Batch, outputs []graph.NodeID, rec *obs.Recorder) (*MicroBatch, error) {
+	return generate(batch, outputs, true, rec)
 }
 
 // GenerateNaive builds the same micro-batch with the connection-check
@@ -177,7 +186,7 @@ func GenerateNaiveTimed(batch *sampling.Batch, outputs []graph.NodeID) (mb *Micr
 }
 
 // generate is the fast path: direct per-hop lookups, node-parallel gather.
-func generate(batch *sampling.Batch, outputs []graph.NodeID, parallel bool) (*MicroBatch, error) {
+func generate(batch *sampling.Batch, outputs []graph.NodeID, parallel bool, rec *obs.Recorder) (*MicroBatch, error) {
 	if err := validateOutputs(batch, outputs); err != nil {
 		return nil, err
 	}
@@ -191,6 +200,7 @@ func generate(batch *sampling.Batch, outputs []graph.NodeID, parallel bool) (*Mi
 		hop := &batch.Hops[h]
 		// Parallel node-level gather of each destination's sampled
 		// neighbor list (a direct slice lookup in sampling order).
+		tGather := time.Now()
 		gathered := make([][]graph.NodeID, len(frontier))
 		var errMu sync.Mutex
 		var gatherErr error
@@ -208,6 +218,10 @@ func generate(batch *sampling.Batch, outputs []graph.NodeID, parallel bool) (*Mi
 		})
 		if gatherErr != nil {
 			return nil, gatherErr
+		}
+		if rec.Enabled() {
+			rec.Span(obs.KindFanout, "", fmt.Sprintf("gather/hop%d", h),
+				time.Since(tGather), int64(len(frontier)), int64(chunkWorkers(len(frontier), parallel)))
 		}
 		// Sequential renumbering (order-dependent), then the block.
 		blk := &Block{Dst: frontier}
@@ -281,6 +295,18 @@ func containsSorted(s []graph.NodeID, v graph.NodeID) bool {
 		}
 	}
 	return lo < len(s) && s[lo] == v
+}
+
+// chunkWorkers reports the fan-out width forEachChunk uses for n items.
+func chunkWorkers(n int, parallel bool) int {
+	if !parallel || n < 256 {
+		return 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	return workers
 }
 
 // forEachChunk runs fn over [0,n) either in one call (sequential) or split

@@ -3,6 +3,8 @@ package device
 import (
 	"fmt"
 	"time"
+
+	"buffalo/internal/obs"
 )
 
 // Cluster is a set of identical simulated GPUs connected by a shared
@@ -16,6 +18,7 @@ type Cluster struct {
 	linkLatency   time.Duration
 
 	commTime time.Duration
+	rec      *obs.Recorder
 }
 
 // NewCluster builds n identical GPUs named base-0..base-(n-1).
@@ -27,6 +30,9 @@ func NewCluster(base string, n int, capacity int64, opts ...Option) (*Cluster, e
 	for i := 0; i < n; i++ {
 		c.gpus = append(c.gpus, NewGPU(fmt.Sprintf("%s-%d", base, i), capacity, opts...))
 	}
+	// The interconnect reports to the same recorder the per-GPU options
+	// installed (WithRecorder applies to every device identically).
+	c.rec = c.gpus[0].rec
 	return c, nil
 }
 
@@ -49,16 +55,27 @@ func (c *Cluster) AllReduce(size int64) time.Duration {
 	d := time.Duration(float64(steps)*(chunk/c.linkBandwidth)*float64(time.Second)) +
 		time.Duration(steps)*c.linkLatency
 	c.commTime += d
+	c.rec.Span(obs.KindAllReduce, "", "allreduce", d, size, int64(n))
 	return d
 }
 
 // CommTime reports the accumulated all-reduce time.
 func (c *Cluster) CommTime() time.Duration { return c.commTime }
 
-// ResetClocks zeroes every device clock and the interconnect clock.
+// ResetClocks zeroes every device clock and the interconnect clock. Like
+// GPU.ResetClocks it leaves peak watermarks alone; Reset does both.
 func (c *Cluster) ResetClocks() {
 	c.commTime = 0
 	for _, g := range c.gpus {
 		g.ResetClocks()
+	}
+}
+
+// Reset zeroes the interconnect clock and atomically resets every device's
+// peak watermark and clocks (GPU.Reset per device).
+func (c *Cluster) Reset() {
+	c.commTime = 0
+	for _, g := range c.gpus {
+		g.Reset()
 	}
 }

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"buffalo/internal/obs"
 )
 
 // Common capacity constants at reproduction scale: the paper's 16/24/48/80 GB
@@ -59,6 +61,13 @@ type GPU struct {
 	bandwidth float64 // bytes per second
 	latency   time.Duration
 
+	// rec receives every ledger and clock event. Ledger events (alloc,
+	// free, OOM) are recorded while the ledger mutex is held, so the trace
+	// is a coherent serialization of the ledger even under concurrent
+	// allocators — the timeline reconstructor's replayed peak matches
+	// Peak() exactly. A nil recorder costs one pointer check per call.
+	rec *obs.Recorder
+
 	mu           sync.Mutex
 	live         int64
 	peak         int64
@@ -80,6 +89,13 @@ func WithBandwidth(bytesPerSec float64) Option {
 // WithLatency sets the simulated per-transfer latency.
 func WithLatency(d time.Duration) Option {
 	return func(g *GPU) { g.latency = d }
+}
+
+// WithRecorder attaches an observability recorder (see internal/obs) to the
+// device: every alloc, free, OOM fault, transfer and compute accrual is
+// traced. A nil recorder disables recording at zero cost.
+func WithRecorder(r *obs.Recorder) Option {
+	return func(g *GPU) { g.rec = r }
 }
 
 // NewGPU builds a simulated GPU with the given memory capacity in bytes.
@@ -121,6 +137,7 @@ func (g *GPU) Alloc(tag string, size int64) (*Allocation, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.live+size > g.capacity {
+		g.rec.Event(obs.KindOOM, g.name, tag, size, g.live, 0)
 		return nil, &OOMError{Device: g.name, Tag: tag, Requested: size, Live: g.live, Capacity: g.capacity}
 	}
 	g.live += size
@@ -130,6 +147,7 @@ func (g *GPU) Alloc(tag string, size int64) (*Allocation, error) {
 	g.allocSeq++
 	a := &Allocation{gpu: g, id: g.allocSeq, Tag: tag, Bytes: size}
 	g.liveAllocs[a.id] = a
+	g.rec.Event(obs.KindAlloc, g.name, tag, size, g.live, 0)
 	return a, nil
 }
 
@@ -147,6 +165,7 @@ func (a *Allocation) Free() {
 	a.freed = true
 	a.gpu.live -= a.Bytes
 	delete(a.gpu.liveAllocs, a.id)
+	a.gpu.rec.Event(obs.KindFree, a.gpu.name, a.Tag, a.Bytes, a.gpu.live, 0)
 }
 
 // Live returns the currently reserved bytes.
@@ -163,7 +182,10 @@ func (g *GPU) Peak() int64 {
 	return g.peak
 }
 
-// ResetPeak sets the high-water mark to the current live bytes.
+// ResetPeak sets the high-water mark to the current live bytes. It does NOT
+// touch the transfer/compute clocks — callers that want a full per-iteration
+// reset of both watermark and clocks in one critical section should use
+// Reset instead.
 func (g *GPU) ResetPeak() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -190,6 +212,7 @@ func (g *GPU) TransferH2D(size int64) time.Duration {
 	g.transferTime += d
 	g.transferred += size
 	g.mu.Unlock()
+	g.rec.Span(obs.KindTransferH2D, g.name, "h2d", d, size, 0)
 	return d
 }
 
@@ -200,6 +223,7 @@ func (g *GPU) AddComputeTime(d time.Duration) {
 	g.mu.Lock()
 	g.computeTime += d
 	g.mu.Unlock()
+	g.rec.Span(obs.KindCompute, g.name, "kernel", d, 0, 0)
 }
 
 // Stats is a point-in-time snapshot of a device's counters.
@@ -229,9 +253,24 @@ func (g *GPU) Stats() Stats {
 }
 
 // ResetClocks zeroes the transfer and compute clocks (per-iteration timing).
+// It does NOT touch the peak watermark — see Reset for the combined form.
 func (g *GPU) ResetClocks() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.transferTime = 0
+	g.transferred = 0
+	g.computeTime = 0
+}
+
+// Reset combines ResetPeak and ResetClocks in one critical section: the peak
+// watermark drops to the current live bytes and the transfer/compute clocks
+// zero atomically, so a concurrent observer can never see a reset watermark
+// paired with a stale clock (or vice versa). Trainers call this at iteration
+// start.
+func (g *GPU) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.peak = g.live
 	g.transferTime = 0
 	g.transferred = 0
 	g.computeTime = 0

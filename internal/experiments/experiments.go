@@ -20,6 +20,7 @@ import (
 	"buffalo/internal/gnn"
 	"buffalo/internal/graph"
 	"buffalo/internal/memest"
+	"buffalo/internal/obs"
 	"buffalo/internal/partition"
 	"buffalo/internal/sampling"
 	"buffalo/internal/schedule"
@@ -119,6 +120,11 @@ type Options struct {
 	// minutes; the full mode includes papers-mini and more sweep points.
 	Quick bool
 	Seed  int64
+	// Obs optionally records every experiment's training runs. When the
+	// recorder carries a metrics registry, Run renders a per-experiment
+	// metrics summary after each table and resets the registry between
+	// experiments so summaries do not bleed into each other.
+	Obs *obs.Recorder
 }
 
 // Runner is one experiment generator.
@@ -165,6 +171,9 @@ func Run(id string, opts Options, w io.Writer) error {
 			if err := t.Render(w); err != nil {
 				return fmt.Errorf("experiments: %s: rendering: %w", e.ID, err)
 			}
+			if err := renderMetrics(e.ID, opts.Obs, w); err != nil {
+				return fmt.Errorf("experiments: %s: metrics: %w", e.ID, err)
+			}
 			if id == e.ID {
 				return nil
 			}
@@ -174,6 +183,28 @@ func Run(id string, opts Options, w io.Writer) error {
 		return fmt.Errorf("experiments: unknown id %q", id)
 	}
 	return nil
+}
+
+// renderMetrics prints the recorder's per-experiment metrics summary and
+// resets the registry so each experiment's table reflects only its own runs.
+// A nil recorder (or one without a metrics registry) renders nothing.
+func renderMetrics(id string, rec *obs.Recorder, w io.Writer) error {
+	m := rec.Metrics()
+	if m == nil {
+		return nil
+	}
+	defer m.Reset()
+	if len(m.Snapshot()) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "-- %s metrics --\n", id); err != nil {
+		return err
+	}
+	if err := m.WriteSummary(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // ---- shared helpers -------------------------------------------------------
@@ -383,14 +414,15 @@ func wallConfigs(opts Options) []wallConfig {
 }
 
 // runWall measures one bar for one system; returns ("OOM", 0) on overflow.
-func runWall(ds *datagen.Dataset, wc wallConfig, sys train.System, budget int64, batch int, seed int64) (string, int, error) {
+func runWall(ds *datagen.Dataset, wc wallConfig, sys train.System, budget int64, batch int, opts Options) (string, int, error) {
 	cfg := train.Config{
 		System:    sys,
 		Model:     sageConfig(ds, wc.agg, wc.layers, wc.hidden),
 		Fanouts:   wc.fanouts,
 		BatchSize: batch,
 		MemBudget: budget,
-		Seed:      seed,
+		Seed:      opts.Seed,
+		Obs:       opts.Obs,
 	}
 	s, err := train.NewSession(ds, cfg)
 	if err != nil {
@@ -426,7 +458,7 @@ func Fig2MemoryWall(opts Options) (*Table, error) {
 		Headers:    []string{"config", "peak-or-OOM"},
 	}
 	for _, wc := range wallConfigs(opts) {
-		peak, _, err := runWall(ds, wc, train.DGL, p.budget, p.batch, opts.Seed)
+		peak, _, err := runWall(ds, wc, train.DGL, p.budget, p.batch, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -452,11 +484,11 @@ func Fig13BreakWall(opts Options) (*Table, error) {
 			"per MB of budget than the paper does per GB (DESIGN.md §3); the resolved-vs-OOM shape is scale-free"},
 	}
 	for _, wc := range wallConfigs(opts) {
-		dgl, _, err := runWall(ds, wc, train.DGL, p.budget, p.batch, opts.Seed)
+		dgl, _, err := runWall(ds, wc, train.DGL, p.budget, p.batch, opts)
 		if err != nil {
 			return nil, err
 		}
-		bf, k, err := runWall(ds, wc, train.Buffalo, p.budget, p.batch, opts.Seed)
+		bf, k, err := runWall(ds, wc, train.Buffalo, p.budget, p.batch, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -553,6 +585,7 @@ func Fig5PhaseTimes(opts Options) (*Table, error) {
 			MemBudget:    device.GB,
 			MicroBatches: 8,
 			Seed:         opts.Seed,
+			Obs:          opts.Obs,
 		}
 		s, err := train.NewSession(ds, cfg)
 		if err != nil {
@@ -594,7 +627,7 @@ func Fig9ScheduleExample(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := schedule.Schedule(b, est, schedule.Options{MemLimit: whole/2 + whole/20})
+	plan, err := schedule.Schedule(b, est, schedule.Options{MemLimit: whole/2 + whole/20, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -636,7 +669,7 @@ func Fig10Pareto(opts Options) (*Table, error) {
 		// Full-batch systems (K = 1), under the budget: OOM on large sets.
 		for _, sys := range []train.System{train.DGL, train.PyG} {
 			cfg := train.Config{System: sys, Model: model, Fanouts: p.fanouts,
-				BatchSize: p.batch, MemBudget: p.budget, Seed: opts.Seed}
+				BatchSize: p.batch, MemBudget: p.budget, Seed: opts.Seed, Obs: opts.Obs}
 			s, err := train.NewSession(ds, cfg)
 			if err != nil {
 				return nil, err
@@ -659,7 +692,8 @@ func Fig10Pareto(opts Options) (*Table, error) {
 		for _, sys := range []train.System{train.Betty, train.Buffalo} {
 			for _, k := range ks {
 				cfg := train.Config{System: sys, Model: model, Fanouts: p.fanouts,
-					BatchSize: p.batch, MemBudget: 16 * device.GB, MicroBatches: k, Seed: opts.Seed}
+					BatchSize: p.batch, MemBudget: 16 * device.GB, MicroBatches: k,
+					Seed: opts.Seed, Obs: opts.Obs}
 				s, err := train.NewSession(ds, cfg)
 				if err != nil {
 					return nil, err
@@ -707,7 +741,8 @@ func Fig11Breakdown(opts Options) (*Table, error) {
 		model := sageConfig(ds, gnn.LSTM, 2, p.hidden)
 		for _, sys := range []train.System{train.Betty, train.Buffalo} {
 			cfg := train.Config{System: sys, Model: model, Fanouts: p.fanouts,
-				BatchSize: p.batch, MemBudget: 16 * device.GB, MicroBatches: 8, Seed: opts.Seed}
+				BatchSize: p.batch, MemBudget: 16 * device.GB, MicroBatches: 8,
+				Seed: opts.Seed, Obs: opts.Obs}
 			s, err := train.NewSession(ds, cfg)
 			if err != nil {
 				return nil, err
@@ -827,7 +862,7 @@ func Fig14LoadBalance(opts Options) (*Table, error) {
 		cfg := train.Config{System: train.Buffalo,
 			Model: sageConfig(ds, gnn.LSTM, 2, p.hidden), Fanouts: p.fanouts,
 			BatchSize: p.batch, MemBudget: 16 * device.GB, MicroBatches: c.k,
-			Seed: opts.Seed}
+			Seed: opts.Seed, Obs: opts.Obs}
 		s, err := train.NewSession(ds, cfg)
 		if err != nil {
 			return nil, err
@@ -874,7 +909,7 @@ func Fig15BudgetSweep(opts Options) (*Table, error) {
 	for _, budget := range budgets {
 		cfg := train.Config{System: train.Buffalo,
 			Model: sageConfig(ds, gnn.LSTM, 2, p.hidden), Fanouts: p.fanouts,
-			BatchSize: p.batch, MemBudget: budget, Seed: opts.Seed}
+			BatchSize: p.batch, MemBudget: budget, Seed: opts.Seed, Obs: opts.Obs}
 		s, err := train.NewSession(ds, cfg)
 		if err != nil {
 			return nil, err
@@ -921,7 +956,7 @@ func Fig16ComputeEfficiency(opts Options) (*Table, error) {
 	var buffaloEff float64
 	for _, sys := range []train.System{train.RandomP, train.RangeP, train.MetisP, train.Betty, train.Buffalo} {
 		cfg := train.Config{System: sys, Model: model, Fanouts: p.fanouts,
-			BatchSize: p.batch, MemBudget: p.budget, Seed: opts.Seed}
+			BatchSize: p.batch, MemBudget: p.budget, Seed: opts.Seed, Obs: opts.Obs}
 		switch sys {
 		case train.Buffalo, train.Betty:
 			// Both search K against the budget themselves.
@@ -1039,7 +1074,7 @@ func Fig17Convergence(opts Options) (*Table, error) {
 			return train.NewSession(ds, train.Config{System: sys, Model: model,
 				Fanouts: []int{10, 25}, BatchSize: batchSize,
 				MemBudget: 16 * device.GB, MicroBatches: k, Seed: opts.Seed,
-				LearningRate: 0.01})
+				LearningRate: 0.01, Obs: opts.Obs})
 		}
 		full, err := mk(train.DGL, 0)
 		if err != nil {
@@ -1196,7 +1231,7 @@ func Table4LossParity(opts Options) (*Table, error) {
 		for ai, model := range archs {
 			run := func(sys train.System) (string, error) {
 				cfg := train.Config{System: sys, Model: model, Fanouts: p.fanouts,
-					BatchSize: p.batch, MemBudget: p.budget, Seed: opts.Seed}
+					BatchSize: p.batch, MemBudget: p.budget, Seed: opts.Seed, Obs: opts.Obs}
 				s, err := train.NewSession(ds, cfg)
 				if err != nil {
 					if device.IsOOM(err) {
@@ -1252,7 +1287,7 @@ func MultiGPU(opts Options) (*Table, error) {
 	for _, gpus := range []int{1, 2} {
 		cfg := train.Config{System: train.Buffalo,
 			Model: sageConfig(ds, gnn.LSTM, 2, p.hidden), Fanouts: p.fanouts,
-			BatchSize: p.batch, MemBudget: p.budget, Seed: opts.Seed}
+			BatchSize: p.batch, MemBudget: p.budget, Seed: opts.Seed, Obs: opts.Obs}
 		dp, err := train.NewDataParallel(ds, cfg, gpus)
 		if err != nil {
 			return nil, err

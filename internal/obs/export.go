@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// jsonlEvent is the JSONL wire form of an Event: stable lowercase keys, the
+// kind spelled out, timestamps in nanoseconds.
+type jsonlEvent struct {
+	Seq   uint64 `json:"seq"`
+	TSNs  int64  `json:"ts_ns"`
+	DurNs int64  `json:"dur_ns,omitempty"`
+	Kind  string `json:"kind"`
+	Name  string `json:"name,omitempty"`
+	Dev   string `json:"dev,omitempty"`
+	Bytes int64  `json:"bytes,omitempty"`
+	Live  int64  `json:"live,omitempty"`
+	Aux   int64  `json:"aux,omitempty"`
+}
+
+// WriteJSONL writes the trace as one JSON object per line. Write and encode
+// errors propagate immediately — a truncated trace must not pass silently.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, t.Events())
+}
+
+// WriteJSONL writes events as JSON Lines.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		je := jsonlEvent{
+			Seq: ev.Seq, TSNs: int64(ev.TS), DurNs: int64(ev.Dur),
+			Kind: ev.Kind.String(), Name: ev.Name, Dev: ev.Dev,
+			Bytes: ev.Bytes, Live: ev.Live, Aux: ev.Aux,
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("obs: writing JSONL trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format's JSON Array
+// representation, loadable in chrome://tracing and Perfetto. Required keys
+// per the spec: name, ph, ts, pid, tid (cat and args are conventional).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the Chrome trace_event JSON Object container.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace_event format.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Events())
+}
+
+// WriteChromeTrace writes events in the Chrome trace_event JSON Object
+// format. Spans become complete ("X") events, instants become instant ("i")
+// events, and ledger alloc/free/OOM events additionally drive a per-device
+// counter ("C") track named "mem/<device>" so the live-bytes curve renders
+// as a timeline directly above the spans that caused it. Each device gets
+// its own tid with a thread_name metadata record; device-less events share
+// tid 0 ("scheduler").
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+
+	const pid = 1
+	tids := map[string]int{"": 0}
+	tidOf := func(dev string) int {
+		id, ok := tids[dev]
+		if !ok {
+			id = len(tids)
+			tids[dev] = id
+		}
+		return id
+	}
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+	out := make([]chromeEvent, 0, len(sorted)+8)
+	for _, ev := range sorted {
+		name := ev.Name
+		if name == "" {
+			name = ev.Kind.String()
+		}
+		ce := chromeEvent{
+			Name: name, Cat: ev.Kind.String(), TS: us(ev.TS),
+			PID: pid, TID: tidOf(ev.Dev),
+			Args: map[string]any{"bytes": ev.Bytes, "live": ev.Live, "aux": ev.Aux, "seq": ev.Seq},
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = us(ev.Dur)
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out = append(out, ce)
+		switch ev.Kind {
+		case KindAlloc, KindFree, KindOOM:
+			out = append(out, chromeEvent{
+				Name: "mem/" + ev.Dev, Ph: "C", TS: us(ev.TS),
+				PID: pid, TID: tidOf(ev.Dev),
+				Args: map[string]any{"live": ev.Live},
+			})
+		}
+	}
+	// Thread-name metadata so Perfetto labels each device's track.
+	names := make([]string, 0, len(tids))
+	for dev := range tids {
+		names = append(names, dev)
+	}
+	sort.Strings(names)
+	for _, dev := range names {
+		label := dev
+		if label == "" {
+			label = "scheduler"
+		}
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tids[dev],
+			Args: map[string]any{"name": label},
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTraceFile{TraceEvents: out, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("obs: writing Chrome trace: %w", err)
+	}
+	return nil
+}

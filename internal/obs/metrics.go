@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fixed histogram bucket layouts. Sharing layouts keeps every histogram a
+// flat array of atomic counters — no per-observation allocation, no
+// locking — and makes snapshots comparable across runs.
+var (
+	// ByteBuckets spans 1KB..16GB in powers of four: wide enough for the
+	// reproduction's MB-scale budgets and a real run's GB-scale ones.
+	ByteBuckets = []int64{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+		1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
+		1 << 30, 4 << 30, 16 << 30,
+	}
+	// DurationBuckets spans 1µs..100s in decades, in nanoseconds.
+	DurationBuckets = []int64{
+		int64(time.Microsecond), int64(10 * time.Microsecond), int64(100 * time.Microsecond),
+		int64(time.Millisecond), int64(10 * time.Millisecond), int64(100 * time.Millisecond),
+		int64(time.Second), int64(10 * time.Second), int64(100 * time.Second),
+	}
+	// PercentBuckets is for relative errors (the memory estimator's
+	// predicted-vs-actual deviation, in percent).
+	PercentBuckets = []int64{1, 2, 5, 10, 15, 25, 50, 100}
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// safe on a nil receiver and for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value metric (e.g. the scheduler's most recent
+// K). All methods are safe on a nil receiver and for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed, registry-shared bucket
+// boundaries (counts[i] counts values <= bounds[i]; the final implicit
+// bucket counts overflows). Observations are two atomic adds — no locks.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last is the overflow bucket
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean reports the average observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) at bucket
+// resolution: the boundary of the bucket the quantile falls in. When the
+// quantile lands in the unbounded overflow bucket, the overall mean is
+// returned as a best-effort indicator.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			// Overflow bucket: no upper boundary; report the overall mean
+			// scaled up as a conservative indicator.
+			return h.sum.Load() / n
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Metrics is a named-instrument registry. Instruments are get-or-create and
+// live forever; hot paths should capture the returned pointer once (the
+// Recorder pre-registers one counter and two histograms per event kind).
+// All methods are safe on a nil receiver and for concurrent use.
+type Metrics struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[name]; c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	g := m.gauges[name]
+	m.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g = m.gauges[name]; g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// boundaries on first use. Boundaries must be sorted ascending; later calls
+// with different boundaries return the original instrument.
+func (m *Metrics) Histogram(name string, bounds []int64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	h := m.hists[name]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h = m.hists[name]; h == nil {
+		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered instrument (instruments stay registered, so
+// captured pointers keep working — used between experiments).
+func (m *Metrics) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, c := range m.counters {
+		c.v.Store(0)
+	}
+	for _, g := range m.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range m.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.n.Store(0)
+	}
+}
+
+// MetricValue is one row of a registry snapshot.
+type MetricValue struct {
+	Name  string
+	Type  string // "counter", "gauge", "histogram"
+	Value int64  // counter/gauge value; histogram observation count
+	Sum   int64  // histogram only
+	Mean  float64
+	P50   int64 // histogram bucket-resolution quantiles
+	P99   int64
+}
+
+// Snapshot returns every instrument with a non-zero value, sorted by name.
+// Zero-valued instruments are skipped so summaries only show what actually
+// happened.
+func (m *Metrics) Snapshot() []MetricValue {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]MetricValue, 0, len(m.counters)+len(m.gauges)+len(m.hists))
+	for name, c := range m.counters {
+		if v := c.Value(); v != 0 {
+			out = append(out, MetricValue{Name: name, Type: "counter", Value: v})
+		}
+	}
+	for name, g := range m.gauges {
+		if v := g.Value(); v != 0 {
+			out = append(out, MetricValue{Name: name, Type: "gauge", Value: v})
+		}
+	}
+	for name, h := range m.hists {
+		if n := h.Count(); n != 0 {
+			out = append(out, MetricValue{
+				Name: name, Type: "histogram", Value: n, Sum: h.Sum(),
+				Mean: h.Mean(), P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteSummary renders the snapshot as an aligned text table. Write errors
+// propagate: the first failure stops rendering and is returned.
+func (m *Metrics) WriteSummary(w io.Writer) error {
+	snap := m.Snapshot()
+	if len(snap) == 0 {
+		_, err := fmt.Fprintln(w, "obs: no metrics recorded")
+		return err
+	}
+	rows := make([][3]string, 0, len(snap))
+	for _, v := range snap {
+		var val string
+		switch v.Type {
+		case "histogram":
+			val = fmt.Sprintf("n=%d sum=%d mean=%.1f p50<=%d p99<=%d", v.Value, v.Sum, v.Mean, v.P50, v.P99)
+		default:
+			val = fmt.Sprintf("%d", v.Value)
+		}
+		rows = append(rows, [3]string{v.Name, v.Type, val})
+	}
+	nameW, typeW := len("metric"), len("type")
+	for _, r := range rows {
+		if len(r[0]) > nameW {
+			nameW = len(r[0])
+		}
+		if len(r[1]) > typeW {
+			typeW = len(r[1])
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %-*s  %s\n", nameW, "metric", typeW, "type", "value"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %s\n", nameW, r[0], typeW, r[1], r[2]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

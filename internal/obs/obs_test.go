@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObsNilRecorderZeroAllocs pins the disabled-path contract: a nil
+// recorder's methods allocate nothing (the instrumented hot paths pay only
+// a nil check when observability is off).
+func TestObsNilRecorderZeroAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Event(KindAlloc, "gpu-0", "features", 4096, 8192, 0)
+		r.Span(KindPlan, "", "buffalo", time.Millisecond, 1<<20, 4)
+		r.Trace().record(Event{})
+		r.Metrics().Counter("x").Add(1)
+		r.Metrics().Histogram("y", ByteBuckets).Observe(1)
+		r.Metrics().Gauge("z").Set(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestObsTraceRecordsAndOrders(t *testing.T) {
+	tr := NewTrace()
+	r := NewRecorder(tr, nil)
+	r.Event(KindAlloc, "g", "a", 100, 100, 0)
+	r.Event(KindAlloc, "g", "b", 50, 150, 0)
+	r.Event(KindFree, "g", "a", 100, 50, 0)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d: seq %d", i, ev.Seq)
+		}
+	}
+	if evs[1].Live != 150 || evs[2].Kind != KindFree {
+		t.Errorf("unexpected events: %+v", evs)
+	}
+}
+
+func TestObsRingTraceBoundsMemory(t *testing.T) {
+	tr := NewRingTrace(4)
+	r := NewRecorder(tr, nil)
+	for i := 0; i < 10; i++ {
+		r.Event(KindMark, "", "e", int64(i), 0, 0)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring len %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	// The most recent 4 events survive, oldest first.
+	for i, want := range []int64{6, 7, 8, 9} {
+		if evs[i].Bytes != want {
+			t.Fatalf("ring slot %d holds bytes=%d, want %d (events %+v)", i, evs[i].Bytes, want, evs)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("reset left len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestObsSpanBackdatesStart(t *testing.T) {
+	tr := NewTrace()
+	r := NewRecorder(tr, nil)
+	time.Sleep(2 * time.Millisecond)
+	r.Span(KindForward, "g", "fwd", time.Millisecond, 0, 0)
+	ev := tr.Events()[0]
+	if ev.Dur != time.Millisecond {
+		t.Fatalf("dur = %v", ev.Dur)
+	}
+	if ev.TS <= 0 {
+		t.Fatalf("span start not back-dated into the trace: ts=%v", ev.TS)
+	}
+}
+
+func TestObsMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a").Add(2)
+	m.Counter("a").Add(3)
+	m.Gauge("k").Set(7)
+	h := m.Histogram("lat", DurationBuckets)
+	for _, v := range []int64{500, int64(5 * time.Microsecond), int64(50 * time.Millisecond)} {
+		h.Observe(v)
+	}
+	if got := m.Counter("a").Value(); got != 5 {
+		t.Errorf("counter = %d", got)
+	}
+	if got := m.Gauge("k").Value(); got != 7 {
+		t.Errorf("gauge = %d", got)
+	}
+	if h.Count() != 3 {
+		t.Errorf("hist count = %d", h.Count())
+	}
+	if h.Quantile(0.5) != int64(10*time.Microsecond) {
+		t.Errorf("p50 = %d", h.Quantile(0.5))
+	}
+	snap := m.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d rows: %+v", len(snap), snap)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"metric", "lat", "histogram", "n=3"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, buf.String())
+		}
+	}
+	m.Reset()
+	if got := m.Counter("a").Value(); got != 0 {
+		t.Errorf("counter after reset = %d", got)
+	}
+	if len(m.Snapshot()) != 0 {
+		t.Errorf("snapshot after reset: %+v", m.Snapshot())
+	}
+}
+
+// TestObsMetricsConcurrent exercises the registry under the race detector
+// (scripts/check.sh runs this package with -race -run Obs).
+func TestObsMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	r := NewRecorder(NewRingTrace(128), m)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Event(KindAlloc, "g", "t", int64(i), int64(i), 0)
+				r.Span(KindForward, "g", "f", time.Microsecond, 0, 0)
+				m.Counter("shared").Add(1)
+				m.Histogram("h", ByteBuckets).Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Counter("shared").Value(); got != 8*500 {
+		t.Fatalf("shared counter = %d", got)
+	}
+	if got := m.Counter("alloc/count").Value(); got != 8*500 {
+		t.Fatalf("alloc/count = %d", got)
+	}
+}
+
+// TestObsChromeTraceFormat validates the emitted Chrome trace_event JSON
+// against the format's required keys, so the file is guaranteed loadable in
+// chrome://tracing / Perfetto (the acceptance criterion of ISSUE 2).
+func TestObsChromeTraceFormat(t *testing.T) {
+	tr := NewTrace()
+	r := NewRecorder(tr, nil)
+	r.Event(KindAlloc, "gpu-0", "features", 4096, 4096, 0)
+	r.Span(KindForward, "gpu-0", "fwd", 3*time.Millisecond, 0, 0)
+	r.Event(KindFree, "gpu-0", "features", 4096, 0, 0)
+	r.Span(KindPlan, "", "buffalo", time.Millisecond, 1<<20, 4)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if file.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.Unit)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	phs := map[string]int{}
+	for i, ev := range file.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("traceEvents[%d] missing required key %q: %v", i, key, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		phs[ph]++
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event missing dur: %v", ev)
+			}
+			fallthrough
+		case "i", "C":
+			if _, ok := ev["ts"]; !ok {
+				t.Errorf("%q event missing ts: %v", ph, ev)
+			}
+		case "M":
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	// Spans, instants, memory counters and thread-name metadata all present.
+	for _, ph := range []string{"X", "i", "C", "M"} {
+		if phs[ph] == 0 {
+			t.Errorf("no %q events emitted (got %v)", ph, phs)
+		}
+	}
+	if phs["C"] != 2 {
+		t.Errorf("want one counter sample per ledger event, got %d", phs["C"])
+	}
+}
+
+func TestObsJSONLRoundtrip(t *testing.T) {
+	tr := NewTrace()
+	r := NewRecorder(tr, nil)
+	r.Event(KindAlloc, "g", "a", 1, 1, 0)
+	r.Span(KindBackward, "g", "b", time.Millisecond, 0, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["kind"] != "backward" || rec["aux"].(float64) != 2 {
+		t.Errorf("unexpected JSONL record: %v", rec)
+	}
+}
+
+// failWriter fails after n bytes, proving exporter errors propagate.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errWrite
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink full" }
+
+func TestObsExportErrorsPropagate(t *testing.T) {
+	tr := NewTrace()
+	r := NewRecorder(tr, nil)
+	for i := 0; i < 64; i++ {
+		r.Event(KindAlloc, "g", "a", 1, 1, 0)
+	}
+	if err := tr.WriteJSONL(&failWriter{n: 40}); err == nil {
+		t.Error("WriteJSONL swallowed the write error")
+	}
+	if err := tr.WriteChromeTrace(&failWriter{n: 40}); err == nil {
+		t.Error("WriteChromeTrace swallowed the write error")
+	}
+	m := NewMetrics()
+	m.Counter("c").Add(1)
+	if err := m.WriteSummary(&failWriter{n: 4}); err == nil {
+		t.Error("WriteSummary swallowed the write error")
+	}
+}
+
+func TestObsTimelineReconstruct(t *testing.T) {
+	tr := NewTrace()
+	r := NewRecorder(tr, nil)
+	// model(100) -> feat(40) -> act(60) [peak 200] -> free act -> free feat
+	// -> feat2(30) -> oom -> free feat2.
+	r.Event(KindAlloc, "g", "model", 100, 100, 0)
+	r.Event(KindAlloc, "g", "features", 40, 140, 0)
+	r.Event(KindAlloc, "g", "activations/layer0", 60, 200, 0)
+	r.Event(KindFree, "g", "activations/layer0", 60, 140, 0)
+	r.Event(KindFree, "g", "features", 40, 100, 0)
+	r.Event(KindAlloc, "g", "features", 30, 130, 0)
+	r.Event(KindOOM, "g", "activations/layer0", 999, 130, 0)
+	r.Event(KindFree, "g", "features", 30, 100, 0)
+	// A second device's traffic must not leak into g's timeline.
+	r.Event(KindAlloc, "h", "model", 77, 77, 0)
+
+	tl := Reconstruct(tr.Events(), "g")
+	if tl.Peak != 200 {
+		t.Fatalf("peak = %d, want 200", tl.Peak)
+	}
+	if tl.Final != 100 {
+		t.Fatalf("final = %d, want 100", tl.Final)
+	}
+	if tl.OOMs != 1 {
+		t.Fatalf("ooms = %d", tl.OOMs)
+	}
+	if len(tl.PeakSet) != 3 {
+		t.Fatalf("peak set has %d allocations: %+v", len(tl.PeakSet), tl.PeakSet)
+	}
+	var sum int64
+	tags := map[string]bool{}
+	for _, a := range tl.PeakSet {
+		sum += a.Bytes
+		tags[a.Tag] = true
+	}
+	if sum != tl.Peak {
+		t.Fatalf("peak-set bytes %d != peak %d", sum, tl.Peak)
+	}
+	if !tags["model"] || !tags["features"] || !tags["activations/layer0"] {
+		t.Fatalf("peak set tags: %+v", tags)
+	}
+	feat := tl.Tags["features"]
+	if feat == nil || feat.Allocs != 2 || feat.Bytes != 70 || feat.Live != 0 || feat.Peak != 40 {
+		t.Fatalf("features tag curve: %+v", feat)
+	}
+	// Curve is monotone-consistent: every point's live >= 0 and the max
+	// equals the peak.
+	var mx int64
+	for _, p := range tl.Points {
+		if p.Live < 0 {
+			t.Fatalf("negative live at seq %d", p.Seq)
+		}
+		if p.Live > mx {
+			mx = p.Live
+		}
+	}
+	if mx != tl.Peak {
+		t.Fatalf("curve max %d != peak %d", mx, tl.Peak)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "peak 200 bytes") {
+		t.Errorf("summary:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// AllocRef identifies one live allocation during timeline replay.
+type AllocRef struct {
+	Tag   string
+	Bytes int64
+	TS    time.Duration // when the allocation was charged
+	Seq   uint64
+}
+
+// Point is one step of a device's live-bytes curve.
+type Point struct {
+	TS   time.Duration
+	Seq  uint64
+	Live int64
+}
+
+// TagCurve aggregates one allocation tag's ledger activity.
+type TagCurve struct {
+	Tag    string
+	Allocs int64 // number of charges
+	Bytes  int64 // total bytes charged
+	Live   int64 // live bytes at end of replay
+	Peak   int64 // the tag's own high-water mark
+}
+
+// Timeline is the reconstruction of one device's memory schedule from its
+// trace: the full live-bytes curve, the high-water mark with the exact set
+// of allocations that coexisted at that instant, and per-tag live/peak
+// aggregates. It answers the questions end-of-run aggregates cannot: when
+// the peak happened, and which allocations formed it.
+type Timeline struct {
+	Device string
+	Points []Point
+	// Peak is the high-water mark over the replay; PeakTS/PeakSeq locate
+	// the instant it was first reached, and PeakSet lists the allocations
+	// live at that instant (the coexistence set the scheduler planned).
+	Peak    int64
+	PeakTS  time.Duration
+	PeakSeq uint64
+	PeakSet []AllocRef
+	// Tags maps allocation tag -> per-tag curve aggregate.
+	Tags map[string]*TagCurve
+	// Final is the live bytes at the end of the replay.
+	Final int64
+	// OOMs counts rejected charges observed in the stream.
+	OOMs int
+}
+
+// Reconstruct replays the ledger events (KindAlloc/KindFree/KindOOM) of the
+// named device — every device when device is "" and the stream only holds
+// one — into a Timeline. Events must come from a single device's coherent
+// stream (the device ledger records alloc/free outside its mutex but in a
+// serialized order; Seq order is replay order). Free events are matched to
+// the most recent outstanding allocation with the same tag (LIFO), which is
+// exact for the trainer's defer-based release discipline.
+func Reconstruct(events []Event, device string) *Timeline {
+	tl := &Timeline{Device: device, Tags: make(map[string]*TagCurve)}
+	replay := make([]Event, 0, len(events))
+	for _, ev := range events {
+		if device != "" && ev.Dev != device {
+			continue
+		}
+		switch ev.Kind {
+		case KindAlloc, KindFree, KindOOM:
+			replay = append(replay, ev)
+		}
+	}
+	sort.SliceStable(replay, func(i, j int) bool { return replay[i].Seq < replay[j].Seq })
+
+	// Pass 1: live curve, peak instant, per-tag aggregates.
+	var live int64
+	for _, ev := range replay {
+		switch ev.Kind {
+		case KindAlloc:
+			live += ev.Bytes
+			tc := tl.tag(ev.Name)
+			tc.Allocs++
+			tc.Bytes += ev.Bytes
+			tc.Live += ev.Bytes
+			if tc.Live > tc.Peak {
+				tc.Peak = tc.Live
+			}
+			if live > tl.Peak {
+				tl.Peak = live
+				tl.PeakTS = ev.TS
+				tl.PeakSeq = ev.Seq
+			}
+		case KindFree:
+			live -= ev.Bytes
+			tl.tag(ev.Name).Live -= ev.Bytes
+		case KindOOM:
+			tl.OOMs++
+			continue
+		}
+		tl.Points = append(tl.Points, Point{TS: ev.TS, Seq: ev.Seq, Live: live})
+	}
+	tl.Final = live
+
+	// Pass 2: rebuild the outstanding-allocation set at the peak instant.
+	if tl.Peak > 0 {
+		open := make(map[string][]AllocRef)
+		for _, ev := range replay {
+			if ev.Seq > tl.PeakSeq {
+				break
+			}
+			switch ev.Kind {
+			case KindAlloc:
+				open[ev.Name] = append(open[ev.Name], AllocRef{Tag: ev.Name, Bytes: ev.Bytes, TS: ev.TS, Seq: ev.Seq})
+			case KindFree:
+				if stack := open[ev.Name]; len(stack) > 0 {
+					open[ev.Name] = stack[:len(stack)-1]
+				}
+			}
+		}
+		for _, stack := range open {
+			tl.PeakSet = append(tl.PeakSet, stack...)
+		}
+		sort.Slice(tl.PeakSet, func(i, j int) bool { return tl.PeakSet[i].Seq < tl.PeakSet[j].Seq })
+	}
+	return tl
+}
+
+func (tl *Timeline) tag(name string) *TagCurve {
+	tc := tl.Tags[name]
+	if tc == nil {
+		tc = &TagCurve{Tag: name}
+		tl.Tags[name] = tc
+	}
+	return tc
+}
+
+// WriteSummary renders the timeline's headline facts — peak, when, and the
+// coexisting allocation set — as text. Write errors propagate.
+func (tl *Timeline) WriteSummary(w io.Writer) error {
+	dev := tl.Device
+	if dev == "" {
+		dev = "(all devices)"
+	}
+	if _, err := fmt.Fprintf(w, "memory timeline %s: peak %d bytes at t=%v (seq %d), final live %d, ooms %d\n",
+		dev, tl.Peak, tl.PeakTS, tl.PeakSeq, tl.Final, tl.OOMs); err != nil {
+		return err
+	}
+	for _, a := range tl.PeakSet {
+		if _, err := fmt.Fprintf(w, "  at peak: %-28s %12d bytes (charged t=%v)\n", a.Tag, a.Bytes, a.TS); err != nil {
+			return err
+		}
+	}
+	tags := make([]*TagCurve, 0, len(tl.Tags))
+	for _, tc := range tl.Tags {
+		tags = append(tags, tc)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i].Peak > tags[j].Peak })
+	for _, tc := range tags {
+		if _, err := fmt.Fprintf(w, "  tag %-28s allocs=%-6d total=%-12d peak=%-12d live=%d\n",
+			tc.Tag, tc.Allocs, tc.Bytes, tc.Peak, tc.Live); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 
 	"buffalo/internal/bucket"
 	"buffalo/internal/memest"
+	"buffalo/internal/obs"
 	"buffalo/internal/sampling"
 )
 
@@ -31,6 +32,9 @@ type Options struct {
 	// DisableRedundancy makes the group estimator use R_group = 1 (the
 	// ablation of Eq. 1: plain linear addition of bucket estimates).
 	DisableRedundancy bool
+	// Obs optionally records scheduler decisions (K-search attempts,
+	// explosion splits, the winning K and its estimate). Nil disables.
+	Obs *obs.Recorder
 }
 
 // Plan is the scheduler's result: K bucket groups, each of which becomes one
@@ -92,6 +96,7 @@ func Schedule(b *sampling.Batch, est *memest.Estimator, opts Options) (*Plan, er
 	if k < 1 {
 		k = 1
 	}
+	attempts := int64(0)
 	// K = 1 special case (Algorithm 3's "do not do anything" branch): if the
 	// whole batch fits, the original batch is the single micro-batch.
 	if k == 1 {
@@ -100,8 +105,11 @@ func Schedule(b *sampling.Batch, est *memest.Estimator, opts Options) (*Plan, er
 		if err != nil {
 			return nil, err
 		}
+		attempts++
 		if m <= opts.MemLimit {
-			return &Plan{K: 1, Groups: []*bucket.Group{whole}, Estimates: []int64{m}}, nil
+			plan := &Plan{K: 1, Groups: []*bucket.Group{whole}, Estimates: []int64{m}}
+			recordPlan(opts.Obs, plan, attempts)
+			return plan, nil
 		}
 		// No K below ceil(whole/limit) can be feasible — the total memory
 		// must spread across groups each holding at most the limit — so the
@@ -116,11 +124,29 @@ func Schedule(b *sampling.Batch, est *memest.Estimator, opts Options) (*Plan, er
 		if err != nil {
 			return nil, err
 		}
+		attempts++
 		if ok {
+			recordPlan(opts.Obs, plan, attempts)
 			return plan, nil
 		}
 	}
 	return nil, fmt.Errorf("schedule: no feasible plan within K <= %d for budget %d bytes", kmax, opts.MemLimit)
+}
+
+// recordPlan emits the winning plan's scheduler decisions: how many K
+// values the search tried, the chosen K, whether the explosion bucket was
+// split (and into how many micro-buckets), and the plan's peak estimate.
+func recordPlan(r *obs.Recorder, plan *Plan, attempts int64) {
+	if !r.Enabled() {
+		return
+	}
+	m := r.Metrics()
+	m.Counter("schedule/k_attempts").Add(attempts)
+	m.Gauge("schedule/last_k").Set(int64(plan.K))
+	if plan.Exploded {
+		r.Event(obs.KindMark, "", "schedule/explosion_split", 0, 0, int64(plan.SplitParts))
+	}
+	r.Event(obs.KindMark, "", "schedule/plan", plan.MaxEstimate(), 0, int64(plan.K))
 }
 
 // tryK is one iteration of Algorithm 3's loop: split the explosion bucket

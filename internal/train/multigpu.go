@@ -11,6 +11,7 @@ import (
 	"buffalo/internal/gnn"
 	"buffalo/internal/memest"
 	"buffalo/internal/nn"
+	"buffalo/internal/obs"
 	"buffalo/internal/sampling"
 	"buffalo/internal/schedule"
 	"buffalo/internal/tensor"
@@ -49,7 +50,7 @@ func NewDataParallel(ds *datagen.Dataset, cfg Config, gpus int) (*DataParallel, 
 	if gpus < 1 {
 		return nil, fmt.Errorf("train: need at least 1 GPU, got %d", gpus)
 	}
-	cluster, err := device.NewCluster("gpu", gpus, cfg.MemBudget)
+	cluster, err := device.NewCluster("gpu", gpus, cfg.MemBudget, device.WithRecorder(cfg.Obs))
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +96,8 @@ type MultiGPUResult struct {
 
 // RunIteration executes one data-parallel iteration.
 func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
+	tIter := time.Now()
+	tSample := tIter
 	seeds, err := sampling.UniformSeeds(dp.Data.Graph, dp.Cfg.BatchSize, dp.rng)
 	if err != nil {
 		return nil, err
@@ -103,6 +106,8 @@ func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	dp.Cfg.Obs.Span(obs.KindSample, "", "batch", time.Since(tSample),
+		int64(len(seeds)), int64(len(dp.Cfg.Fanouts)))
 	res := &MultiGPUResult{}
 	mainModel := dp.replicas[0]
 
@@ -117,11 +122,18 @@ func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
 	plan, err := schedule.Schedule(b, est, schedule.Options{
 		MemLimit: limit,
 		KStart:   dp.Cfg.MicroBatches,
+		Obs:      dp.Cfg.Obs,
 	})
 	res.Phases.Scheduling = time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
+	res.PredictedPeak = plan.MaxEstimate() + gpu0.Live()
+	dp.Cfg.Obs.Span(obs.KindPlan, "", string(Buffalo),
+		res.Phases.Scheduling, plan.MaxEstimate(), int64(plan.K))
+	// Per-iteration device accounting: drop peaks to live and zero the
+	// clocks on every device plus the interconnect, in one call.
+	dp.Cluster.Reset()
 
 	// Replicate parameters and zero all gradients.
 	for i, m := range dp.replicas {
@@ -140,12 +152,14 @@ func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
 		dev := gi % dp.Cluster.Size()
 		gpu := dp.Cluster.GPU(dev)
 		model := dp.replicas[dev]
-		tB := time.Now()
-		mb, err := block.Generate(b, g.Nodes())
+		tMB := time.Now()
+		mb, err := block.GenerateTraced(b, g.Nodes(), dp.Cfg.Obs)
 		if err != nil {
 			return nil, err
 		}
-		res.Phases.BlockGen += time.Since(tB)
+		dt := time.Since(tMB)
+		res.Phases.BlockGen += dt
+		dp.Cfg.Obs.Span(obs.KindBlockGen, "", "fast", dt, mb.NumNodes(), int64(len(g.Nodes())))
 		mLoss, bytes, compute, err := dp.executeOn(gpu, model, b, mb)
 		if err != nil {
 			return nil, err
@@ -154,6 +168,8 @@ func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
 		perCompute[dev] += compute
 		res.PerMicroBytes = append(res.PerMicroBytes, bytes)
 		res.TotalNodes += mb.NumNodes()
+		dp.Cfg.Obs.Span(obs.KindMicroBatch, gpu.Name(), fmt.Sprintf("mb%d", gi),
+			time.Since(tMB), bytes, int64(gi))
 	}
 
 	// All-reduce gradients into replica 0 and step once.
@@ -191,6 +207,11 @@ func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
 	}
 	res.Peak = peak
 	res.Phases.DataLoading = transfer
+	if dp.Cfg.Obs.Enabled() {
+		dp.Cfg.Obs.Span(obs.KindIteration, "", string(Buffalo),
+			time.Since(tIter), res.Peak, int64(res.K))
+		memest.RecordEstimate(dp.Cfg.Obs, "", res.PredictedPeak, res.Peak)
+	}
 	return res, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"buffalo/internal/graph"
 	"buffalo/internal/memest"
 	"buffalo/internal/nn"
+	"buffalo/internal/obs"
 	"buffalo/internal/partition"
 	"buffalo/internal/sampling"
 	"buffalo/internal/schedule"
@@ -111,6 +112,13 @@ type Config struct {
 	// Ablation knobs.
 	DisableRedundancy bool // Buffalo: use R_group = 1 in the estimator
 	NaiveBlockGen     bool // Buffalo: use the connection-check generator
+
+	// Obs optionally attaches an observability recorder (see internal/obs):
+	// the session's GPU ledger, the scheduler, block generation and every
+	// iteration phase report to it. Nil disables recording at zero cost.
+	// Phase spans are recorded with the same measured durations accumulated
+	// into Phases, so span sums per kind equal the phase totals exactly.
+	Obs *obs.Recorder
 }
 
 // Validate reports configuration errors.
@@ -141,6 +149,11 @@ type IterationResult struct {
 	Accuracy float64
 	K        int   // micro-batches executed
 	Peak     int64 // device peak bytes during the iteration
+	// PredictedPeak is the scheduler's predicted device peak for the plan it
+	// chose (the winning group estimate plus the fixed resident footprint);
+	// 0 for systems without a memory estimator. Compare against Peak for the
+	// estimator's live accuracy (§V-D).
+	PredictedPeak int64
 	// PerMicroBytes is each micro-batch's features+activations footprint
 	// (Fig 14's load-balance data).
 	PerMicroBytes []int64
@@ -185,7 +198,7 @@ func NewSession(ds *datagen.Dataset, cfg Config) (*Session, error) {
 		lr = 0.01
 	}
 	opt := nn.NewAdam(lr)
-	gpu := device.NewGPU(string(cfg.System), cfg.MemBudget)
+	gpu := device.NewGPU(string(cfg.System), cfg.MemBudget, device.WithRecorder(cfg.Obs))
 	// Fixed footprint: parameters + gradients + Adam moments (2x params).
 	fixed := model.Params.Bytes() + model.Params.Bytes()
 	alloc, err := gpu.Alloc("model+optimizer", fixed)
@@ -217,11 +230,17 @@ func (s *Session) activationBudget() int64 {
 
 // SampleBatch draws the next iteration's batch.
 func (s *Session) SampleBatch() (*sampling.Batch, error) {
+	t0 := time.Now()
 	seeds, err := sampling.UniformSeeds(s.Data.Graph, s.Cfg.BatchSize, s.rng)
 	if err != nil {
 		return nil, err
 	}
-	return sampling.SampleBatch(s.Data.Graph, seeds, s.Cfg.Fanouts, s.rng)
+	b, err := sampling.SampleBatch(s.Data.Graph, seeds, s.Cfg.Fanouts, s.rng)
+	if err == nil {
+		s.Cfg.Obs.Span(obs.KindSample, "", "batch", time.Since(t0),
+			int64(len(seeds)), int64(len(s.Cfg.Fanouts)))
+	}
+	return b, err
 }
 
 // estimator builds the analytical memory model for a batch.
@@ -242,18 +261,19 @@ func (s *Session) RunIteration() (*IterationResult, error) {
 // RunIterationOn is RunIteration against a pre-sampled batch (used by
 // experiments that compare systems on identical batches).
 func (s *Session) RunIterationOn(b *sampling.Batch) (*IterationResult, error) {
+	tIter := time.Now()
 	res := &IterationResult{}
 	parts, err := s.plan(b, res)
 	if err != nil {
 		return nil, err
 	}
-	s.GPU.ResetPeak()
-	s.GPU.ResetClocks()
+	s.GPU.Reset()
 	s.Model.Params.ZeroGrad()
 
 	var lossSum float32
 	var correct, counted int
-	for _, outputs := range parts {
+	for i, outputs := range parts {
+		tMB := time.Now()
 		mb, err := s.buildMicroBatch(b, outputs, res)
 		if err != nil {
 			return nil, err
@@ -267,10 +287,12 @@ func (s *Session) RunIterationOn(b *sampling.Batch) (*IterationResult, error) {
 		counted += len(outputs)
 		res.PerMicroBytes = append(res.PerMicroBytes, bytes)
 		res.TotalNodes += mb.NumNodes()
+		s.Cfg.Obs.Span(obs.KindMicroBatch, s.GPU.Name(), fmt.Sprintf("mb%d", i),
+			time.Since(tMB), bytes, int64(i))
 	}
 	tStep := time.Now()
 	s.Opt.Step(s.Model.Params)
-	s.addCompute(time.Since(tStep), res)
+	s.addCompute(time.Since(tStep), res, obs.KindOptStep)
 
 	res.K = len(parts)
 	res.Loss = lossSum
@@ -279,6 +301,11 @@ func (s *Session) RunIterationOn(b *sampling.Batch) (*IterationResult, error) {
 	}
 	res.Peak = s.GPU.Peak()
 	res.Phases.DataLoading = s.GPU.Stats().TransferTime
+	if s.Cfg.Obs.Enabled() {
+		s.Cfg.Obs.Span(obs.KindIteration, s.GPU.Name(), string(s.Cfg.System),
+			time.Since(tIter), res.Peak, int64(res.K))
+		memest.RecordEstimate(s.Cfg.Obs, s.GPU.Name(), res.PredictedPeak, res.Peak)
+	}
 	return res, nil
 }
 
@@ -302,11 +329,17 @@ func (s *Session) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeI
 			KStart:            s.Cfg.MicroBatches,
 			KMax:              s.fixedKMax(b),
 			DisableRedundancy: s.Cfg.DisableRedundancy,
+			Obs:               s.Cfg.Obs,
 		})
-		res.Phases.Scheduling += time.Since(t0)
+		dt := time.Since(t0)
+		res.Phases.Scheduling += dt
 		if err != nil {
 			return nil, err
 		}
+		// Predicted device peak = the winning group estimate riding on the
+		// fixed resident footprint.
+		res.PredictedPeak = plan.MaxEstimate() + s.GPU.Live()
+		s.Cfg.Obs.Span(obs.KindPlan, "", string(Buffalo), dt, plan.MaxEstimate(), int64(plan.K))
 		parts := make([][]graph.NodeID, len(plan.Groups))
 		for i, g := range plan.Groups {
 			parts[i] = g.Nodes()
@@ -328,6 +361,8 @@ func (s *Session) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeI
 		}
 		res.Phases.REGConstruction += plan.REGTime
 		res.Phases.MetisPartition += plan.MetisTime
+		s.Cfg.Obs.Span(obs.KindPlan, "", string(Betty),
+			plan.REGTime+plan.MetisTime, 0, int64(len(plan.Parts)))
 		return plan.Parts, nil
 	case RandomP, RangeP, MetisP:
 		k := s.Cfg.MicroBatches
@@ -345,7 +380,11 @@ func (s *Session) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeI
 		}
 		t0 := time.Now()
 		parts, err := strat.Partition(b, k, s.Cfg.Seed)
-		res.Phases.MetisPartition += time.Since(t0)
+		dt := time.Since(t0)
+		res.Phases.MetisPartition += dt
+		if err == nil {
+			s.Cfg.Obs.Span(obs.KindPlan, "", string(s.Cfg.System), dt, 0, int64(len(parts)))
+		}
 		return parts, err
 	}
 	return nil, fmt.Errorf("train: unknown system %q", s.Cfg.System)
@@ -369,11 +408,22 @@ func (s *Session) buildMicroBatch(b *sampling.Batch, outputs []graph.NodeID, res
 		mb, check, build, err := block.GenerateNaiveTimed(b, outputs)
 		res.Phases.ConnectionCheck += check
 		res.Phases.BlockGen += build
+		if err == nil {
+			// The BlockGen phase covers only the build half, so the span
+			// mirrors it; the connection-check half is annotated separately
+			// (it is Fig 11's dominant baseline overhead, not construction).
+			s.Cfg.Obs.Span(obs.KindBlockGen, "", "naive/build", build, mb.NumNodes(), int64(len(outputs)))
+			s.Cfg.Obs.Event(obs.KindMark, "", "blockgen/check", 0, 0, int64(check))
+		}
 		return mb, err
 	}
 	t0 := time.Now()
-	mb, err := block.Generate(b, outputs)
-	res.Phases.BlockGen += time.Since(t0)
+	mb, err := block.GenerateTraced(b, outputs, s.Cfg.Obs)
+	dt := time.Since(t0)
+	res.Phases.BlockGen += dt
+	if err == nil {
+		s.Cfg.Obs.Span(obs.KindBlockGen, "", "fast", dt, mb.NumNodes(), int64(len(outputs)))
+	}
 	return mb, err
 }
 
@@ -420,24 +470,30 @@ func (s *Session) executeMicroBatch(b *sampling.Batch, mb *block.MicroBatch, res
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	s.addCompute(time.Since(tFwd), res, obs.KindForward)
+	tBwd := time.Now()
 	if _, err := s.Model.Backward(fwd, dLogits); err != nil {
 		return 0, 0, 0, err
 	}
-	s.addCompute(time.Since(tFwd), res)
+	s.addCompute(time.Since(tBwd), res, obs.KindBackward)
 
 	acc = nn.Accuracy(fwd.Logits, labels)
 	return mLoss, acc, feats.Bytes() + fwd.ActivationBytes(), nil
 }
 
 // addCompute records measured host compute time onto the simulated kernel
-// clock: scaled by the modeled GPU speedup, with the PyG penalty on top.
-func (s *Session) addCompute(d time.Duration, res *IterationResult) {
+// clock: scaled by the modeled GPU speedup, with the PyG penalty on top. The
+// scaled duration is recorded identically as a phase-kind span (forward,
+// backward, optimizer step) and onto Phases.GPUCompute, so the per-kind span
+// sums add up to the phase total exactly.
+func (s *Session) addCompute(d time.Duration, res *IterationResult, kind obs.Kind) {
 	d = time.Duration(float64(d) / s.Cfg.gpuSpeedup())
 	if s.Cfg.System == PyG {
 		d = time.Duration(float64(d) * pygComputePenalty)
 	}
 	s.GPU.AddComputeTime(d)
 	res.Phases.GPUCompute += d
+	s.Cfg.Obs.Span(kind, s.GPU.Name(), "", d, 0, 0)
 }
 
 // gpuSpeedup returns the configured speedup with its default.
@@ -555,6 +611,6 @@ func (s *Session) executeEval(b *sampling.Batch, mb *block.MicroBatch, res *Iter
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	s.addCompute(time.Since(t0), res)
+	s.addCompute(time.Since(t0), res, obs.KindForward)
 	return mLoss, nn.Accuracy(fwd.Logits, labels), feats.Bytes() + fwd.ActivationBytes(), nil
 }

@@ -1,0 +1,49 @@
+package buffalo
+
+import (
+	"buffalo/internal/obs"
+)
+
+// Observability facade: re-exports of internal/obs so library users can
+// attach a recorder to TrainConfig.Obs, export the trace for Perfetto, and
+// reconstruct memory timelines. A nil *Recorder disables everything at zero
+// cost — see the internal/obs package documentation.
+
+// Recorder bundles a trace sink and a metrics registry; attach one via
+// TrainConfig.Obs. All methods are safe on a nil receiver.
+type Recorder = obs.Recorder
+
+// Trace is an in-memory event trace (unbounded or ring-buffered) with JSONL
+// and Chrome trace_event exporters.
+type Trace = obs.Trace
+
+// Metrics is the lock-cheap named-instrument registry (counters, gauges,
+// fixed-bucket histograms).
+type Metrics = obs.Metrics
+
+// TraceEvent is one trace record.
+type TraceEvent = obs.Event
+
+// Timeline is a reconstructed per-device memory timeline: live/peak curves,
+// the high-water-mark instant and the allocation set coexisting there.
+type Timeline = obs.Timeline
+
+// NewRecorder builds a recorder over the given sinks (either may be nil to
+// record only the other).
+func NewRecorder(t *Trace, m *Metrics) *Recorder { return obs.NewRecorder(t, m) }
+
+// NewTrace builds an unbounded trace.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// NewRingTrace builds a bounded trace retaining the most recent capacity
+// events (older ones are dropped and counted).
+func NewRingTrace(capacity int) *Trace { return obs.NewRingTrace(capacity) }
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// ReconstructTimeline replays a trace's ledger events for one device into a
+// memory timeline. The replayed peak equals the device's Peak() exactly.
+func ReconstructTimeline(events []TraceEvent, device string) *Timeline {
+	return obs.Reconstruct(events, device)
+}

@@ -5,7 +5,11 @@
 #   2. go vet          the stock toolchain analyzers
 #   3. buffalo-vet     the domain-aware suite (allocfree, errcheck,
 #                      locksafe, shapecheck) over every module package
-#   4. go test -race   the full test suite under the race detector
+#   4. obs race gate   the observability tests (recorder, ledger events,
+#                      timeline reconstruction) under the race detector —
+#                      a fast, focused pass so trace/ledger coherence
+#                      regressions surface before the full suite
+#   5. go test -race   the full test suite under the race detector
 #
 # Run from anywhere; the script cds to the repository root. Fails fast on
 # the first broken gate.
@@ -25,6 +29,13 @@ go vet ./...
 
 echo "== buffalo-vet =="
 go run ./cmd/buffalo-vet ./...
+
+echo "== observability race gate =="
+# The recorder is fed from under the GPU ledger mutex and from concurrent
+# block-generation workers; these tests assert trace/ledger coherence (the
+# reconstructed timeline peak must equal the ledger peak) and must stay
+# race-clean on their own before the slow full-suite pass below.
+go test -race -run Obs -count=1 ./internal/obs/... ./internal/device/... ./internal/train/...
 
 echo "== go test -race =="
 # Race instrumentation slows the heavy suites several-fold and packages
