@@ -422,6 +422,46 @@ func BenchmarkRunIteration_ObsEnabled(b *testing.B) {
 	}
 }
 
+// BenchmarkRunIteration_Sequential and ...Pipelined compare the sequential
+// loader against the async prefetch pipeline on the same configuration. The
+// pipelined variant's host-side cost includes the staging goroutines; the
+// win it exists for — hidden transfer time — shows up in the simulated
+// phase clocks (see the `pipeline` experiment), not in ns/op.
+func BenchmarkRunIteration_Sequential(b *testing.B) {
+	s := coraSession(b, train.Buffalo, 4)
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunIteration_Pipelined(b *testing.B) {
+	st := fixtures(b)
+	p, err := train.NewPipelinedSession(st.cora, train.Config{
+		System: train.Buffalo,
+		Model: gnn.Config{Arch: gnn.SAGE, Aggregator: gnn.Mean, Layers: 2,
+			InDim: st.cora.FeatDim(), Hidden: 16, OutDim: st.cora.NumClasses, Seed: 1},
+		Fanouts:      []int{5, 5},
+		BatchSize:    256,
+		MemBudget:    device.GB,
+		MicroBatches: 4,
+		Seed:         7,
+	}, train.PipelineConfig{Depth: 2, CacheBudget: 8 * device.MB})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunIteration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBettyREG: REG construction, the dominant Betty phase Fig 11
 // attributes 46.8% of end-to-end time to.
 func BenchmarkBettyREG(b *testing.B) {

@@ -41,6 +41,7 @@ import (
 	"buffalo/internal/experiments"
 	"buffalo/internal/gnn"
 	"buffalo/internal/graph"
+	"buffalo/internal/pipeline"
 	"buffalo/internal/train"
 )
 
@@ -120,6 +121,26 @@ type Phases = train.Phases
 // configured memory budget.
 func NewSession(ds *Dataset, cfg TrainConfig) (*Session, error) {
 	return train.NewSession(ds, cfg)
+}
+
+// PipelinedSession runs a Session behind an asynchronous three-stage loader
+// (sampler → planner → prefetcher) with an optional degree-aware GPU feature
+// cache. It reproduces the sequential session's exact batch sequence for a
+// given seed; only the timing model (transfer overlap, cache hits) differs.
+type PipelinedSession = train.PipelinedSession
+
+// PipelineConfig tunes the async loader: prefetch depth and the device bytes
+// reserved for the feature cache.
+type PipelineConfig = train.PipelineConfig
+
+// CacheStats summarizes the feature cache's effectiveness.
+type CacheStats = pipeline.CacheStats
+
+// NewPipelinedSession builds a training session behind the async prefetch
+// pipeline. The cache budget (if any) is charged to the device ledger up
+// front, so the micro-batch planner sees the reduced headroom.
+func NewPipelinedSession(ds *Dataset, cfg TrainConfig, pcfg PipelineConfig) (*PipelinedSession, error) {
+	return train.NewPipelinedSession(ds, cfg, pcfg)
 }
 
 // DataParallel is a multi-GPU (data-parallel) Buffalo training run (§V-G).

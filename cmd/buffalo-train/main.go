@@ -8,9 +8,15 @@
 //
 // Observability: -trace out.json records every scheduler decision, ledger
 // event and phase span to a file (-trace-format chrome loads directly into
-// Perfetto / chrome://tracing; jsonl is one event per line), -metrics prints
-// the metrics registry and a per-device memory-timeline summary after the
-// run, and -trace-ring bounds the trace's memory for long runs.
+// Perfetto / chrome://tracing; jsonl is one event per line; folded is
+// collapsed-stack input for flamegraph tooling), -metrics prints the metrics
+// registry and a per-device memory-timeline summary after the run, and
+// -trace-ring bounds the trace's memory for long runs.
+//
+// Pipelined loading: -pipeline runs the session behind the async prefetch
+// pipeline (sampler → planner → prefetcher), -prefetch-depth sets how many
+// micro-batches may stage ahead of compute, and -cache-budget-mb reserves
+// device memory for the degree-aware feature cache.
 package main
 
 import (
@@ -35,15 +41,18 @@ func main() {
 	iters := flag.Int("iters", 3, "training iterations")
 	micro := flag.Int("micro", 0, "fixed micro-batch count (0 = search against the budget)")
 	gpus := flag.Int("gpus", 1, "simulated GPUs (data parallel, buffalo only)")
+	pipelined := flag.Bool("pipeline", false, "load via the async prefetch pipeline (overlaps H2D with compute)")
+	prefetchDepth := flag.Int("prefetch-depth", 2, "micro-batches the pipeline may stage ahead of compute")
+	cacheBudgetMB := flag.Int64("cache-budget-mb", 0, "device MB reserved for the degree-aware feature cache (0 = off; implies -pipeline)")
 	seed := flag.Int64("seed", 7, "seed")
 	tracePath := flag.String("trace", "", "write an execution trace to this file")
-	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome|jsonl")
+	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome|jsonl|folded")
 	traceRing := flag.Int("trace-ring", 0, "bound the trace to the most recent N events (0 = unbounded)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry and memory-timeline summary after the run")
 	flag.Parse()
 
-	if *traceFormat != "chrome" && *traceFormat != "jsonl" {
-		fail(fmt.Errorf("unknown trace format %q (want chrome or jsonl)", *traceFormat))
+	if *traceFormat != "chrome" && *traceFormat != "jsonl" && *traceFormat != "folded" {
+		fail(fmt.Errorf("unknown trace format %q (want chrome, jsonl or folded)", *traceFormat))
 	}
 	var trace *buffalo.Trace
 	if *tracePath != "" || *metrics {
@@ -142,6 +151,38 @@ func main() {
 		report(rec, trace, *tracePath, *traceFormat, *metrics, devices)
 		return
 	}
+	if *pipelined || *cacheBudgetMB > 0 {
+		p, err := buffalo.NewPipelinedSession(ds, cfg, buffalo.PipelineConfig{
+			Depth:       *prefetchDepth,
+			CacheBudget: *cacheBudgetMB * buffalo.MB,
+		})
+		if err != nil {
+			fail(err)
+		}
+		// Stage failures already surface through RunIteration; the shutdown
+		// error adds nothing at exit.
+		defer func() { _ = p.Close() }()
+		for i := 0; i < *iters; i++ {
+			res, err := p.RunIteration()
+			if err != nil {
+				if buffalo.IsOOM(err) {
+					fmt.Printf("iter %d: OOM under %dMB budget — shrink -cache-budget-mb or -prefetch-depth, or grow -budget-mb\n", i, *budgetMB)
+					os.Exit(1)
+				}
+				fail(err)
+			}
+			fmt.Printf("iter %d: loss=%.4f K=%d peak=%.1fMB total=%v (loading=%v hidden=%v exposed-plan=%v)\n",
+				i, res.Loss, res.K, float64(res.Peak)/float64(buffalo.MB),
+				res.CriticalPath(), res.Phases.DataLoading, res.HiddenTransfer, res.ExposedPlanning)
+		}
+		if *cacheBudgetMB > 0 {
+			st := p.CacheStats()
+			fmt.Printf("cache: %d entries, %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
+				st.Entries, st.Hits, st.Misses, 100*p.CacheHitRate(), st.Evictions)
+		}
+		report(rec, trace, *tracePath, *traceFormat, *metrics, []string{string(cfg.System)})
+		return
+	}
 	s, err := buffalo.NewSession(ds, cfg)
 	if err != nil {
 		fail(err)
@@ -192,6 +233,8 @@ func report(rec *buffalo.Recorder, trace *buffalo.Trace, tracePath, traceFormat 
 	switch traceFormat {
 	case "jsonl":
 		err = trace.WriteJSONL(f)
+	case "folded":
+		err = trace.WriteFolded(f)
 	default:
 		err = trace.WriteChromeTrace(f)
 	}

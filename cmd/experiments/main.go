@@ -4,6 +4,7 @@
 //
 //	experiments -run fig10            # one figure/table
 //	experiments -run all -quick       # the whole suite at reduced scale
+//	experiments -run pipeline         # async-prefetch/cache vs sequential loading
 //	experiments -list                 # available experiment ids
 package main
 

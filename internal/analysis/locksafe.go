@@ -174,6 +174,13 @@ func blockingCallReason(p *Pass, call *ast.CallExpr) string {
 	if isDeviceMethod(fn, "GPU", "TransferH2D") {
 		return "simulated transfer GPU.TransferH2D"
 	}
+	if isDeviceMethod(fn, "GPU", "TransferH2DAsync") {
+		// Async issue still books copy-engine time under the ledger lock.
+		return "simulated transfer GPU.TransferH2DAsync"
+	}
+	if isDeviceMethod(fn, "GPU", "WaitTransfer") {
+		return "simulated stall GPU.WaitTransfer"
+	}
 	if isDeviceMethod(fn, "Cluster", "AllReduce") {
 		return "simulated collective Cluster.AllReduce"
 	}

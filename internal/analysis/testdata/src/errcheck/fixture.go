@@ -64,6 +64,41 @@ func ExportPropagates(w io.Writer, events []int64) error {
 	return err
 }
 
+// boundedQueue mimics the pipeline loader's queue: Push fails on shutdown,
+// and Close reports the first stage error. Dropping either hides a dead
+// pipeline behind an apparently healthy training loop.
+type boundedQueue struct{ ch chan int }
+
+func (q *boundedQueue) Push(v int) error {
+	select {
+	case q.ch <- v:
+		return nil
+	default:
+		return io.ErrClosedPipe
+	}
+}
+
+func (q *boundedQueue) Close() error { return io.ErrClosedPipe }
+
+// StageDrop pushes to the next stage without checking for shutdown.
+func StageDrop(q *boundedQueue) {
+	q.Push(1) // want:errcheck
+}
+
+// ShutdownDrop discards the pipeline's first-error on teardown.
+func ShutdownDrop(q *boundedQueue) {
+	defer q.Close() // want:errcheck
+}
+
+// StagePropagates is the reviewable stage shape — a failed push unwinds the
+// stage: clean.
+func StagePropagates(q *boundedQueue) error {
+	if err := q.Push(1); err != nil {
+		return err
+	}
+	return q.Close()
+}
+
 // Exempt exercises the best-effort allowlist: clean.
 func Exempt(sb *strings.Builder) {
 	fmt.Println("stdout printing is best-effort")

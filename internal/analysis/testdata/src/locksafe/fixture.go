@@ -48,6 +48,33 @@ func (l *ledger) BadWriteLock() {
 	l.rw.Unlock()
 }
 
+// BadAsyncIssue issues an async copy inside the critical section: the issue
+// itself books copy-engine time under the ledger lock, so "async" does not
+// make it safe to hold a mutex across.
+func (l *ledger) BadAsyncIssue() {
+	l.mu.Lock()
+	l.gpu.TransferH2DAsync(1 << 20) // want:locksafe
+	l.mu.Unlock()
+}
+
+// BadWaitUnderLock stalls on the copy engine while holding the lock — the
+// prefetch-consumer handoff would serialize on it.
+func (l *ledger) BadWaitUnderLock(done time.Duration) {
+	l.mu.Lock()
+	l.gpu.WaitTransfer(done) // want:locksafe
+	l.mu.Unlock()
+}
+
+// GoodCacheShape is the feature-cache discipline: the mutex guards pure
+// in-memory bookkeeping only, and every device call (reservation, copy)
+// happens outside the critical section.
+func (l *ledger) GoodCacheShape(resident map[int64]bool, key int64) {
+	l.gpu.TransferH2DAsync(1 << 10)
+	l.mu.Lock()
+	resident[key] = true
+	l.mu.Unlock()
+}
+
 // GoodAfterUnlock does the blocking work outside the critical section.
 func (l *ledger) GoodAfterUnlock() {
 	l.mu.Lock()

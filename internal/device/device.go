@@ -76,6 +76,16 @@ type GPU struct {
 	transferTime time.Duration
 	transferred  int64
 	computeTime  time.Duration
+
+	// Overlap model: real GPUs run a copy engine beside the compute
+	// engine, so an async (prefetched) H2D copy costs wall time only when
+	// the compute engine has to wait for it. copyFront and computeFront
+	// are the two engines' positions on the simulated timeline; stallTime
+	// accumulates the compute-engine waits (the exposed, non-hidden part
+	// of async transfer time).
+	copyFront    time.Duration
+	computeFront time.Duration
+	stallTime    time.Duration
 }
 
 // Option configures a GPU.
@@ -203,17 +213,77 @@ func (g *GPU) LiveAllocations() []Allocation {
 	return out
 }
 
-// TransferH2D models copying size bytes from host to device memory and
-// returns the simulated duration, which is also accumulated on the device's
-// transfer clock. It does not reserve memory; pair it with Alloc.
+// TransferDuration reports the modeled duration of a host-to-device copy of
+// size bytes without performing one — what a prefetcher charges an iteration
+// for its async copies regardless of how much of it compute later hides.
+func (g *GPU) TransferDuration(size int64) time.Duration {
+	return g.latency + time.Duration(float64(size)/g.bandwidth*float64(time.Second))
+}
+
+// TransferH2D models a synchronous copy of size bytes from host to device
+// memory and returns the simulated duration, which is also accumulated on
+// the device's transfer clock. The compute engine waits for a synchronous
+// copy, so both engine fronts advance to the copy's completion. It does not
+// reserve memory; pair it with Alloc.
 func (g *GPU) TransferH2D(size int64) time.Duration {
-	d := g.latency + time.Duration(float64(size)/g.bandwidth*float64(time.Second))
+	d := g.TransferDuration(size)
 	g.mu.Lock()
 	g.transferTime += d
 	g.transferred += size
+	start := g.copyFront
+	if g.computeFront > start {
+		start = g.computeFront
+	}
+	g.copyFront = start + d
+	g.computeFront = g.copyFront
 	g.mu.Unlock()
 	g.rec.Span(obs.KindTransferH2D, g.name, "h2d", d, size, 0)
 	return d
+}
+
+// TransferH2DAsync models an asynchronous (prefetched) host-to-device copy
+// on the copy engine: the copy starts as soon as both the engine is free and
+// the issue instant (the compute engine's current position — a prefetch
+// cannot be issued before "now") and runs concurrently with compute. It
+// returns the copy's completion position on the simulated timeline; pass it
+// to WaitTransfer before the dependent kernel runs. The full duration is
+// accrued on the transfer clock (the engine is busy that long); how much of
+// it was hidden behind compute is decided at WaitTransfer time.
+func (g *GPU) TransferH2DAsync(size int64) time.Duration {
+	d := g.TransferDuration(size)
+	g.mu.Lock()
+	g.transferTime += d
+	g.transferred += size
+	start := g.copyFront
+	if g.computeFront > start {
+		start = g.computeFront
+	}
+	g.copyFront = start + d
+	done := g.copyFront
+	g.mu.Unlock()
+	g.rec.Span(obs.KindTransferH2D, g.name, "h2d", d, size, 0)
+	return done
+}
+
+// WaitTransfer blocks the simulated compute engine until an async copy
+// completes: the stall is the part of the copy the compute engine could not
+// hide behind earlier kernels — the exposed data-loading time of a
+// double-buffered loader. It advances the compute front to the copy's
+// completion, accrues the stall on the stall clock, and returns it (0 when
+// the copy already finished behind compute).
+func (g *GPU) WaitTransfer(done time.Duration) time.Duration {
+	g.mu.Lock()
+	stall := done - g.computeFront
+	if stall < 0 {
+		stall = 0
+	}
+	g.computeFront += stall
+	g.stallTime += stall
+	g.mu.Unlock()
+	if stall > 0 {
+		g.rec.Span(obs.KindStall, g.name, "h2d-wait", stall, 0, 0)
+	}
+	return stall
 }
 
 // AddComputeTime accrues measured kernel time onto the device's compute
@@ -222,6 +292,7 @@ func (g *GPU) TransferH2D(size int64) time.Duration {
 func (g *GPU) AddComputeTime(d time.Duration) {
 	g.mu.Lock()
 	g.computeTime += d
+	g.computeFront += d
 	g.mu.Unlock()
 	g.rec.Span(obs.KindCompute, g.name, "kernel", d, 0, 0)
 }
@@ -235,6 +306,11 @@ type Stats struct {
 	Transferred  int64
 	TransferTime time.Duration
 	ComputeTime  time.Duration
+	// StallTime is the compute-engine time spent waiting on async copies:
+	// the exposed (non-hidden) share of TransferTime under prefetching.
+	// Synchronous TransferH2D calls are fully exposed by definition and are
+	// not counted here.
+	StallTime time.Duration
 }
 
 // Stats returns a snapshot of the device counters.
@@ -249,17 +325,24 @@ func (g *GPU) Stats() Stats {
 		Transferred:  g.transferred,
 		TransferTime: g.transferTime,
 		ComputeTime:  g.computeTime,
+		StallTime:    g.stallTime,
 	}
 }
 
-// ResetClocks zeroes the transfer and compute clocks (per-iteration timing).
-// It does NOT touch the peak watermark — see Reset for the combined form.
+// ResetClocks zeroes the transfer, compute and stall clocks and rewinds both
+// engine fronts to the timeline origin (per-iteration timing). It does NOT
+// touch the peak watermark — see Reset for the combined form. Never call it
+// while an async transfer is outstanding: a WaitTransfer against a
+// completion position from before the reset would see a phantom stall.
 func (g *GPU) ResetClocks() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.transferTime = 0
 	g.transferred = 0
 	g.computeTime = 0
+	g.stallTime = 0
+	g.copyFront = 0
+	g.computeFront = 0
 }
 
 // Reset combines ResetPeak and ResetClocks in one critical section: the peak
@@ -274,4 +357,7 @@ func (g *GPU) Reset() {
 	g.transferTime = 0
 	g.transferred = 0
 	g.computeTime = 0
+	g.stallTime = 0
+	g.copyFront = 0
+	g.computeFront = 0
 }

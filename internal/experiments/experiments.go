@@ -156,6 +156,7 @@ func Registry() []struct {
 		{"table3", Table3EstimationError},
 		{"table4", Table4LossParity},
 		{"multigpu", MultiGPU},
+		{"pipeline", PipelineOverlap},
 		{"ablation", Ablations},
 	}
 }

@@ -41,6 +41,13 @@ type ModelSpec struct {
 	Heads      int // GAT attention heads (0 or 1 = single head)
 }
 
+// FeatureRowBytes is the device footprint of one node's input-feature row —
+// the unit a feature cache budgets in and the per-node H2D cost a prefetcher
+// saves on a cache hit.
+func (s ModelSpec) FeatureRowBytes() int64 {
+	return int64(s.InDim) * floatBytes
+}
+
 // SpecFromConfig extracts a ModelSpec from a model configuration.
 func SpecFromConfig(cfg gnn.Config) ModelSpec {
 	return ModelSpec{

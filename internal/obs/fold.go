@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteFolded writes the trace's span tree in collapsed-stack ("folded")
+// format — one line per distinct stack, `frame;frame;frame <weight>` — the
+// input format of standard flamegraph tooling (flamegraph.pl, inferno,
+// speedscope). See WriteFolded for the folding rules.
+func (t *Trace) WriteFolded(w io.Writer) error {
+	return WriteFolded(w, t.Events())
+}
+
+// foldFrame names one span as a flamegraph frame: the kind, qualified by the
+// span's label when it adds information ("blockgen/fast"). Semicolons would
+// split frames, so they are replaced.
+func foldFrame(ev Event) string {
+	name := ev.Kind.String()
+	if ev.Name != "" && ev.Name != name {
+		name += "/" + ev.Name
+	}
+	return strings.ReplaceAll(name, ";", ",")
+}
+
+// foldSpan is one span being folded, with its running self time.
+type foldSpan struct {
+	frame string
+	end   time.Duration
+	self  time.Duration
+}
+
+// WriteFolded folds events into collapsed-stack format. Only spans (Dur > 0)
+// participate; instants carry no time. Spans are grouped into one track per
+// device (device-less spans — sampling, planning, block generation — form
+// the "scheduler" track, which is the track name and root frame), and
+// nesting is recovered from the recorded intervals: a span is a child of the
+// innermost span whose interval contains it. Each stack's weight is its
+// span's self time (duration minus direct children) in microseconds, so
+// frame widths in a flamegraph reproduce the Fig 11 phase shares; stacks
+// with sub-microsecond self time are dropped. Identical stacks are summed
+// and lines are sorted lexicographically, making the output deterministic
+// for a given event set.
+func WriteFolded(w io.Writer, events []Event) error {
+	tracks := make(map[string][]Event)
+	for _, ev := range events {
+		if ev.Dur <= 0 {
+			continue
+		}
+		tracks[ev.Dev] = append(tracks[ev.Dev], ev)
+	}
+	devs := make([]string, 0, len(tracks))
+	for dev := range tracks {
+		devs = append(devs, dev)
+	}
+	sort.Strings(devs)
+
+	weights := make(map[string]int64)
+	var stackOrder []string
+	addStack := func(stack string, us int64) {
+		if _, seen := weights[stack]; !seen {
+			stackOrder = append(stackOrder, stack)
+		}
+		weights[stack] += us
+	}
+
+	for _, dev := range devs {
+		spans := tracks[dev]
+		// Sort by start, then longest first, then record order: parents
+		// precede their children, and ties resolve deterministically.
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].TS != spans[j].TS {
+				return spans[i].TS < spans[j].TS
+			}
+			if spans[i].Dur != spans[j].Dur {
+				return spans[i].Dur > spans[j].Dur
+			}
+			return spans[i].Seq < spans[j].Seq
+		})
+		root := dev
+		if root == "" {
+			root = "scheduler"
+		}
+		var stack []foldSpan
+		flush := func(fs foldSpan, prefix string) {
+			if us := int64(fs.self / time.Microsecond); us > 0 {
+				addStack(prefix, us)
+			}
+		}
+		// prefix(i) is the ';'-joined frames of stack[:i+1] under the root.
+		prefix := func(n int) string {
+			parts := make([]string, 0, n+2)
+			parts = append(parts, root)
+			for i := 0; i < n; i++ {
+				parts = append(parts, stack[i].frame)
+			}
+			return strings.Join(parts, ";")
+		}
+		for _, ev := range spans {
+			end := ev.TS + ev.Dur
+			// Pop spans this one does not nest inside. A span that starts
+			// before the top ends but outruns it overlaps without nesting
+			// (concurrent goroutines on one track); it is treated as a
+			// sibling of the outermost span it escapes.
+			for len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if ev.TS >= top.end || end > top.end {
+					flush(top, prefix(len(stack)))
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				break
+			}
+			if len(stack) > 0 {
+				stack[len(stack)-1].self -= ev.Dur
+			}
+			stack = append(stack, foldSpan{frame: foldFrame(ev), end: end, self: ev.Dur})
+		}
+		for len(stack) > 0 {
+			flush(stack[len(stack)-1], prefix(len(stack)))
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	sort.Strings(stackOrder)
+	for _, stack := range stackOrder {
+		if _, err := fmt.Fprintf(w, "%s %d\n", stack, weights[stack]); err != nil {
+			return fmt.Errorf("obs: writing folded stacks: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func us(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+
+// TestWriteFoldedNesting folds a hand-built two-track trace and checks the
+// exact collapsed-stack output: containment recovers the span tree, weights
+// are self times in microseconds, identical stacks sum, and lines sort
+// lexicographically.
+func TestWriteFoldedNesting(t *testing.T) {
+	events := []Event{
+		// Scheduler track: an iteration containing a plan and two block
+		// generations (same stack, summed), with 50µs of self time.
+		{Seq: 1, Kind: KindIteration, Name: "buffalo", TS: 0, Dur: us(100)},
+		{Seq: 2, Kind: KindPlan, Name: "buffalo", TS: 0, Dur: us(30)},
+		{Seq: 3, Kind: KindBlockGen, Name: "fast", TS: us(30), Dur: us(12)},
+		{Seq: 4, Kind: KindBlockGen, Name: "fast", TS: us(42), Dur: us(8)},
+		// Device track: a micro-batch span containing forward and backward.
+		{Seq: 5, Dev: "gpu-0", Kind: KindMicroBatch, Name: "mb0", TS: 0, Dur: us(60)},
+		{Seq: 6, Dev: "gpu-0", Kind: KindForward, TS: 0, Dur: us(40)},
+		{Seq: 7, Dev: "gpu-0", Kind: KindBackward, TS: us(40), Dur: us(20)},
+		// Instants carry no time and are ignored.
+		{Seq: 8, Kind: KindMark, Name: "split", TS: us(10)},
+	}
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"gpu-0;microbatch/mb0;backward 20",
+		"gpu-0;microbatch/mb0;forward 40",
+		"scheduler;iteration/buffalo 50",
+		"scheduler;iteration/buffalo;blockgen/fast 20",
+		"scheduler;iteration/buffalo;plan/buffalo 30",
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("folded output mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestWriteFoldedOverlapEscapes: a span that starts inside another but
+// outruns it does not nest (concurrent goroutines on one track) — it folds
+// as a sibling, and the would-be parent keeps its full self time.
+func TestWriteFoldedOverlapEscapes(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: KindPlan, TS: 0, Dur: us(50)},
+		{Seq: 2, Kind: KindSample, TS: us(30), Dur: us(40)}, // ends at 70 > 50
+	}
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	want := "scheduler;plan 50\nscheduler;sample 40\n"
+	if got := buf.String(); got != want {
+		t.Errorf("got:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestWriteFoldedFromTrace exercises the Trace method end to end: recorded
+// spans fold into well-formed lines (`frames... <positive int>`), and
+// sub-microsecond self times are dropped rather than emitted as zero-weight
+// stacks, which some flamegraph tools reject.
+func TestWriteFoldedFromTrace(t *testing.T) {
+	tr := NewTrace()
+	rec := NewRecorder(tr, nil)
+	rec.Span(KindIteration, "", "buffalo", 3*time.Millisecond, 0, 2)
+	rec.Span(KindPrefetch, "gpu", "mb0", 500*time.Microsecond, 1<<20, 0)
+	rec.Span(KindStall, "gpu", "h2d-wait", 100*time.Nanosecond, 0, 0) // < 1µs: dropped
+	rec.Event(KindMark, "", "boundary", 0, 0, 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := regexp.MustCompile(`^[^ ;]+(;[^ ;]+)* [1-9][0-9]*$`)
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 folded stacks, got %d:\n%s", len(lines), buf.String())
+	}
+	for _, l := range lines {
+		if !line.MatchString(l) {
+			t.Errorf("malformed folded line %q", l)
+		}
+	}
+}

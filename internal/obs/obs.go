@@ -66,6 +66,13 @@ const (
 	// KindIteration is a whole-iteration span: Bytes the iteration's peak
 	// device bytes, Aux the executed micro-batch count.
 	KindIteration
+	// KindPrefetch is one micro-batch's asynchronous staging span (feature
+	// gather + device reservation + async H2D issue): Bytes is the feature
+	// tensor size, Aux the bytes actually transferred (cache misses).
+	KindPrefetch
+	// KindStall is a compute-engine wait for an async copy: the exposed,
+	// non-hidden share of a prefetched transfer.
+	KindStall
 	// KindMark is a generic instant annotation (scheduler split decisions,
 	// experiment boundaries).
 	KindMark
@@ -90,6 +97,8 @@ var kindNames = [numKinds]string{
 	KindBackward:    "backward",
 	KindOptStep:     "optstep",
 	KindIteration:   "iteration",
+	KindPrefetch:    "prefetch",
+	KindStall:       "stall",
 	KindMark:        "mark",
 }
 

@@ -1,0 +1,160 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"buffalo/internal/obs"
+)
+
+// TestQueueFIFOAndDepthGauge: items come out in order and the depth gauge
+// tracks the backlog.
+func TestQueueFIFOAndDepthGauge(t *testing.T) {
+	m := obs.NewMetrics()
+	g := m.Gauge("pipeline/queue/test")
+	q := NewQueue[int](4, g)
+	ctx := context.Background()
+	for i := 1; i <= 3; i++ {
+		if err := q.Push(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Value() != 3 || q.Len() != 3 {
+		t.Fatalf("depth = gauge %d, len %d; want 3", g.Value(), q.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		v, err := q.Pop(ctx)
+		if err != nil || v != i {
+			t.Fatalf("pop = %d, %v; want %d", v, err, i)
+		}
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge after drain = %d, want 0", g.Value())
+	}
+}
+
+// TestQueuePushBlocksAtCapacity: a full queue exerts backpressure — the
+// producer blocks until the consumer pops.
+func TestQueuePushBlocksAtCapacity(t *testing.T) {
+	q := NewQueue[int](1, nil)
+	ctx := context.Background()
+	if err := q.Push(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	pushed := make(chan error, 1)
+	go func() { pushed <- q.Push(ctx, 2) }()
+	select {
+	case err := <-pushed:
+		t.Fatalf("push to full queue returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	if _, err := q.Pop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-pushed; err != nil {
+		t.Fatalf("unblocked push failed: %v", err)
+	}
+}
+
+// TestQueueCancellationUnblocks: a canceled context releases both blocked
+// producers and blocked consumers with ctx.Err().
+func TestQueueCancellationUnblocks(t *testing.T) {
+	q := NewQueue[int](1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan error, 2)
+	go func() { // blocked consumer: queue empty
+		defer wg.Done()
+		_, err := q.Pop(ctx)
+		errs <- err
+	}()
+	go func() { // blocked producer: fill then overfill
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+		_ = q.Push(context.Background(), 1)
+		// This push blocks only if the consumer already gave up; either
+		// outcome is fine — the point is cancellation can't deadlock it.
+		errs <- q.Push(ctx, 2)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("want nil or context.Canceled, got %v", err)
+		}
+	}
+}
+
+// TestQueueCloseDrains: Close rejects new pushes immediately but lets the
+// consumer drain the backlog before reporting ErrClosed.
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue[string](4, nil)
+	ctx := context.Background()
+	for _, s := range []string{"a", "b"} {
+		if err := q.Push(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	q.Close() // idempotent
+	if err := q.Push(ctx, "c"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close = %v, want ErrClosed", err)
+	}
+	for _, want := range []string{"a", "b"} {
+		v, err := q.Pop(ctx)
+		if err != nil || v != want {
+			t.Fatalf("drain pop = %q, %v; want %q", v, err, want)
+		}
+	}
+	if _, err := q.Pop(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("pop after drain = %v, want ErrClosed", err)
+	}
+	if v, ok := q.TryPop(); ok {
+		t.Fatalf("TryPop on drained queue returned %v", v)
+	}
+}
+
+// TestQueueCloseUnblocksWaiters: consumers blocked on an empty queue wake
+// with ErrClosed rather than hanging — the shutdown path must never leak a
+// goroutine parked in Pop.
+func TestQueueCloseUnblocksWaiters(t *testing.T) {
+	before := runtime.NumGoroutine()
+	q := NewQueue[int](1, nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Pop(context.Background())
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("pop = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop did not unblock on Close")
+	}
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines polls until the goroutine count returns to the given
+// baseline (scheduling makes an instantaneous check flaky).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: now %d, baseline %d", runtime.NumGoroutine(), baseline)
+}

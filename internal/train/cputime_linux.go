@@ -1,0 +1,23 @@
+//go:build linux
+
+package train
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// threadCPUNow reads this OS thread's consumed CPU time
+// (CLOCK_THREAD_CPUTIME_ID). The caller must have the goroutine locked to
+// its thread (runtime.LockOSThread) for deltas to be meaningful. Returns
+// ok=false when the clock is unavailable.
+func threadCPUNow() (time.Duration, bool) {
+	var ts syscall.Timespec
+	// clockid 3 = CLOCK_THREAD_CPUTIME_ID.
+	_, _, errno := syscall.Syscall(syscall.SYS_CLOCK_GETTIME, 3, uintptr(unsafe.Pointer(&ts)), 0)
+	if errno != 0 {
+		return 0, false
+	}
+	return time.Duration(ts.Nano()), true
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package train
+
+import "time"
+
+// threadCPUNow is unavailable off Linux; callers fall back to wall-clock
+// phase measurement (correct, just not contention-compensated).
+func threadCPUNow() (time.Duration, bool) {
+	return 0, false
+}

@@ -1,0 +1,271 @@
+package train
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"buffalo/internal/datagen"
+	"buffalo/internal/device"
+	"buffalo/internal/gnn"
+)
+
+// TestDataLoadingIsPerIterationDelta pins the delta-based phase accounting:
+// with the device clocks now cumulative across iterations, each iteration's
+// DataLoading must still be its own transfers only. The transfer model is
+// deterministic, so the same batch twice costs the same DataLoading twice —
+// and the cumulative clock holds their sum. A regression to assigning the
+// cumulative TransferTime would double the second iteration's phase.
+func TestDataLoadingIsPerIterationDelta(t *testing.T) {
+	ds := loadData(t, "cora")
+	s, err := NewSession(ds, baseConfig(ds, DGL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	b, err := s.SampleBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.RunIterationOn(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.RunIterationOn(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Phases.DataLoading <= 0 {
+		t.Fatal("no data-loading time recorded")
+	}
+	if r2.Phases.DataLoading != r1.Phases.DataLoading {
+		t.Fatalf("same batch, different DataLoading: %v then %v (cumulative clock leaking into the phase?)",
+			r1.Phases.DataLoading, r2.Phases.DataLoading)
+	}
+	if total := s.GPU.Stats().TransferTime; total != r1.Phases.DataLoading+r2.Phases.DataLoading {
+		t.Fatalf("cumulative transfer clock %v != sum of per-iteration phases %v",
+			total, r1.Phases.DataLoading+r2.Phases.DataLoading)
+	}
+}
+
+// pipelineGoroutineBaseline waits for stray goroutines from other tests to
+// settle, then returns the count to compare against after Close.
+func pipelineGoroutineBaseline() int {
+	runtime.Gosched()
+	time.Sleep(5 * time.Millisecond)
+	return runtime.NumGoroutine()
+}
+
+func waitForGoroutineBaseline(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("pipeline leaked goroutines: %d, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestPipelinedLossParityWithSequential: the pipelined session reproduces
+// the sequential session's batches and math exactly — only the timing model
+// differs — so per-iteration losses match.
+func TestPipelinedLossParityWithSequential(t *testing.T) {
+	ds := loadData(t, "cora")
+	cfg := baseConfig(ds, DGL)
+	seq, err := NewSession(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	pip, err := NewPipelinedSession(ds, cfg, PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pip.Close()
+	for i := 0; i < 3; i++ {
+		rs, err := seq.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := pip.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(rs.Loss-rp.Loss)) > 1e-6 {
+			t.Fatalf("iteration %d: sequential loss %v vs pipelined %v", i, rs.Loss, rp.Loss)
+		}
+		if rp.Peak > cfg.MemBudget {
+			t.Fatalf("pipelined peak %d over capacity %d", rp.Peak, cfg.MemBudget)
+		}
+	}
+}
+
+// TestPipelinedOverlapHidesTransfer: with the pipeline staging iteration
+// i+1's copies behind iteration i's compute, part of the transfer time must
+// stop being exposed: HiddenTransfer > 0 somewhere in the run, and each
+// iteration's exposed DataLoading never exceeds what the sequential model
+// would have charged for the same copies.
+func TestPipelinedOverlapHidesTransfer(t *testing.T) {
+	ds := loadData(t, "cora")
+	cfg := baseConfig(ds, Buffalo)
+	cfg.MicroBatches = 2
+	p, err := NewPipelinedSession(ds, cfg, PipelineConfig{Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var hidden, exposed time.Duration
+	for i := 0; i < 4; i++ {
+		res, err := p.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hidden += res.HiddenTransfer
+		exposed += res.Phases.DataLoading
+		if res.Phases.DataLoading < 0 {
+			t.Fatalf("negative exposed transfer: %v", res.Phases.DataLoading)
+		}
+	}
+	if hidden <= 0 {
+		t.Fatalf("no transfer time hidden across 4 iterations (exposed %v)", exposed)
+	}
+	if st := p.GPU.Stats(); st.StallTime != exposed {
+		t.Fatalf("stall clock %v != summed DataLoading %v", st.StallTime, exposed)
+	}
+}
+
+// skewedSpec is a small power-law graph whose hubs recur in nearly every
+// sampled batch — the access pattern degree-aware caching exists for.
+func skewedDataset(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Spec{
+		Name: "skewed", Model: datagen.ClusteredPowerLaw,
+		Nodes: 2000, FeatDim: 64, NumClasses: 4,
+		KMin: 4, Alpha: 2.05, Locality: 8.0, Homophily: 0.7,
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestPipelinedCacheHitsOnSkewedGraph: repeat-sampled hub nodes must hit the
+// degree-aware cache, and the bytes actually moved over the bus must drop
+// against an identical run without the cache. Both runs see identical batch
+// sequences (same seed), so the comparison is deterministic.
+func TestPipelinedCacheHitsOnSkewedGraph(t *testing.T) {
+	ds := skewedDataset(t)
+	cfg := Config{
+		System: Buffalo,
+		Model: gnn.Config{
+			Arch: gnn.SAGE, Aggregator: gnn.Mean, Layers: 2,
+			InDim: ds.FeatDim(), Hidden: 16, OutDim: ds.NumClasses, Seed: 1,
+		},
+		Fanouts:   []int{5, 10},
+		BatchSize: 128,
+		MemBudget: 512 * device.MB,
+		Seed:      7,
+	}
+	run := func(cacheBudget int64) (transferred int64, hits int64, rate float64) {
+		p, err := NewPipelinedSession(ds, cfg, PipelineConfig{CacheBudget: cacheBudget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for i := 0; i < 4; i++ {
+			if _, err := p.RunIteration(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.GPU.Stats().Transferred, p.CacheStats().Hits, p.CacheHitRate()
+	}
+	coldBytes, _, _ := run(0)
+	// Budget for half the graph's rows: hubs fit comfortably, cold tails churn.
+	rowBytes := int64(ds.FeatDim()) * 4
+	cachedBytes, hits, rate := run(rowBytes * int64(ds.NumNodes()) / 2)
+	if hits == 0 {
+		t.Fatal("skewed resampling produced zero cache hits")
+	}
+	if rate <= 0.05 {
+		t.Fatalf("hit rate %.3f too low for a power-law graph", rate)
+	}
+	if cachedBytes >= coldBytes {
+		t.Fatalf("cache did not reduce bus traffic: %d cached vs %d cold", cachedBytes, coldBytes)
+	}
+}
+
+// TestPipelinedCancelMidPrefetch: closing a pipeline whose stages are mid
+// flight (no iteration ever consumed) must unwind every goroutine and
+// release every staged device byte.
+func TestPipelinedCancelMidPrefetch(t *testing.T) {
+	before := pipelineGoroutineBaseline()
+	ds := loadData(t, "cora")
+	p, err := NewPipelinedSession(ds, baseConfig(ds, DGL), PipelineConfig{Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the stages a moment to fill the queues and block on backpressure.
+	time.Sleep(20 * time.Millisecond)
+	if err := p.Close(); err != nil {
+		t.Fatalf("close of healthy mid-flight pipeline: %v", err)
+	}
+	if live := p.GPU.Live(); live != 0 {
+		t.Fatalf("device bytes leaked through shutdown: %d live", live)
+	}
+	waitForGoroutineBaseline(t, before)
+}
+
+// TestPipelinedOOMDuringPrefetch: when a prefetched feature tensor does not
+// fit the device, the pipeline fails terminally — RunIteration surfaces the
+// OOM, and Close still releases everything.
+func TestPipelinedOOMDuringPrefetch(t *testing.T) {
+	before := pipelineGoroutineBaseline()
+	ds := loadData(t, "cora")
+	cfg := baseConfig(ds, DGL)
+	cfg.MemBudget = 1 * device.MB // model fits; a full batch's features do not
+	p, err := NewPipelinedSession(ds, cfg, PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.RunIteration()
+	if err == nil {
+		t.Fatal("expected OOM from the prefetch stage")
+	}
+	if !device.IsOOM(err) {
+		t.Fatalf("want OOM error through the pipeline, got %v", err)
+	}
+	if err := p.Close(); !device.IsOOM(err) {
+		t.Fatalf("Close should report the stage OOM, got %v", err)
+	}
+	if live := p.GPU.Live(); live != 0 {
+		t.Fatalf("OOM shutdown leaked %d device bytes", live)
+	}
+	waitForGoroutineBaseline(t, before)
+}
+
+// TestPipelinedCloseIdempotent: Close twice (after real work) is safe and
+// returns the same outcome.
+func TestPipelinedCloseIdempotent(t *testing.T) {
+	before := pipelineGoroutineBaseline()
+	ds := loadData(t, "cora")
+	p, err := NewPipelinedSession(ds, baseConfig(ds, Buffalo), PipelineConfig{CacheBudget: 4 * device.MB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if live := p.GPU.Live(); live != 0 {
+		t.Fatalf("close leaked %d device bytes", live)
+	}
+	waitForGoroutineBaseline(t, before)
+}

@@ -72,6 +72,15 @@ func (p Phases) Total() time.Duration {
 		p.ConnectionCheck + p.BlockGen + p.DataLoading + p.GPUCompute + p.Communication
 }
 
+// Planning sums the phases the planner performs before compute can start:
+// scheduling, partitioning, and block generation. The sequential session pays
+// it inline every iteration; the pipelined loader runs it in a background
+// stage where it can hide behind the previous iteration's execution.
+func (p Phases) Planning() time.Duration {
+	return p.Scheduling + p.REGConstruction + p.MetisPartition +
+		p.ConnectionCheck + p.BlockGen
+}
+
 // Add accumulates other's components into p (for aggregating across
 // iterations in reports).
 func (p *Phases) Add(other Phases) {
@@ -160,7 +169,37 @@ type IterationResult struct {
 	// TotalNodes is the summed node count across micro-batches (Fig 16's
 	// computation-efficiency numerator).
 	TotalNodes int64
-	Phases     Phases
+	// HiddenTransfer is the share of this iteration's H2D transfer time that
+	// overlapped with compute instead of stalling it — always 0 for the
+	// sequential path, where every copy is synchronous and fully exposed.
+	// Under the pipelined session DataLoading counts only the exposed stalls,
+	// and DataLoading + HiddenTransfer equals the copy engine's busy time.
+	HiddenTransfer time.Duration
+	// ExposedPlanning is the share of this iteration's planning cost
+	// (Phases.Planning) that could not hide behind the previous iteration's
+	// execution window under the pipelined loader — the modeled consumer
+	// starvation, the planning analogue of the exposed-copy accounting in
+	// DataLoading. Always 0 for the sequential session, where planning is
+	// inline and its phases are charged in full.
+	ExposedPlanning time.Duration
+	// Pipelined marks results produced by a PipelinedSession, whose planning
+	// phases overlap compute and therefore do not extend the iteration.
+	Pipelined bool
+	Phases    Phases
+}
+
+// CriticalPath is the end-to-end time the training loop experiences for this
+// iteration. Sequentially every phase runs back to back, so it is the phase
+// sum. Under the pipelined loader the planning phases (scheduling, partition,
+// block generation) run in a background stage and overlap the previous
+// iteration's execution; their clocks still record where the work went, but
+// only the exposed share extends the iteration, on top of the exposed copies,
+// compute, and communication.
+func (r *IterationResult) CriticalPath() time.Duration {
+	if !r.Pipelined {
+		return r.Phases.Total()
+	}
+	return r.ExposedPlanning + r.Phases.DataLoading + r.Phases.GPUCompute + r.Phases.Communication
 }
 
 // Session is a live training run on one simulated GPU.
@@ -174,6 +213,23 @@ type Session struct {
 	rng        *rand.Rand
 	clusterC   float64
 	fixedAlloc *device.Allocation // params + grads + optimizer state
+
+	// Pipelined mode (set by NewPipelinedSession before any stage starts).
+	// budgetOverride freezes the activation budget at pipeline construction:
+	// the planner goroutine must not read the live ledger while the compute
+	// goroutine's transient allocations fluctuate, or plans (and K) would
+	// depend on scheduling timing. The prefetcher's staged tensors are kept
+	// safe not by widening the plan (which would inflate K) but by a
+	// headroom gate in the loader: it only stages ahead while the leftover
+	// room covers the consumer's worst-case group.
+	budgetOverride int64
+	// kWarm warm-starts the pipelined planner's K search at the previous
+	// iteration's K minus one: consecutive batches are statistically alike,
+	// so re-proving every smaller K infeasible (and re-estimating the whole
+	// batch) each iteration is wasted scheduling work. Starting one below the
+	// last winner keeps K near-minimal — it can still drift down by one per
+	// iteration when batches shrink. Only the planner stage touches it.
+	kWarm int
 }
 
 // NewSession builds a session: model, optimizer, device, and the fixed
@@ -223,9 +279,24 @@ func (s *Session) Close() {
 }
 
 // activationBudget is the device memory available to one micro-batch's
-// features + activations.
+// features + activations. In pipelined mode it is the frozen budget captured
+// at pipeline start rather than the instantaneous ledger headroom.
 func (s *Session) activationBudget() int64 {
+	if s.budgetOverride > 0 {
+		return s.budgetOverride
+	}
 	return s.GPU.Capacity() - s.GPU.Live()
+}
+
+// residentBase is the stable device-resident footprint plans ride on top of:
+// the live ledger for the sequential path, the frozen complement of the
+// activation budget for the pipelined one (where Live fluctuates with
+// in-flight prefetches).
+func (s *Session) residentBase() int64 {
+	if s.budgetOverride > 0 {
+		return s.GPU.Capacity() - s.budgetOverride
+	}
+	return s.GPU.Live()
 }
 
 // SampleBatch draws the next iteration's batch.
@@ -267,7 +338,12 @@ func (s *Session) RunIterationOn(b *sampling.Batch) (*IterationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.GPU.Reset()
+	// Rebase only the peak watermark: the device clocks stay cumulative and
+	// per-iteration phases are computed as before/after deltas. A full Reset
+	// here would zero the clocks mid-copy for a pipelined caller whose
+	// prefetcher has async transfers in flight.
+	s.GPU.ResetPeak()
+	pre := s.GPU.Stats()
 	s.Model.Params.ZeroGrad()
 
 	var lossSum float32
@@ -300,7 +376,7 @@ func (s *Session) RunIterationOn(b *sampling.Batch) (*IterationResult, error) {
 		res.Accuracy = float64(correct) / float64(counted)
 	}
 	res.Peak = s.GPU.Peak()
-	res.Phases.DataLoading = s.GPU.Stats().TransferTime
+	res.Phases.DataLoading = s.GPU.Stats().TransferTime - pre.TransferTime
 	if s.Cfg.Obs.Enabled() {
 		s.Cfg.Obs.Span(obs.KindIteration, s.GPU.Name(), string(s.Cfg.System),
 			time.Since(tIter), res.Peak, int64(res.K))
@@ -323,10 +399,30 @@ func (s *Session) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeI
 		// Keep 10% headroom under the remaining device memory: the
 		// analytical estimate carries a few percent of error and transient
 		// buffers (loss, logits gradient) ride on top of the activations.
+		// The pipelined session additionally scales the per-group cap down
+		// by the batch's feature share, so one prefetched feature tensor can
+		// sit on-device next to the group compute is consuming; the
+		// prefetcher's headroom gate (stageMicroBatch) enforces the actual
+		// safety condition at staging time.
 		limit := s.activationBudget() * 9 / 10
+		if s.budgetOverride > 0 {
+			whole, memErr := est.BatchMem(b)
+			if memErr != nil {
+				return nil, memErr
+			}
+			featBytes := int64(len(b.Frontier(b.Layers()))) *
+				memest.SpecFromConfig(s.Cfg.Model).FeatureRowBytes()
+			if whole > 0 {
+				limit = limit * whole / (whole + featBytes)
+			}
+		}
+		kStart := s.Cfg.MicroBatches
+		if s.budgetOverride > 0 && s.Cfg.MicroBatches == 0 && s.kWarm > 1 {
+			kStart = s.kWarm - 1
+		}
 		plan, err := schedule.Schedule(b, est, schedule.Options{
 			MemLimit:          limit,
-			KStart:            s.Cfg.MicroBatches,
+			KStart:            kStart,
 			KMax:              s.fixedKMax(b),
 			DisableRedundancy: s.Cfg.DisableRedundancy,
 			Obs:               s.Cfg.Obs,
@@ -336,9 +432,10 @@ func (s *Session) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeI
 		if err != nil {
 			return nil, err
 		}
+		s.kWarm = plan.K
 		// Predicted device peak = the winning group estimate riding on the
 		// fixed resident footprint.
-		res.PredictedPeak = plan.MaxEstimate() + s.GPU.Live()
+		res.PredictedPeak = plan.MaxEstimate() + s.residentBase()
 		s.Cfg.Obs.Span(obs.KindPlan, "", string(Buffalo), dt, plan.MaxEstimate(), int64(plan.K))
 		parts := make([][]graph.NodeID, len(plan.Groups))
 		for i, g := range plan.Groups {
@@ -427,22 +524,36 @@ func (s *Session) buildMicroBatch(b *sampling.Batch, outputs []graph.NodeID, res
 	return mb, err
 }
 
-// executeMicroBatch moves one micro-batch through the device: feature
-// transfer, layer-by-layer charged forward, loss, backward, release.
-func (s *Session) executeMicroBatch(b *sampling.Batch, mb *block.MicroBatch, res *IterationResult) (loss float32, acc float64, microBytes int64, err error) {
+// gatherFeatures assembles the host-side input-feature tensor of one
+// micro-batch (the staging buffer a real loader would pin for the H2D copy).
+func (s *Session) gatherFeatures(mb *block.MicroBatch) *tensor.Matrix {
 	inDim := s.Cfg.Model.InDim
 	inputs := mb.InputNodes()
 	feats := tensor.New(len(inputs), inDim)
 	for i, v := range inputs {
 		copy(feats.Row(i), s.Data.FeatureRow(v)[:inDim])
 	}
+	return feats
+}
+
+// executeMicroBatch moves one micro-batch through the device: feature
+// transfer, layer-by-layer charged forward, loss, backward, release.
+func (s *Session) executeMicroBatch(b *sampling.Batch, mb *block.MicroBatch, res *IterationResult) (loss float32, acc float64, microBytes int64, err error) {
+	feats := s.gatherFeatures(mb)
 	featAlloc, err := s.GPU.Alloc("features", feats.Bytes())
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("train: loading features: %w", err)
 	}
 	defer featAlloc.Free()
 	s.GPU.TransferH2D(feats.Bytes())
+	return s.computeMicroBatch(b, mb, feats, res)
+}
 
+// computeMicroBatch runs the device-side math of one micro-batch whose
+// input features are already resident: charged forward, loss, backward. The
+// caller owns the feature allocation; layer activations are charged and
+// released here.
+func (s *Session) computeMicroBatch(b *sampling.Batch, mb *block.MicroBatch, feats *tensor.Matrix, res *IterationResult) (loss float32, acc float64, microBytes int64, err error) {
 	var layerAllocs []*device.Allocation
 	defer func() {
 		for _, a := range layerAllocs {

@@ -1,6 +1,8 @@
 package buffalo
 
 import (
+	"io"
+
 	"buffalo/internal/obs"
 )
 
@@ -46,4 +48,13 @@ func NewMetrics() *Metrics { return obs.NewMetrics() }
 // memory timeline. The replayed peak equals the device's Peak() exactly.
 func ReconstructTimeline(events []TraceEvent, device string) *Timeline {
 	return obs.Reconstruct(events, device)
+}
+
+// WriteFolded writes a trace's spans in collapsed-stack ("folded") format —
+// one `frame;frame <weight-µs>` line per distinct stack — the input of
+// standard flamegraph tooling (flamegraph.pl, inferno, speedscope). The
+// Trace type also carries this as a method; this form folds an arbitrary
+// event slice. Output is deterministic for a given event set.
+func WriteFolded(w io.Writer, events []TraceEvent) error {
+	return obs.WriteFolded(w, events)
 }

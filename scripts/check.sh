@@ -9,7 +9,9 @@
 #                      timeline reconstruction) under the race detector —
 #                      a fast, focused pass so trace/ledger coherence
 #                      regressions surface before the full suite
-#   5. go test -race   the full test suite under the race detector
+#   5. pipeline gate   the async-loader tests (bounded queues, prefetch
+#                      shutdown/cancellation, feature cache) under race
+#   6. go test -race   the full test suite under the race detector
 #
 # Run from anywhere; the script cds to the repository root. Fails fast on
 # the first broken gate.
@@ -36,6 +38,14 @@ echo "== observability race gate =="
 # reconstructed timeline peak must equal the ledger peak) and must stay
 # race-clean on their own before the slow full-suite pass below.
 go test -race -run Obs -count=1 ./internal/obs/... ./internal/device/... ./internal/train/...
+
+echo "== pipeline race gate =="
+# The async loader runs three stage goroutines against one consumer over
+# bounded queues, with a headroom gate between the prefetcher and the
+# consumer's allocations. Its queue primitives and shutdown/cancellation
+# tests must stay race-clean on their own before the slow full-suite pass.
+go test -race -count=1 ./internal/pipeline/...
+go test -race -count=1 -run 'TestPipelined|TestDataLoading' ./internal/train/
 
 echo "== go test -race =="
 # Race instrumentation slows the heavy suites several-fold and packages
