@@ -146,10 +146,25 @@ func NewPipelinedSession(ds *Dataset, cfg TrainConfig, pcfg PipelineConfig) (*Pi
 // DataParallel is a multi-GPU (data-parallel) Buffalo training run (§V-G).
 type DataParallel = train.DataParallel
 
+// MultiGPUResult is a data-parallel iteration result: an IterationResult
+// plus per-device compute timing.
+type MultiGPUResult = train.MultiGPUResult
+
 // NewDataParallel builds a data-parallel run over the given number of
-// simulated GPUs, each with cfg.MemBudget capacity.
+// simulated GPUs, each with cfg.MemBudget capacity. Feature staging is
+// synchronous — this is the paper's §V-G plateau configuration, where
+// host-side micro-batch generation serializes the replicas.
 func NewDataParallel(ds *Dataset, cfg TrainConfig, gpus int) (*DataParallel, error) {
 	return train.NewDataParallel(ds, cfg, gpus)
+}
+
+// NewDataParallelPipelined is NewDataParallel with the asynchronous loader in
+// front: one shared sampler/planner/prefetcher stages every replica's
+// micro-batches ahead of compute over per-replica bounded lanes, with an
+// optional per-device feature cache (pcfg.CacheBudget is charged to each
+// device's ledger).
+func NewDataParallelPipelined(ds *Dataset, cfg TrainConfig, gpus int, pcfg PipelineConfig) (*DataParallel, error) {
+	return train.NewDataParallelPipelined(ds, cfg, gpus, pcfg)
 }
 
 // IsOOM reports whether err is (or wraps) a simulated device out-of-memory

@@ -15,8 +15,13 @@
 //
 // Pipelined loading: -pipeline runs the session behind the async prefetch
 // pipeline (sampler → planner → prefetcher), -prefetch-depth sets how many
-// micro-batches may stage ahead of compute, and -cache-budget-mb reserves
-// device memory for the degree-aware feature cache.
+// micro-batches may stage ahead of compute, -adaptive-depth lets the loader
+// tune that depth from starvation/headroom signals, and -cache-budget-mb
+// reserves device memory for the degree-aware feature cache.
+//
+// Multi-GPU: -gpus N runs data-parallel Buffalo over N simulated devices;
+// composed with -pipeline, one shared loader stages every replica's
+// micro-batches round-robin with a per-device feature cache.
 package main
 
 import (
@@ -43,6 +48,7 @@ func main() {
 	gpus := flag.Int("gpus", 1, "simulated GPUs (data parallel, buffalo only)")
 	pipelined := flag.Bool("pipeline", false, "load via the async prefetch pipeline (overlaps H2D with compute)")
 	prefetchDepth := flag.Int("prefetch-depth", 2, "micro-batches the pipeline may stage ahead of compute")
+	adaptiveDepth := flag.Bool("adaptive-depth", false, "let the pipeline tune its depth within [1, -prefetch-depth] from starvation/headroom signals")
 	cacheBudgetMB := flag.Int64("cache-budget-mb", 0, "device MB reserved for the degree-aware feature cache (0 = off; implies -pipeline)")
 	seed := flag.Int64("seed", 7, "seed")
 	tracePath := flag.String("trace", "", "write an execution trace to this file")
@@ -129,8 +135,20 @@ func main() {
 		fail(fmt.Errorf("unknown aggregator %q", *agg))
 	}
 
+	pcfg := buffalo.PipelineConfig{
+		Depth:       *prefetchDepth,
+		CacheBudget: *cacheBudgetMB * buffalo.MB,
+		Adaptive:    *adaptiveDepth,
+	}
+	usePipeline := *pipelined || *cacheBudgetMB > 0 || *adaptiveDepth
+
 	if *gpus > 1 {
-		dp, err := buffalo.NewDataParallel(ds, cfg, *gpus)
+		var dp *buffalo.DataParallel
+		if usePipeline {
+			dp, err = buffalo.NewDataParallelPipelined(ds, cfg, *gpus, pcfg)
+		} else {
+			dp, err = buffalo.NewDataParallel(ds, cfg, *gpus)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -138,11 +156,29 @@ func main() {
 		for i := 0; i < *iters; i++ {
 			res, err := dp.RunIteration()
 			if err != nil {
+				if buffalo.IsOOM(err) {
+					fmt.Printf("iter %d: OOM under %dMB per-GPU budget — shrink -cache-budget-mb or -prefetch-depth, or grow -budget-mb\n", i, *budgetMB)
+					os.Exit(1)
+				}
 				fail(err)
 			}
-			fmt.Printf("iter %d: loss=%.4f K=%d peak=%.1fMB total=%v (compute=%v comm=%v)\n",
-				i, res.Loss, res.K, float64(res.Peak)/float64(buffalo.MB),
-				res.Phases.Total(), res.Phases.GPUCompute, res.Phases.Communication)
+			if usePipeline {
+				fmt.Printf("iter %d: loss=%.4f K=%d peak=%.1fMB critical=%v (compute=%v comm=%v hidden=%v depth=%d)\n",
+					i, res.Loss, res.K, float64(res.Peak)/float64(buffalo.MB),
+					res.CriticalPath(), res.Phases.GPUCompute, res.Phases.Communication,
+					res.HiddenTransfer, dp.EffectiveDepth())
+			} else {
+				fmt.Printf("iter %d: loss=%.4f K=%d peak=%.1fMB total=%v (compute=%v comm=%v)\n",
+					i, res.Loss, res.K, float64(res.Peak)/float64(buffalo.MB),
+					res.Phases.Total(), res.Phases.GPUCompute, res.Phases.Communication)
+			}
+		}
+		if *cacheBudgetMB > 0 {
+			for i, st := range dp.PerDeviceCacheStats() {
+				fmt.Printf("cache gpu-%d: %d entries, %d hits / %d misses, %d evictions\n",
+					i, st.Entries, st.Hits, st.Misses, st.Evictions)
+			}
+			fmt.Printf("cache aggregate: %.0f%% hit rate\n", 100*dp.CacheHitRate())
 		}
 		devices := make([]string, *gpus)
 		for i := range devices {
@@ -151,11 +187,8 @@ func main() {
 		report(rec, trace, *tracePath, *traceFormat, *metrics, devices)
 		return
 	}
-	if *pipelined || *cacheBudgetMB > 0 {
-		p, err := buffalo.NewPipelinedSession(ds, cfg, buffalo.PipelineConfig{
-			Depth:       *prefetchDepth,
-			CacheBudget: *cacheBudgetMB * buffalo.MB,
-		})
+	if usePipeline {
+		p, err := buffalo.NewPipelinedSession(ds, cfg, pcfg)
 		if err != nil {
 			fail(err)
 		}

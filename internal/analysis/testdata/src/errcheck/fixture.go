@@ -99,6 +99,52 @@ func StagePropagates(q *boundedQueue) error {
 	return q.Close()
 }
 
+// laneQueue mimics the multi-GPU fan-out: one bounded queue per replica,
+// where a failed push or pop means the shared pipeline has shut down.
+type laneQueue struct{ lanes []chan int }
+
+func (q *laneQueue) Push(lane, v int) error {
+	select {
+	case q.lanes[lane] <- v:
+		return nil
+	default:
+		return io.ErrClosedPipe
+	}
+}
+
+func (q *laneQueue) Pop(lane int) (int, error) {
+	select {
+	case v := <-q.lanes[lane]:
+		return v, nil
+	default:
+		return 0, io.ErrClosedPipe
+	}
+}
+
+// DispatchDrop deals work round-robin without checking for a closed lane:
+// a dead replica's micro-batches silently vanish.
+func DispatchDrop(q *laneQueue, items []int) {
+	for i, v := range items {
+		q.Push(i%len(q.lanes), v) // want:errcheck
+	}
+}
+
+// ConsumeDrop discards a lane pop's shutdown error along with its value.
+func ConsumeDrop(q *laneQueue) {
+	q.Pop(0) // want:errcheck
+}
+
+// DispatchPropagates is the reviewable fan-out shape — the first closed
+// lane unwinds the dispatcher: clean.
+func DispatchPropagates(q *laneQueue, items []int) error {
+	for i, v := range items {
+		if err := q.Push(i%len(q.lanes), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Exempt exercises the best-effort allowlist: clean.
 func Exempt(sb *strings.Builder) {
 	fmt.Println("stdout printing is best-effort")

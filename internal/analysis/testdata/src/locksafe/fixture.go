@@ -98,3 +98,43 @@ func (l *ledger) GoodBranch(x bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// fanout mimics the multi-GPU loader: one shared prefetcher staging onto
+// per-replica devices, with a mutex guarding the lane bookkeeping that
+// every consumer reads.
+type fanout struct {
+	mu     sync.Mutex
+	staged map[int]int
+	gpus   []*device.GPU
+}
+
+// BadStageUnderLock issues the device copy inside the bookkeeping critical
+// section: every other replica's consumer serializes on one lane's transfer.
+func (f *fanout) BadStageUnderLock(dev int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.staged[dev]++
+	f.gpus[dev].TransferH2DAsync(1 << 20) // want:locksafe
+}
+
+// BadCacheReserveUnderLock reserves per-device cache capacity while holding
+// the residency lock shared by all devices.
+func (f *fanout) BadCacheReserveUnderLock(dev int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, err := f.gpus[dev].Alloc("feature-cache", 1<<20) // want:locksafe
+	if err != nil {
+		return err
+	}
+	a.Free()
+	return nil
+}
+
+// GoodStageShape is the shared-loader discipline: the device copy is issued
+// first, and the mutex guards only the in-memory lane counters.
+func (f *fanout) GoodStageShape(dev int) {
+	f.gpus[dev].TransferH2DAsync(1 << 20)
+	f.mu.Lock()
+	f.staged[dev]++
+	f.mu.Unlock()
+}

@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"buffalo/internal/obs"
@@ -17,6 +18,10 @@ type Cluster struct {
 	linkBandwidth float64
 	linkLatency   time.Duration
 
+	// mu guards commTime: the trainer's consumer goroutine accumulates it via
+	// AllReduce while observers (experiment reports, tests) may read it
+	// concurrently through CommTime.
+	mu       sync.Mutex
 	commTime time.Duration
 	rec      *obs.Recorder
 }
@@ -54,27 +59,51 @@ func (c *Cluster) AllReduce(size int64) time.Duration {
 	chunk := float64(size) / float64(n)
 	d := time.Duration(float64(steps)*(chunk/c.linkBandwidth)*float64(time.Second)) +
 		time.Duration(steps)*c.linkLatency
+	c.mu.Lock()
 	c.commTime += d
+	c.mu.Unlock()
 	c.rec.Span(obs.KindAllReduce, "", "allreduce", d, size, int64(n))
 	return d
 }
 
 // CommTime reports the accumulated all-reduce time.
-func (c *Cluster) CommTime() time.Duration { return c.commTime }
+func (c *Cluster) CommTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.commTime
+}
+
+// ResetPeaks drops every device's peak watermark to its current live bytes,
+// leaving all clocks — device and interconnect — untouched. This is the
+// per-iteration rebase a pipelined trainer needs: phases are computed as
+// before/after clock deltas, so the clocks must stay cumulative while a
+// shared prefetcher may have async transfers in flight on any device.
+func (c *Cluster) ResetPeaks() {
+	for _, g := range c.gpus {
+		g.ResetPeak()
+	}
+}
 
 // ResetClocks zeroes every device clock and the interconnect clock. Like
-// GPU.ResetClocks it leaves peak watermarks alone; Reset does both.
+// GPU.ResetClocks it leaves peak watermarks alone; Reset does both. Unsafe
+// while any device has an async transfer in flight (see GPU.ResetClocks) —
+// pipelined callers should rely on ResetPeaks plus clock deltas instead.
 func (c *Cluster) ResetClocks() {
+	c.mu.Lock()
 	c.commTime = 0
+	c.mu.Unlock()
 	for _, g := range c.gpus {
 		g.ResetClocks()
 	}
 }
 
 // Reset zeroes the interconnect clock and atomically resets every device's
-// peak watermark and clocks (GPU.Reset per device).
+// peak watermark and clocks (GPU.Reset per device). Like ResetClocks it must
+// not run while async transfers are pending on any device.
 func (c *Cluster) Reset() {
+	c.mu.Lock()
 	c.commTime = 0
+	c.mu.Unlock()
 	for _, g := range c.gpus {
 		g.Reset()
 	}

@@ -157,6 +157,7 @@ func Registry() []struct {
 		{"table4", Table4LossParity},
 		{"multigpu", MultiGPU},
 		{"pipeline", PipelineOverlap},
+		{"multigpu-pipeline", MultiGPUPipeline},
 		{"ablation", Ablations},
 	}
 }

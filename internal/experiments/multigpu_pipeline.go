@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"buffalo/internal/gnn"
+	"buffalo/internal/train"
+)
+
+// MultiGPUPipeline extends §V-G with the shared prefetch loader: the paper
+// observes that data-parallel Buffalo barely scales (3-5% for 2 GPUs)
+// because host-side micro-batch generation serializes the replicas. One row
+// reproduces that plateau; the pipelined row puts the shared
+// sampler/planner/prefetcher in front of the same two replicas, so planning
+// overlaps the previous iteration's compute, the K-search warm-starts from
+// the previous plan, and per-device caches keep hub rows resident — turning
+// the plateau into a real end-to-end win.
+func MultiGPUPipeline(opts Options) (*Table, error) {
+	ds, err := load("ogbn-products", opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p := quickProfile("ogbn-products", opts)
+	t := &Table{
+		ID:         "multigpu-pipeline",
+		Title:      "Multi-GPU pipelined loading: breaking the §V-G plateau (OGBN-products)",
+		PaperClaim: "beyond-paper: §V-G's 3-5% plateau comes from serialized host-side generation; overlapping it restores scaling",
+		Headers:    []string{"config", "K", "exposed-plan", "loading", "hidden", "compute", "comm", "critical-path"},
+	}
+	// Enough steady-state iterations to average out host-timing jitter: the
+	// plateau signal (half the compute + half the loading) is a few percent
+	// of the critical path, smaller than a single iteration's planner noise.
+	iters := 14
+	if opts.Quick {
+		iters = 10
+	}
+	// Mean aggregation keeps the run in the plateau regime the paper
+	// describes — host-side generation dominating device compute — while
+	// staying cheap enough to average several steady-state iterations.
+	cfg := train.Config{System: train.Buffalo,
+		Model: sageConfig(ds, gnn.Mean, 2, p.hidden), Fanouts: p.fanouts,
+		BatchSize: p.batch, MemBudget: p.budget, Seed: opts.Seed, Obs: opts.Obs}
+
+	// The two sequential configurations are built up front and their
+	// iterations interleaved round-robin: the plateau signal (half the
+	// compute + half the loading) is a few percent of the critical path,
+	// smaller than the host clock's slow drift between back-to-back runs, so
+	// each row must sample the same wall-clock window as its baseline. The
+	// pipelined configuration runs afterwards, alone — its background
+	// prefetcher would otherwise steal cycles from the sequential turns —
+	// and its tens-of-percent gain dwarfs any drift.
+	//
+	// The cache budget for the pipelined row is an eighth of each device:
+	// enough for the hub rows, small enough that the K-search still sees
+	// most of its headroom.
+	runs := []*mgRun{
+		{label: "1 gpu sequential", gpus: 1},
+		{label: "2 gpu sequential", gpus: 2},
+		{label: "2 gpu pipelined+cache", gpus: 2,
+			pcfg: &train.PipelineConfig{Depth: 2, CacheBudget: p.budget / 8}},
+	}
+	closeAll := func() {
+		for _, r := range runs {
+			if r.dp != nil {
+				r.dp.Close()
+			}
+		}
+	}
+	for _, r := range runs {
+		var err error
+		if r.pcfg != nil {
+			r.dp, err = train.NewDataParallelPipelined(ds, cfg, r.gpus, *r.pcfg)
+		} else {
+			r.dp, err = train.NewDataParallel(ds, cfg, r.gpus)
+		}
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	// Iteration 0 is an uncounted warm-up in every configuration: it pays
+	// one-off costs (pipeline fill, cache warming, K-search cold start) that
+	// amortize to nothing over a real training run.
+	for i := 0; i <= iters; i++ {
+		for _, r := range runs[:2] {
+			res, err := r.dp.RunIteration()
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			if i > 0 {
+				r.acc.add(res)
+			}
+		}
+	}
+	for i := 0; i <= iters; i++ {
+		res, err := runs[2].dp.RunIteration()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		if i > 0 {
+			runs[2].acc.add(res)
+		}
+	}
+	for _, r := range runs {
+		if r.pcfg != nil && r.pcfg.CacheBudget > 0 {
+			var parts []string
+			for i, st := range r.dp.PerDeviceCacheStats() {
+				total := st.Hits + st.Misses
+				if total > 0 {
+					parts = append(parts, fmt.Sprintf("gpu-%d %.0f%%", i, 100*float64(st.Hits)/float64(total)))
+				}
+			}
+			r.acc.cacheNote = strings.Join(parts, ", ")
+		}
+		if err := r.dp.Shutdown(); err != nil {
+			closeAll()
+			return nil, err
+		}
+		t.AddRow(r.label, r.acc.k, r.acc.exposedPlan, r.acc.loading, r.acc.hidden,
+			r.acc.compute, r.acc.comm, r.acc.critical)
+	}
+	base, plateau, piped := &runs[0].acc, &runs[1].acc, &runs[2].acc
+
+	// The plateau gain pools the two sequential rows' planning time: both
+	// run the byte-identical K-search and block generation on the same
+	// batches, so any measured planning delta between them is host-timing
+	// noise — several times the size of the real signal, which lives in the
+	// simulated (deterministic) loading, compute, and all-reduce terms.
+	pooledPlan := (base.exposedPlan + plateau.exposedPlan) / 2
+	baseDet := base.critical - base.exposedPlan
+	plateauDet := plateau.critical - plateau.exposedPlan
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("2-GPU sequential gain: %.1f%% (paper's §V-G plateau: 3-5%%)",
+			100*(1-float64(pooledPlan+plateauDet)/float64(pooledPlan+baseDet))),
+		fmt.Sprintf("2-GPU pipelined gain: %.1f%% end-to-end over 1-GPU sequential",
+			100*(1-float64(piped.critical)/float64(base.critical))))
+	if piped.cacheNote != "" {
+		t.Notes = append(t.Notes, "per-device cache hit rates: "+piped.cacheNote)
+	}
+	t.Notes = append(t.Notes,
+		"critical-path = what the consumer saw: exposed planning + exposed copies + compute + all-reduce",
+		"hidden = copy time overlapped behind compute or skipped via cache hits")
+	return t, nil
+}
+
+// mgRun is one multigpu-pipeline configuration under measurement.
+type mgRun struct {
+	label string
+	gpus  int
+	pcfg  *train.PipelineConfig
+	dp    *train.DataParallel
+	acc   mgAccum
+}
+
+// mgAccum sums the per-iteration numbers one multigpu-pipeline row reports.
+type mgAccum struct {
+	k           int
+	exposedPlan time.Duration
+	loading     time.Duration
+	hidden      time.Duration
+	compute     time.Duration
+	comm        time.Duration
+	critical    time.Duration
+	cacheNote   string
+}
+
+func (a *mgAccum) add(res *train.MultiGPUResult) {
+	a.k = res.K
+	if res.Pipelined {
+		a.exposedPlan += res.ExposedPlanning
+	} else {
+		// Sequentially the whole of planning sits on the critical path.
+		a.exposedPlan += res.Phases.Planning()
+	}
+	a.loading += res.Phases.DataLoading
+	a.hidden += res.HiddenTransfer
+	a.compute += res.Phases.GPUCompute
+	a.comm += res.Phases.Communication
+	a.critical += res.CriticalPath()
+}

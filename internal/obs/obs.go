@@ -73,6 +73,10 @@ const (
 	// KindStall is a compute-engine wait for an async copy: the exposed,
 	// non-hidden share of a prefetched transfer.
 	KindStall
+	// KindDispatch is an instant marking a planned micro-batch's assignment
+	// to a replica lane by a shared multi-GPU prefetcher: Dev is the target
+	// device, Bytes the staged feature bytes, Aux the lane index.
+	KindDispatch
 	// KindMark is a generic instant annotation (scheduler split decisions,
 	// experiment boundaries).
 	KindMark
@@ -99,6 +103,7 @@ var kindNames = [numKinds]string{
 	KindIteration:   "iteration",
 	KindPrefetch:    "prefetch",
 	KindStall:       "stall",
+	KindDispatch:    "dispatch",
 	KindMark:        "mark",
 }
 

@@ -1,0 +1,79 @@
+package pipeline
+
+import (
+	"buffalo/internal/graph"
+	"buffalo/internal/obs"
+)
+
+// CacheSet is one FeatureCache per replica device, each with its own budget
+// and residency state. Multi-GPU prefetching keeps the caches independent —
+// replica i only ever sees the micro-batches dispatched to it, so its cache
+// converges on the hubs of its own traffic with no cross-device coherence to
+// maintain (rows are read-only; a node may be resident on several devices).
+//
+// All caches report into the same metrics registry, so the shared
+// "pipeline/cache/*" counters aggregate cluster-wide traffic; PerDevice
+// exposes the split.
+type CacheSet struct {
+	caches []*FeatureCache
+}
+
+// NewCacheSet builds n caches of budget bytes each over rowBytes-sized rows.
+// A nil metrics registry disables counters; budget <= 0 yields caches that
+// never admit (Lookup still counts misses).
+func NewCacheSet(n int, budget, rowBytes int64, m *obs.Metrics) *CacheSet {
+	cs := &CacheSet{caches: make([]*FeatureCache, n)}
+	for i := range cs.caches {
+		cs.caches[i] = NewFeatureCache(budget, rowBytes, m)
+	}
+	return cs
+}
+
+// Size reports the number of per-device caches.
+func (cs *CacheSet) Size() int { return len(cs.caches) }
+
+// Cache returns device i's cache.
+func (cs *CacheSet) Cache(i int) *FeatureCache { return cs.caches[i] }
+
+// Lookup probes device dev's cache for node id.
+func (cs *CacheSet) Lookup(dev int, id graph.NodeID) bool {
+	return cs.caches[dev].Lookup(id)
+}
+
+// Admit offers node id to device dev's cache after a miss.
+func (cs *CacheSet) Admit(dev int, id graph.NodeID, degree int) bool {
+	return cs.caches[dev].Admit(id, degree)
+}
+
+// PerDevice snapshots every cache, index-aligned with the devices.
+func (cs *CacheSet) PerDevice() []CacheStats {
+	out := make([]CacheStats, len(cs.caches))
+	for i, c := range cs.caches {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// Stats aggregates all per-device caches into one summary.
+func (cs *CacheSet) Stats() CacheStats {
+	var agg CacheStats
+	for _, c := range cs.caches {
+		st := c.Stats()
+		agg.Entries += st.Entries
+		agg.UsedBytes += st.UsedBytes
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+	}
+	return agg
+}
+
+// HitRate reports the aggregate hits / (hits + misses), or 0 before any
+// lookups.
+func (cs *CacheSet) HitRate() float64 {
+	st := cs.Stats()
+	if st.Hits+st.Misses == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Hits+st.Misses)
+}

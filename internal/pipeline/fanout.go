@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"buffalo/internal/obs"
+)
+
+// Fanout is a set of parallel bounded queues — one lane per consumer — fed
+// by one producer. A multi-GPU prefetcher dispatches each staged micro-batch
+// to its target replica's lane; per-lane FIFO order preserves the dispatch
+// order within a lane, so a consumer draining lanes in dispatch order sees
+// exactly the producer's sequence. Each lane carries its own depth gauge
+// ("<name>/<lane>") so traces show which replica the pipeline starves.
+//
+// All lanes share the Queue primitive's semantics: Push blocks on a full
+// lane, Pop on an empty one, Close closes every lane (idempotent), and
+// after Close pops drain the backlog before reporting ErrClosed.
+type Fanout[T any] struct {
+	lanes []*Queue[T]
+}
+
+// NewFanout builds lanes bounded queues of the given per-lane capacity
+// (minimum 1 lane, capacity per Queue rules). m may be nil; when set, lane i
+// updates the gauge "<name>/<i>".
+func NewFanout[T any](lanes, capacity int, m *obs.Metrics, name string) *Fanout[T] {
+	if lanes < 1 {
+		lanes = 1
+	}
+	f := &Fanout[T]{lanes: make([]*Queue[T], lanes)}
+	for i := range f.lanes {
+		f.lanes[i] = NewQueue[T](capacity, m.Gauge(fmt.Sprintf("%s/%d", name, i)))
+	}
+	return f
+}
+
+// Lanes reports the number of lanes.
+func (f *Fanout[T]) Lanes() int { return len(f.lanes) }
+
+// Push enqueues v on lane i, blocking while that lane is full.
+func (f *Fanout[T]) Push(ctx context.Context, lane int, v T) error {
+	return f.lanes[lane].Push(ctx, v)
+}
+
+// Pop dequeues the oldest item of lane i, blocking while it is empty.
+func (f *Fanout[T]) Pop(ctx context.Context, lane int) (T, error) {
+	return f.lanes[lane].Pop(ctx)
+}
+
+// TryPop dequeues from lane i without blocking — the shutdown-drain path.
+func (f *Fanout[T]) TryPop(lane int) (T, bool) {
+	return f.lanes[lane].TryPop()
+}
+
+// Close closes every lane. Idempotent.
+func (f *Fanout[T]) Close() {
+	for _, q := range f.lanes {
+		q.Close()
+	}
+}
+
+// Len reports the summed backlog across lanes.
+func (f *Fanout[T]) Len() int {
+	n := 0
+	for _, q := range f.lanes {
+		n += q.Len()
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"buffalo/internal/graph"
+	"buffalo/internal/obs"
+)
+
+// TestFanoutPerLaneFIFO: a single producer dispatching round-robin must be
+// seen by each lane's consumer in exactly the dispatch order.
+func TestFanoutPerLaneFIFO(t *testing.T) {
+	ctx := context.Background()
+	f := NewFanout[int](2, 8, nil, "test/fanout")
+	if f.Lanes() != 2 {
+		t.Fatalf("lanes = %d, want 2", f.Lanes())
+	}
+	for i := 0; i < 8; i++ {
+		if err := f.Push(ctx, i%2, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != 8 {
+		t.Fatalf("backlog = %d, want 8", f.Len())
+	}
+	for lane := 0; lane < 2; lane++ {
+		for k := 0; k < 4; k++ {
+			v, err := f.Pop(ctx, lane)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := 2*k + lane; v != want {
+				t.Fatalf("lane %d item %d = %d, want %d", lane, k, v, want)
+			}
+		}
+	}
+}
+
+// TestFanoutCloseDrains: Close closes every lane; pops drain the backlog
+// first and then report ErrClosed, and pushes fail immediately.
+func TestFanoutCloseDrains(t *testing.T) {
+	ctx := context.Background()
+	f := NewFanout[string](2, 4, nil, "test/fanout")
+	if err := f.Push(ctx, 1, "staged"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close() // idempotent
+	if err := f.Push(ctx, 0, "late"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: %v, want ErrClosed", err)
+	}
+	if v, ok := f.TryPop(1); !ok || v != "staged" {
+		t.Fatalf("drain = %q/%v, want staged/true", v, ok)
+	}
+	for lane := 0; lane < 2; lane++ {
+		if _, err := f.Pop(ctx, lane); !errors.Is(err, ErrClosed) {
+			t.Fatalf("lane %d pop after drain: %v, want ErrClosed", lane, err)
+		}
+		if _, ok := f.TryPop(lane); ok {
+			t.Fatalf("lane %d TryPop after drain should report empty", lane)
+		}
+	}
+}
+
+// TestFanoutLaneGauges: each lane mirrors its own backlog into its gauge.
+func TestFanoutLaneGauges(t *testing.T) {
+	ctx := context.Background()
+	m := obs.NewMetrics()
+	f := NewFanout[int](2, 4, m, "test/fanout")
+	if err := f.Push(ctx, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Push(ctx, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Push(ctx, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Gauge("test/fanout/0").Value(); got != 2 {
+		t.Fatalf("lane 0 gauge = %d, want 2", got)
+	}
+	if got := m.Gauge("test/fanout/1").Value(); got != 1 {
+		t.Fatalf("lane 1 gauge = %d, want 1", got)
+	}
+	if _, err := f.Pop(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Gauge("test/fanout/0").Value(); got != 1 {
+		t.Fatalf("lane 0 gauge after pop = %d, want 1", got)
+	}
+}
+
+// TestCacheSetIndependence: per-device caches keep independent residency —
+// a row admitted on device 0 stays a miss on device 1 — while Stats sums
+// the per-device counters.
+func TestCacheSetIndependence(t *testing.T) {
+	cs := NewCacheSet(2, 1024, 64, nil)
+	if cs.Size() != 2 {
+		t.Fatalf("size = %d, want 2", cs.Size())
+	}
+	id := graph.NodeID(42)
+	if cs.Lookup(0, id) {
+		t.Fatal("cold cache must miss")
+	}
+	if !cs.Admit(0, id, 9) {
+		t.Fatal("admission into an empty cache must succeed")
+	}
+	if !cs.Lookup(0, id) {
+		t.Fatal("admitted row must hit on its own device")
+	}
+	if cs.Lookup(1, id) {
+		t.Fatal("residency must not leak across devices")
+	}
+	per := cs.PerDevice()
+	if len(per) != 2 {
+		t.Fatalf("per-device snapshots = %d, want 2", len(per))
+	}
+	if per[0].Hits != 1 || per[0].Misses != 1 || per[1].Misses != 1 {
+		t.Fatalf("per-device counters wrong: %+v", per)
+	}
+	agg := cs.Stats()
+	if agg.Hits != 1 || agg.Misses != 2 || agg.Entries != 1 {
+		t.Fatalf("aggregate wrong: %+v", agg)
+	}
+	if hr := cs.HitRate(); hr <= 0.33 || hr >= 0.34 {
+		t.Fatalf("aggregate hit rate = %v, want 1/3", hr)
+	}
+}

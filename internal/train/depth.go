@@ -1,0 +1,52 @@
+package train
+
+import "time"
+
+// starveFloor is the consumer-idle threshold below which an iteration counts
+// as fully fed: queue pops that return within tens of microseconds are just
+// channel hand-off cost, not the pipeline falling behind.
+const starveFloor = 50 * time.Microsecond
+
+// depthController adapts the loader's effective prefetch depth within
+// [1, max] from the two pressure signals each iteration reports:
+//
+//   - headroom-gate waits mean the prefetcher tried to stage more than the
+//     device could hold next to the consumer's activations — staging deeper
+//     only parks tensors the gate will block anyway, so depth shrinks;
+//   - consumer starvation with a quiet gate means compute drained every
+//     staged tensor and then idled — the pipeline is behind, so depth grows.
+//
+// Headroom pressure wins when both fire: a deeper pipeline cannot help a
+// memory-bound device. One step per observation keeps the controller stable
+// against noisy single-iteration measurements (AIMD-without-the-M: the gate
+// re-fires every iteration the pressure persists, so convergence to the
+// balance point is still linear in iterations).
+type depthController struct {
+	min, max int
+	depth    int
+}
+
+// newDepthController starts at depth 1 (pure double-buffering pressure will
+// grow it immediately if the pipeline starves) with the given ceiling.
+func newDepthController(max int) *depthController {
+	if max < 1 {
+		max = 1
+	}
+	return &depthController{min: 1, max: max, depth: 1}
+}
+
+// observe folds one iteration's signals into the controller and returns the
+// new effective depth.
+func (c *depthController) observe(starved time.Duration, gateWaits int64) int {
+	switch {
+	case gateWaits > 0:
+		if c.depth > c.min {
+			c.depth--
+		}
+	case starved > starveFloor:
+		if c.depth < c.max {
+			c.depth++
+		}
+	}
+	return c.depth
+}

@@ -1,0 +1,100 @@
+package train
+
+import (
+	"testing"
+	"time"
+
+	"buffalo/internal/device"
+)
+
+// TestDepthControllerGrowsAndShrinks drives the adaptive controller in both
+// directions: sustained consumer starvation with a quiet headroom gate grows
+// the depth to its ceiling one step at a time; gate pressure shrinks it back
+// to the floor and wins when both signals fire; a quiet iteration holds.
+func TestDepthControllerGrowsAndShrinks(t *testing.T) {
+	c := newDepthController(4)
+	if c.depth != 1 {
+		t.Fatalf("controller must start at depth 1, got %d", c.depth)
+	}
+	for i, want := range []int{2, 3, 4, 4} {
+		if d := c.observe(time.Millisecond, 0); d != want {
+			t.Fatalf("starved observation %d: depth %d, want %d", i, d, want)
+		}
+	}
+	// Headroom pressure wins over simultaneous starvation: staging deeper
+	// cannot help a memory-bound device.
+	if d := c.observe(time.Millisecond, 2); d != 3 {
+		t.Fatalf("gate pressure should shrink despite starvation, got depth %d", d)
+	}
+	for i, want := range []int{2, 1, 1} {
+		if d := c.observe(0, 1); d != want {
+			t.Fatalf("gated observation %d: depth %d, want %d", i, d, want)
+		}
+	}
+	if d := c.observe(starveFloor/2, 0); d != 1 {
+		t.Fatalf("quiet iteration must hold the depth, got %d", d)
+	}
+}
+
+// TestAdaptiveDepthBounds: an adaptive loader starts at depth 1 and keeps
+// its effective depth within [1, Depth] across iterations, while results
+// stay identical to the sequential session (adaptivity only changes how far
+// ahead staging runs, never the math).
+func TestAdaptiveDepthBounds(t *testing.T) {
+	ds := loadData(t, "cora")
+	cfg := baseConfig(ds, Buffalo)
+	cfg.MicroBatches = 2
+	seq, err := NewSession(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	p, err := NewPipelinedSession(ds, cfg, PipelineConfig{Depth: 3, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if d := p.EffectiveDepth(); d != 1 {
+		t.Fatalf("adaptive depth must start at 1, got %d", d)
+	}
+	for i := 0; i < 5; i++ {
+		rs, err := seq.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := p.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Loss != rp.Loss {
+			t.Fatalf("iteration %d: adaptive loader changed the math: %v vs %v", i, rp.Loss, rs.Loss)
+		}
+		if d := p.EffectiveDepth(); d < 1 || d > 3 {
+			t.Fatalf("iteration %d: effective depth %d outside [1, 3]", i, d)
+		}
+		if rp.Peak > cfg.MemBudget {
+			t.Fatalf("iteration %d: peak %d over capacity %d", i, rp.Peak, cfg.MemBudget)
+		}
+	}
+}
+
+// TestFixedDepthReportsConfigured: without Adaptive the effective depth is
+// the configured depth, constant across iterations.
+func TestFixedDepthReportsConfigured(t *testing.T) {
+	ds := loadData(t, "cora")
+	cfg := baseConfig(ds, Buffalo)
+	cfg.MicroBatches = 2
+	p, err := NewPipelinedSession(ds, cfg, PipelineConfig{Depth: 3, CacheBudget: 2 * device.MB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := p.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+		if d := p.EffectiveDepth(); d != 3 {
+			t.Fatalf("fixed loader effective depth %d, want 3", d)
+		}
+	}
+}

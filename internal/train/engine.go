@@ -1,0 +1,556 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"buffalo/internal/baseline/betty"
+	"buffalo/internal/block"
+	"buffalo/internal/datagen"
+	"buffalo/internal/device"
+	"buffalo/internal/gnn"
+	"buffalo/internal/graph"
+	"buffalo/internal/memest"
+	"buffalo/internal/nn"
+	"buffalo/internal/obs"
+	"buffalo/internal/partition"
+	"buffalo/internal/sampling"
+	"buffalo/internal/schedule"
+	"buffalo/internal/tensor"
+)
+
+// replica pairs one simulated device with its model copy. Replica 0 is the
+// authoritative one the optimizer steps; single-GPU sessions have exactly
+// one replica, data-parallel runs have one per cluster device.
+type replica struct {
+	gpu   *device.GPU
+	model *gnn.Model
+}
+
+// engine is the iteration spine every execution path drives: the sequential
+// Session, the PipelinedSession, and DataParallel (sequential or pipelined)
+// all share this one copy of planning (system switch + Buffalo K-search),
+// memory estimation, micro-batch construction, feature gathering, charged
+// compute, and phase/obs accounting. The paths differ only in where plans
+// come from (inline vs a background planner stage) and how features reach
+// the device (synchronous copies vs prefetched async copies), which is the
+// stager interface.
+type engine struct {
+	cfg      Config
+	data     *datagen.Dataset
+	opt      nn.Optimizer
+	rng      *rand.Rand
+	clusterC float64
+	rowBytes int64
+
+	replicas []replica
+	cluster  *device.Cluster // nil for single-GPU sessions
+
+	// budgetOverride freezes the activation budget at pipeline construction:
+	// a background planner must not read the live ledger while the consumer's
+	// transient allocations fluctuate, or plans (and K) would depend on
+	// scheduling timing. Zero means "read the live ledger" (sequential mode).
+	budgetOverride int64
+	// kWarm warm-starts the pipelined planner's K search at the previous
+	// iteration's K minus one: consecutive batches are statistically alike,
+	// so re-proving every smaller K infeasible each iteration is wasted
+	// scheduling work. Only the (single) planning goroutine touches it, and
+	// only when budgetOverride is set.
+	kWarm int
+}
+
+// newEngine wires the shared spine over a set of replicas. cluster is nil
+// for single-GPU sessions and owns the interconnect otherwise.
+func newEngine(ds *datagen.Dataset, cfg Config, replicas []replica, cluster *device.Cluster) *engine {
+	lr := cfg.LearningRate
+	if lr == 0 {
+		lr = 0.01
+	}
+	return &engine{
+		cfg:      cfg,
+		data:     ds,
+		opt:      nn.NewAdam(lr),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		clusterC: ds.Graph.ApproxClusteringCoefficient(cfg.Seed, 2000),
+		rowBytes: memest.SpecFromConfig(cfg.Model).FeatureRowBytes(),
+		replicas: replicas,
+		cluster:  cluster,
+	}
+}
+
+// gpu0 is the reference device: budgets and resident footprints are measured
+// against it (cluster devices are identical, so it stands for all of them).
+func (e *engine) gpu0() *device.GPU { return e.replicas[0].gpu }
+
+// iterDev is the device tag iteration-level spans carry: the device name for
+// single-GPU runs, empty (cluster-scoped) for multi-GPU ones.
+func (e *engine) iterDev() string {
+	if e.cluster == nil || e.cluster.Size() == 1 {
+		return e.gpu0().Name()
+	}
+	return ""
+}
+
+// activationBudget is the device memory available to one micro-batch's
+// features + activations. In pipelined mode it is the frozen budget captured
+// at pipeline start rather than the instantaneous ledger headroom.
+func (e *engine) activationBudget() int64 {
+	if e.budgetOverride > 0 {
+		return e.budgetOverride
+	}
+	return e.gpu0().Capacity() - e.gpu0().Live()
+}
+
+// residentBase is the stable device-resident footprint plans ride on top of:
+// the live ledger for the sequential path, the frozen complement of the
+// activation budget for the pipelined one (where Live fluctuates with
+// in-flight prefetches).
+func (e *engine) residentBase() int64 {
+	if e.budgetOverride > 0 {
+		return e.gpu0().Capacity() - e.budgetOverride
+	}
+	return e.gpu0().Live()
+}
+
+// sampleBatch draws the next iteration's batch from the engine's RNG in the
+// canonical order (seeds, then fanout sampling) that sampling.Stream mirrors
+// for background samplers.
+func (e *engine) sampleBatch() (*sampling.Batch, error) {
+	t0 := time.Now()
+	seeds, err := sampling.UniformSeeds(e.data.Graph, e.cfg.BatchSize, e.rng)
+	if err != nil {
+		return nil, err
+	}
+	b, err := sampling.SampleBatch(e.data.Graph, seeds, e.cfg.Fanouts, e.rng)
+	if err == nil {
+		e.cfg.Obs.Span(obs.KindSample, "", "batch", time.Since(t0),
+			int64(len(seeds)), int64(len(e.cfg.Fanouts)))
+	}
+	return b, err
+}
+
+// estimator builds the analytical memory model for a batch.
+func (e *engine) estimator(b *sampling.Batch) (*memest.Estimator, error) {
+	return memest.New(memest.SpecFromConfig(e.cfg.Model), memest.ProfileBatch(b, e.clusterC))
+}
+
+// pipeIter is one planned iteration: its batch, the micro-batch blocks, and
+// the result skeleton carrying the planning phases. transfer accumulates the
+// async copy time a prefetcher issued for this iteration; it is complete
+// before the last staged micro-batch is handed to the consumer, so the
+// consumer reads it race-free after the last stage call.
+type pipeIter struct {
+	b        *sampling.Batch
+	res      *IterationResult
+	mbs      []*block.MicroBatch
+	transfer time.Duration
+	// minFeat is the smallest micro-batch feature tensor of this plan: a
+	// lower bound on the feature bytes the consumer holds whichever group it
+	// is computing, which sharpens the prefetcher's headroom reserve.
+	minFeat int64
+}
+
+// stagedMB is one staged micro-batch: features gathered host-side, device
+// bytes reserved on replica dev, and (for async stagers, on a cache miss) an
+// H2D copy in flight.
+type stagedMB struct {
+	iter      *pipeIter
+	idx       int
+	dev       int // replica the micro-batch executes on
+	last      bool
+	mb        *block.MicroBatch
+	feats     *tensor.Matrix
+	featAlloc *device.Allocation
+	done      time.Duration // async copy completion position on the sim timeline
+	hasCopy   bool          // false when synchronous or fully cache-resident
+}
+
+// stager supplies executeIteration with staged micro-batches: features
+// gathered host-side, device bytes reserved on the target replica, and the
+// H2D transfer either already paid (synchronous staging) or issued (async,
+// with done carrying the completion position the engine waits on).
+type stager interface {
+	stage(it *pipeIter, i int) (*stagedMB, error)
+	release(smb *stagedMB)
+}
+
+// seqStager stages micro-batches inline: gather, reserve on the round-robin
+// target replica, and pay the synchronous copy immediately — the sequential
+// loading model of both Session and the non-pipelined DataParallel.
+type seqStager struct{ e *engine }
+
+func (s seqStager) stage(it *pipeIter, i int) (*stagedMB, error) {
+	dev := i % len(s.e.replicas)
+	gpu := s.e.replicas[dev].gpu
+	feats := s.e.gatherFeatures(it.mbs[i])
+	featAlloc, err := gpu.Alloc("features", feats.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("train: loading features: %w", err)
+	}
+	gpu.TransferH2D(feats.Bytes())
+	return &stagedMB{
+		iter: it, idx: i, dev: dev, last: i == len(it.mbs)-1,
+		mb: it.mbs[i], feats: feats, featAlloc: featAlloc,
+	}, nil
+}
+
+func (s seqStager) release(smb *stagedMB) { smb.featAlloc.Free() }
+
+// planIteration runs the planning half of an iteration — the system plan
+// (Buffalo's K-search for buffalo) plus block generation for every group —
+// and returns the iteration ready for staging and execution. Shared verbatim
+// by the inline sequential path and the background planner stage (which
+// additionally pins its OS thread and rescales the recorded phases, see
+// loader.planPinned).
+func (e *engine) planIteration(b *sampling.Batch) (*pipeIter, error) {
+	res := &IterationResult{}
+	parts, err := e.plan(b, res)
+	if err != nil {
+		return nil, err
+	}
+	it := &pipeIter{b: b, res: res, mbs: make([]*block.MicroBatch, len(parts))}
+	for i, outputs := range parts {
+		mb, err := e.buildMicroBatch(b, outputs, res)
+		if err != nil {
+			return nil, err
+		}
+		it.mbs[i] = mb
+		if feat := int64(len(mb.InputNodes())) * e.rowBytes; i == 0 || feat < it.minFeat {
+			it.minFeat = feat
+		}
+	}
+	return it, nil
+}
+
+// plan produces the micro-batch output partitions per the configured system.
+func (e *engine) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeID, error) {
+	switch e.cfg.System {
+	case DGL, PyG:
+		return [][]graph.NodeID{b.Seeds}, nil
+	case Buffalo:
+		est, err := e.estimator(b)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		// Keep 10% headroom under the remaining device memory: the
+		// analytical estimate carries a few percent of error and transient
+		// buffers (loss, logits gradient) ride on top of the activations.
+		// The pipelined sessions additionally scale the per-group cap down
+		// by the batch's feature share, so one prefetched feature tensor can
+		// sit on-device next to the group compute is consuming; the
+		// prefetcher's headroom gate (stageMicroBatch) enforces the actual
+		// safety condition at staging time.
+		limit := e.activationBudget() * 9 / 10
+		if e.budgetOverride > 0 {
+			whole, memErr := est.BatchMem(b)
+			if memErr != nil {
+				return nil, memErr
+			}
+			featBytes := int64(len(b.Frontier(b.Layers()))) * e.rowBytes
+			if whole > 0 {
+				limit = limit * whole / (whole + featBytes)
+			}
+		}
+		kStart := e.cfg.MicroBatches
+		if e.budgetOverride > 0 && e.cfg.MicroBatches == 0 && e.kWarm > 1 {
+			kStart = e.kWarm - 1
+		}
+		plan, err := schedule.Schedule(b, est, schedule.Options{
+			MemLimit:          limit,
+			KStart:            kStart,
+			KMax:              e.fixedKMax(b),
+			DisableRedundancy: e.cfg.DisableRedundancy,
+			Obs:               e.cfg.Obs,
+		})
+		dt := time.Since(t0)
+		res.Phases.Scheduling += dt
+		if err != nil {
+			return nil, err
+		}
+		e.kWarm = plan.K
+		// Predicted device peak = the winning group estimate riding on the
+		// fixed resident footprint.
+		res.PredictedPeak = plan.MaxEstimate() + e.residentBase()
+		e.cfg.Obs.Span(obs.KindPlan, "", string(Buffalo), dt, plan.MaxEstimate(), int64(plan.K))
+		parts := make([][]graph.NodeID, len(plan.Groups))
+		for i, g := range plan.Groups {
+			parts[i] = g.Nodes()
+		}
+		return parts, nil
+	case Betty:
+		est, err := e.estimator(b)
+		if err != nil {
+			return nil, err
+		}
+		var plan *betty.Plan
+		if e.cfg.MicroBatches > 0 {
+			plan, err = betty.Partition(b, e.cfg.MicroBatches, e.cfg.Seed)
+		} else {
+			plan, err = betty.FindPlan(b, est, e.activationBudget(), 0, e.cfg.Seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.REGConstruction += plan.REGTime
+		res.Phases.MetisPartition += plan.MetisTime
+		e.cfg.Obs.Span(obs.KindPlan, "", string(Betty),
+			plan.REGTime+plan.MetisTime, 0, int64(len(plan.Parts)))
+		return plan.Parts, nil
+	case RandomP, RangeP, MetisP:
+		k := e.cfg.MicroBatches
+		if k < 1 {
+			k = 1
+		}
+		var strat partition.Strategy
+		switch e.cfg.System {
+		case RandomP:
+			strat = partition.Random{}
+		case RangeP:
+			strat = partition.Range{}
+		default:
+			strat = partition.Metis{}
+		}
+		t0 := time.Now()
+		parts, err := strat.Partition(b, k, e.cfg.Seed)
+		dt := time.Since(t0)
+		res.Phases.MetisPartition += dt
+		if err == nil {
+			e.cfg.Obs.Span(obs.KindPlan, "", string(e.cfg.System), dt, 0, int64(len(parts)))
+		}
+		return parts, err
+	}
+	return nil, fmt.Errorf("train: unknown system %q", e.cfg.System)
+}
+
+// fixedKMax bounds Buffalo's K search when MicroBatches pins K exactly.
+func (e *engine) fixedKMax(b *sampling.Batch) int {
+	if e.cfg.MicroBatches > 0 {
+		return e.cfg.MicroBatches
+	}
+	return len(b.Seeds)
+}
+
+// buildMicroBatch constructs the blocks for one partition. Only Buffalo uses
+// the fast sampling-order generator (its §IV-E contribution); every baseline
+// pays the standard connection-check cost the paper's Fig 5 measures in
+// existing frameworks.
+func (e *engine) buildMicroBatch(b *sampling.Batch, outputs []graph.NodeID, res *IterationResult) (*block.MicroBatch, error) {
+	naive := e.cfg.System != Buffalo || e.cfg.NaiveBlockGen
+	if naive {
+		mb, check, build, err := block.GenerateNaiveTimed(b, outputs)
+		res.Phases.ConnectionCheck += check
+		res.Phases.BlockGen += build
+		if err == nil {
+			// The BlockGen phase covers only the build half, so the span
+			// mirrors it; the connection-check half is annotated separately
+			// (it is Fig 11's dominant baseline overhead, not construction).
+			e.cfg.Obs.Span(obs.KindBlockGen, "", "naive/build", build, mb.NumNodes(), int64(len(outputs)))
+			e.cfg.Obs.Event(obs.KindMark, "", "blockgen/check", 0, 0, int64(check))
+		}
+		return mb, err
+	}
+	t0 := time.Now()
+	mb, err := block.GenerateTraced(b, outputs, e.cfg.Obs)
+	dt := time.Since(t0)
+	res.Phases.BlockGen += dt
+	if err == nil {
+		e.cfg.Obs.Span(obs.KindBlockGen, "", "fast", dt, mb.NumNodes(), int64(len(outputs)))
+	}
+	return mb, err
+}
+
+// gatherFeatures assembles the host-side input-feature tensor of one
+// micro-batch (the staging buffer a real loader would pin for the H2D copy).
+func (e *engine) gatherFeatures(mb *block.MicroBatch) *tensor.Matrix {
+	inDim := e.cfg.Model.InDim
+	inputs := mb.InputNodes()
+	feats := tensor.New(len(inputs), inDim)
+	for i, v := range inputs {
+		copy(feats.Row(i), e.data.FeatureRow(v)[:inDim])
+	}
+	return feats
+}
+
+// addCompute charges measured host compute time onto replica dev's simulated
+// kernel clock: scaled by the modeled GPU speedup, with the PyG penalty on
+// top. The scaled duration is recorded identically as a phase-kind span
+// (forward, backward, optimizer step) and returned for the caller's phase
+// accounting, so per-kind span sums add up to the phase totals exactly.
+func (e *engine) addCompute(dev int, d time.Duration, kind obs.Kind) time.Duration {
+	d = time.Duration(float64(d) / e.cfg.gpuSpeedup())
+	if e.cfg.System == PyG {
+		d = time.Duration(float64(d) * pygComputePenalty)
+	}
+	gpu := e.replicas[dev].gpu
+	gpu.AddComputeTime(d)
+	e.cfg.Obs.Span(kind, gpu.Name(), "", d, 0, 0)
+	return d
+}
+
+// computeMicroBatch runs the device-side math of one micro-batch on replica
+// dev, whose input features are already resident: charged forward, loss,
+// backward. The caller owns the feature allocation; layer activations are
+// charged and released here. Scaled compute time accrues on perCompute[dev].
+func (e *engine) computeMicroBatch(dev int, b *sampling.Batch, mb *block.MicroBatch, feats *tensor.Matrix, perCompute []time.Duration) (loss float32, acc float64, microBytes int64, err error) {
+	r := e.replicas[dev]
+	var layerAllocs []*device.Allocation
+	defer func() {
+		for _, a := range layerAllocs {
+			a.Free()
+		}
+	}()
+	tFwd := time.Now()
+	fwd, err := r.model.ForwardWithHook(mb, feats, func(layer int, plannedBytes int64) error {
+		a, err := r.gpu.Alloc(fmt.Sprintf("activations/layer%d", layer), plannedBytes)
+		if err != nil {
+			return err
+		}
+		layerAllocs = append(layerAllocs, a)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("train: forward: %w", err)
+	}
+	labels := make([]int32, len(mb.Outputs))
+	for i, v := range mb.Outputs {
+		labels[i] = e.data.Labels[v]
+	}
+	scale := float32(len(mb.Outputs)) / float32(b.NumOutputNodes())
+	mLoss, dLogits, err := nn.CrossEntropy(fwd.Logits, labels, scale)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	perCompute[dev] += e.addCompute(dev, time.Since(tFwd), obs.KindForward)
+	tBwd := time.Now()
+	if _, err := r.model.Backward(fwd, dLogits); err != nil {
+		return 0, 0, 0, err
+	}
+	perCompute[dev] += e.addCompute(dev, time.Since(tBwd), obs.KindBackward)
+
+	acc = nn.Accuracy(fwd.Logits, labels)
+	return mLoss, acc, feats.Bytes() + fwd.ActivationBytes(), nil
+}
+
+// executeIteration drives the execute half of one planned iteration through
+// the stager: per micro-batch, stage → wait for its copy (async stagers) →
+// compute on its replica → release; then combine gradients across replicas
+// (ring all-reduce when there is more than one) and step the optimizer on
+// replica 0. async selects the loading model the DataLoading phase charges:
+// synchronous stagers pay every copy in full (TransferTime delta), async
+// ones only the exposed stalls (StallTime delta), with the hidden remainder
+// reported as HiddenTransfer.
+//
+// Devices run concurrently in the simulation: compute is tracked per replica
+// and the GPUCompute phase costs the slowest one; Peak and DataLoading are
+// likewise maxima across devices.
+func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGPUResult, error) {
+	tIter := time.Now()
+	res := &MultiGPUResult{IterationResult: *it.res}
+	n := len(e.replicas)
+	// Rebase only the peak watermarks: the device clocks stay cumulative and
+	// per-iteration phases are computed as before/after deltas. A clock reset
+	// here would corrupt a pipelined stager's in-flight async transfers.
+	pre := make([]device.Stats, n)
+	for i, r := range e.replicas {
+		r.gpu.ResetPeak()
+		pre[i] = r.gpu.Stats()
+	}
+	main := e.replicas[0].model
+	for i, r := range e.replicas {
+		if i > 0 {
+			if err := r.model.Params.CopyValuesFrom(main.Params); err != nil {
+				return nil, err
+			}
+		}
+		r.model.Params.ZeroGrad()
+	}
+
+	perCompute := make([]time.Duration, n)
+	var lossSum float32
+	var correct, counted int
+	for i := range it.mbs {
+		tMB := time.Now()
+		smb, err := ex.stage(it, i)
+		if err != nil {
+			return nil, err
+		}
+		gpu := e.replicas[smb.dev].gpu
+		if async && smb.hasCopy {
+			gpu.WaitTransfer(smb.done)
+		}
+		mLoss, mAcc, bytes, cErr := e.computeMicroBatch(smb.dev, it.b, smb.mb, smb.feats, perCompute)
+		ex.release(smb)
+		if cErr != nil {
+			return nil, cErr
+		}
+		lossSum += mLoss
+		correct += int(mAcc * float64(len(smb.mb.Outputs)))
+		counted += len(smb.mb.Outputs)
+		res.PerMicroBytes = append(res.PerMicroBytes, bytes)
+		res.TotalNodes += smb.mb.NumNodes()
+		e.cfg.Obs.Span(obs.KindMicroBatch, gpu.Name(), fmt.Sprintf("mb%d", i),
+			time.Since(tMB), bytes, int64(i))
+	}
+
+	// Combine gradients into replica 0 before the step: the simulated ring
+	// all-reduce charges the interconnect for what real NCCL would move.
+	if n > 1 {
+		for i := 1; i < n; i++ {
+			if err := main.Params.AddGradsFrom(e.replicas[i].model.Params); err != nil {
+				return nil, err
+			}
+		}
+		res.Phases.Communication += e.cluster.AllReduce(main.Params.Bytes() / 2)
+	}
+	tStep := time.Now()
+	e.opt.Step(main.Params)
+	perCompute[0] += e.addCompute(0, time.Since(tStep), obs.KindOptStep)
+
+	res.K = len(it.mbs)
+	res.Loss = lossSum
+	if counted > 0 {
+		res.Accuracy = float64(correct) / float64(counted)
+	}
+	var maxCompute time.Duration
+	for _, c := range perCompute {
+		if c > maxCompute {
+			maxCompute = c
+		}
+	}
+	res.Phases.GPUCompute += maxCompute
+	res.PerGPUCompute = perCompute
+	var peak int64
+	var loading time.Duration
+	for i, r := range e.replicas {
+		st := r.gpu.Stats()
+		if st.Peak > peak {
+			peak = st.Peak
+		}
+		var d time.Duration
+		if async {
+			// Only the exposed share of prefetched copies costs the
+			// iteration wall time; the rest ran behind compute (or never
+			// ran: cache hits).
+			d = st.StallTime - pre[i].StallTime
+		} else {
+			d = st.TransferTime - pre[i].TransferTime
+		}
+		if d > loading {
+			loading = d
+		}
+	}
+	res.Peak = peak
+	res.Phases.DataLoading += loading
+	res.HiddenTransfer = it.transfer - loading
+	if res.HiddenTransfer < 0 {
+		res.HiddenTransfer = 0
+	}
+	if e.cfg.Obs.Enabled() {
+		e.cfg.Obs.Span(obs.KindIteration, e.iterDev(), string(e.cfg.System),
+			time.Since(tIter), res.Peak, int64(res.K))
+		memest.RecordEstimate(e.cfg.Obs, e.iterDev(), res.PredictedPeak, res.Peak)
+	}
+	return res, nil
+}

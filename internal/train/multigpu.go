@@ -2,19 +2,12 @@ package train
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
-	"buffalo/internal/block"
 	"buffalo/internal/datagen"
 	"buffalo/internal/device"
 	"buffalo/internal/gnn"
-	"buffalo/internal/memest"
-	"buffalo/internal/nn"
-	"buffalo/internal/obs"
-	"buffalo/internal/sampling"
-	"buffalo/internal/schedule"
-	"buffalo/internal/tensor"
+	"buffalo/internal/pipeline"
 )
 
 // DataParallel trains with Buffalo scheduling across a simulated multi-GPU
@@ -23,28 +16,49 @@ import (
 // GPU-compute wall time is the maximum across devices, since real devices
 // run in parallel), and gradients are combined with a simulated ring
 // all-reduce before the optimizer step.
+//
+// It is the same iteration engine the single-GPU Session drives, over one
+// replica per device. Sequentially it stages features with synchronous
+// copies (the §V-G plateau configuration: host-side generation serializes);
+// NewDataParallelPipelined puts the shared sampler/planner/prefetcher loader
+// in front instead, staging each replica's micro-batches asynchronously
+// behind the previous compute.
 type DataParallel struct {
 	Cfg     Config
 	Data    *datagen.Dataset
 	Cluster *device.Cluster
 
-	// replicas[i] is GPU i's model copy; replica 0 is the authoritative one
-	// the optimizer updates.
-	replicas []*gnn.Model
-	opt      nn.Optimizer
-	rng      *rand.Rand
-	clusterC float64
-	fixed    []*device.Allocation
+	eng   *engine
+	ld    *loader // nil for the sequential (plateau) configuration
+	fixed []*device.Allocation
 }
 
-// NewDataParallel builds a data-parallel run over gpus identical devices.
-// Only the Buffalo system is supported: the paper's multi-GPU evaluation
-// repeats the Buffalo pipeline with per-GPU budgets.
+// MultiGPUResult extends IterationResult with per-device timing.
+type MultiGPUResult struct {
+	IterationResult
+	PerGPUCompute []time.Duration
+}
+
+// NewDataParallel builds a sequential data-parallel run over gpus identical
+// devices. Only the Buffalo system is supported: the paper's multi-GPU
+// evaluation repeats the Buffalo pipeline with per-GPU budgets.
 func NewDataParallel(ds *datagen.Dataset, cfg Config, gpus int) (*DataParallel, error) {
+	return newDataParallel(ds, cfg, gpus, nil)
+}
+
+// NewDataParallelPipelined is NewDataParallel with the asynchronous loader
+// in front: one shared sampler/planner/prefetcher stages every replica's
+// micro-batches ahead of compute over per-replica bounded lanes, with a
+// per-device feature cache when pcfg.CacheBudget is set.
+func NewDataParallelPipelined(ds *datagen.Dataset, cfg Config, gpus int, pcfg PipelineConfig) (*DataParallel, error) {
+	return newDataParallel(ds, cfg, gpus, &pcfg)
+}
+
+func newDataParallel(ds *datagen.Dataset, cfg Config, gpus int, pcfg *PipelineConfig) (*DataParallel, error) {
 	if cfg.System != Buffalo {
 		return nil, fmt.Errorf("train: data-parallel supports the buffalo system, got %q", cfg.System)
 	}
-	if err := cfg.Validate(); err != nil {
+	if err := validateFor(ds, cfg); err != nil {
 		return nil, err
 	}
 	if gpus < 1 {
@@ -54,218 +68,111 @@ func NewDataParallel(ds *datagen.Dataset, cfg Config, gpus int) (*DataParallel, 
 	if err != nil {
 		return nil, err
 	}
-	dp := &DataParallel{
-		Cfg: cfg, Data: ds, Cluster: cluster,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		clusterC: ds.Graph.ApproxClusteringCoefficient(cfg.Seed, 2000),
-	}
+	dp := &DataParallel{Cfg: cfg, Data: ds, Cluster: cluster}
+	replicas := make([]replica, 0, gpus)
 	for i := 0; i < gpus; i++ {
 		m, err := gnn.New(cfg.Model)
 		if err != nil {
+			dp.freeFixed()
 			return nil, err
 		}
-		dp.replicas = append(dp.replicas, m)
+		// Fixed footprint per replica: parameters + gradients + Adam moments.
 		fixed := 2 * m.Params.Bytes()
 		a, err := cluster.GPU(i).Alloc("model+optimizer", fixed)
 		if err != nil {
+			dp.freeFixed()
 			return nil, fmt.Errorf("train: replica %d does not fit: %w", i, err)
 		}
 		dp.fixed = append(dp.fixed, a)
+		replicas = append(replicas, replica{gpu: cluster.GPU(i), model: m})
 	}
-	lr := cfg.LearningRate
-	if lr == 0 {
-		lr = 0.01
+	dp.eng = newEngine(ds, cfg, replicas, cluster)
+	if pcfg != nil {
+		ld, err := newLoader(dp.eng, *pcfg)
+		if err != nil {
+			dp.freeFixed()
+			return nil, err
+		}
+		dp.ld = ld
 	}
-	dp.opt = nn.NewAdam(lr)
 	return dp, nil
 }
 
-// Close releases the fixed device allocations.
+// RunIteration executes one data-parallel iteration: from the loader when
+// pipelined, otherwise sample → plan → execute inline with synchronous
+// staging.
+func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
+	if dp.ld != nil {
+		return dp.ld.runIteration()
+	}
+	b, err := dp.eng.sampleBatch()
+	if err != nil {
+		return nil, err
+	}
+	it, err := dp.eng.planIteration(b)
+	if err != nil {
+		return nil, err
+	}
+	return dp.eng.executeIteration(it, seqStager{e: dp.eng}, false)
+}
+
+// EffectiveDepth reports the loader's current prefetch-depth limit (0 for
+// the sequential configuration).
+func (dp *DataParallel) EffectiveDepth() int {
+	if dp.ld == nil {
+		return 0
+	}
+	return int(dp.ld.effDepth.Load())
+}
+
+// CacheStats aggregates the per-device feature caches (zero value when not
+// pipelined or caching is off).
+func (dp *DataParallel) CacheStats() pipeline.CacheStats {
+	if dp.ld == nil || dp.ld.caches == nil {
+		return pipeline.CacheStats{}
+	}
+	return dp.ld.caches.Stats()
+}
+
+// PerDeviceCacheStats snapshots each device's feature cache, index-aligned
+// with the cluster (nil when not pipelined or caching is off).
+func (dp *DataParallel) PerDeviceCacheStats() []pipeline.CacheStats {
+	if dp.ld == nil || dp.ld.caches == nil {
+		return nil
+	}
+	return dp.ld.caches.PerDevice()
+}
+
+// CacheHitRate reports the aggregate cache hit rate across devices (0 when
+// not pipelined or caching is off).
+func (dp *DataParallel) CacheHitRate() float64 {
+	if dp.ld == nil || dp.ld.caches == nil {
+		return 0
+	}
+	return dp.ld.caches.HitRate()
+}
+
+// Shutdown stops the loader (when pipelined), waits for its stages to
+// unwind, and releases every device allocation. Idempotent; returns the
+// loader's first stage failure, if any.
+func (dp *DataParallel) Shutdown() error {
+	var err error
+	if dp.ld != nil {
+		err = dp.ld.close()
+	}
+	dp.freeFixed()
+	return err
+}
+
+// Close is Shutdown for callers that do not need the loader's shutdown
+// error (any stage failure already surfaced through RunIteration).
 func (dp *DataParallel) Close() {
+	_ = dp.Shutdown() // error already surfaced via RunIteration
+}
+
+func (dp *DataParallel) freeFixed() {
 	for _, a := range dp.fixed {
 		a.Free()
 	}
 	dp.fixed = nil
-}
-
-// MultiGPUResult extends IterationResult with per-device timing.
-type MultiGPUResult struct {
-	IterationResult
-	PerGPUCompute []time.Duration
-}
-
-// RunIteration executes one data-parallel iteration.
-func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
-	tIter := time.Now()
-	tSample := tIter
-	seeds, err := sampling.UniformSeeds(dp.Data.Graph, dp.Cfg.BatchSize, dp.rng)
-	if err != nil {
-		return nil, err
-	}
-	b, err := sampling.SampleBatch(dp.Data.Graph, seeds, dp.Cfg.Fanouts, dp.rng)
-	if err != nil {
-		return nil, err
-	}
-	dp.Cfg.Obs.Span(obs.KindSample, "", "batch", time.Since(tSample),
-		int64(len(seeds)), int64(len(dp.Cfg.Fanouts)))
-	res := &MultiGPUResult{}
-	mainModel := dp.replicas[0]
-
-	// Schedule against the per-GPU activation budget (same for all devices).
-	est, err := memestFor(dp.Cfg.Model, b, dp.clusterC)
-	if err != nil {
-		return nil, err
-	}
-	gpu0 := dp.Cluster.GPU(0)
-	limit := (gpu0.Capacity() - gpu0.Live()) * 9 / 10
-	t0 := time.Now()
-	plan, err := schedule.Schedule(b, est, schedule.Options{
-		MemLimit: limit,
-		KStart:   dp.Cfg.MicroBatches,
-		Obs:      dp.Cfg.Obs,
-	})
-	res.Phases.Scheduling = time.Since(t0)
-	if err != nil {
-		return nil, err
-	}
-	res.PredictedPeak = plan.MaxEstimate() + gpu0.Live()
-	dp.Cfg.Obs.Span(obs.KindPlan, "", string(Buffalo),
-		res.Phases.Scheduling, plan.MaxEstimate(), int64(plan.K))
-	// Per-iteration device accounting: drop peaks to live and zero the
-	// clocks on every device plus the interconnect, in one call.
-	dp.Cluster.Reset()
-
-	// Replicate parameters and zero all gradients.
-	for i, m := range dp.replicas {
-		if i > 0 {
-			if err := m.Params.CopyValuesFrom(mainModel.Params); err != nil {
-				return nil, err
-			}
-		}
-		m.Params.ZeroGrad()
-	}
-
-	// Deal micro-batches round-robin; execute, tracking per-GPU compute.
-	perCompute := make([]time.Duration, dp.Cluster.Size())
-	var lossSum float32
-	for gi, g := range plan.Groups {
-		dev := gi % dp.Cluster.Size()
-		gpu := dp.Cluster.GPU(dev)
-		model := dp.replicas[dev]
-		tMB := time.Now()
-		mb, err := block.GenerateTraced(b, g.Nodes(), dp.Cfg.Obs)
-		if err != nil {
-			return nil, err
-		}
-		dt := time.Since(tMB)
-		res.Phases.BlockGen += dt
-		dp.Cfg.Obs.Span(obs.KindBlockGen, "", "fast", dt, mb.NumNodes(), int64(len(g.Nodes())))
-		mLoss, bytes, compute, err := dp.executeOn(gpu, model, b, mb)
-		if err != nil {
-			return nil, err
-		}
-		lossSum += mLoss
-		perCompute[dev] += compute
-		res.PerMicroBytes = append(res.PerMicroBytes, bytes)
-		res.TotalNodes += mb.NumNodes()
-		dp.Cfg.Obs.Span(obs.KindMicroBatch, gpu.Name(), fmt.Sprintf("mb%d", gi),
-			time.Since(tMB), bytes, int64(gi))
-	}
-
-	// All-reduce gradients into replica 0 and step once.
-	for i := 1; i < len(dp.replicas); i++ {
-		if err := mainModel.Params.AddGradsFrom(dp.replicas[i].Params); err != nil {
-			return nil, err
-		}
-	}
-	res.Phases.Communication = dp.Cluster.AllReduce(mainModel.Params.Bytes() / 2)
-	tStep := time.Now()
-	dp.opt.Step(mainModel.Params)
-	perCompute[0] += time.Duration(float64(time.Since(tStep)) / dp.Cfg.gpuSpeedup())
-
-	// Devices run concurrently: the compute phase costs the slowest device.
-	var maxCompute time.Duration
-	for _, c := range perCompute {
-		if c > maxCompute {
-			maxCompute = c
-		}
-	}
-	res.Phases.GPUCompute = maxCompute
-	res.PerGPUCompute = perCompute
-	res.K = len(plan.Groups)
-	res.Loss = lossSum
-	var peak int64
-	var transfer time.Duration
-	for i := 0; i < dp.Cluster.Size(); i++ {
-		st := dp.Cluster.GPU(i).Stats()
-		if st.Peak > peak {
-			peak = st.Peak
-		}
-		if st.TransferTime > transfer {
-			transfer = st.TransferTime
-		}
-	}
-	res.Peak = peak
-	res.Phases.DataLoading = transfer
-	if dp.Cfg.Obs.Enabled() {
-		dp.Cfg.Obs.Span(obs.KindIteration, "", string(Buffalo),
-			time.Since(tIter), res.Peak, int64(res.K))
-		memest.RecordEstimate(dp.Cfg.Obs, "", res.PredictedPeak, res.Peak)
-	}
-	return res, nil
-}
-
-// executeOn runs one micro-batch on one device/replica pair.
-func (dp *DataParallel) executeOn(gpu *device.GPU, model *gnn.Model, b *sampling.Batch, mb *block.MicroBatch) (loss float32, microBytes int64, compute time.Duration, err error) {
-	inDim := dp.Cfg.Model.InDim
-	inputs := mb.InputNodes()
-	feats := tensor.New(len(inputs), inDim)
-	for i, v := range inputs {
-		copy(feats.Row(i), dp.Data.FeatureRow(v)[:inDim])
-	}
-	featAlloc, err := gpu.Alloc("features", feats.Bytes())
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	defer featAlloc.Free()
-	gpu.TransferH2D(feats.Bytes())
-
-	var allocs []*device.Allocation
-	defer func() {
-		for _, a := range allocs {
-			a.Free()
-		}
-	}()
-	t0 := time.Now()
-	fwd, err := model.ForwardWithHook(mb, feats, func(layer int, planned int64) error {
-		a, err := gpu.Alloc(fmt.Sprintf("activations/layer%d", layer), planned)
-		if err != nil {
-			return err
-		}
-		allocs = append(allocs, a)
-		return nil
-	})
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	labels := make([]int32, len(mb.Outputs))
-	for i, v := range mb.Outputs {
-		labels[i] = dp.Data.Labels[v]
-	}
-	scale := float32(len(mb.Outputs)) / float32(b.NumOutputNodes())
-	mLoss, dLogits, err := nn.CrossEntropy(fwd.Logits, labels, scale)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	if _, err := model.Backward(fwd, dLogits); err != nil {
-		return 0, 0, 0, err
-	}
-	compute = time.Duration(float64(time.Since(t0)) / dp.Cfg.gpuSpeedup())
-	gpu.AddComputeTime(compute)
-	return mLoss, feats.Bytes() + fwd.ActivationBytes(), compute, nil
-}
-
-// memestFor builds the analytical memory estimator for a model/batch pair.
-func memestFor(cfg gnn.Config, b *sampling.Batch, c float64) (*memest.Estimator, error) {
-	return memest.New(memest.SpecFromConfig(cfg), memest.ProfileBatch(b, c))
 }

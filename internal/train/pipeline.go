@@ -7,31 +7,36 @@ import (
 	"sync/atomic"
 	"time"
 
-	"buffalo/internal/block"
 	"buffalo/internal/datagen"
 	"buffalo/internal/device"
-	"buffalo/internal/memest"
 	"buffalo/internal/obs"
 	"buffalo/internal/pipeline"
 	"buffalo/internal/sampling"
-	"buffalo/internal/tensor"
 )
 
-// PipelineConfig tunes the asynchronous loader around a Session.
+// PipelineConfig tunes the asynchronous loader around a session.
 type PipelineConfig struct {
 	// Depth is the prefetch depth: how many micro-batches the loader may
-	// stage on-device ahead of compute. Each staged micro-batch holds its
-	// feature tensor in device memory, so depth trades H2D overlap against
-	// headroom. 0 defaults to 2 (double buffering).
+	// stage on-device ahead of compute (per replica lane in multi-GPU runs).
+	// Each staged micro-batch holds its feature tensor in device memory, so
+	// depth trades H2D overlap against headroom. 0 defaults to 2 (double
+	// buffering). With Adaptive set, Depth is the ceiling of the adaptive
+	// range instead of a fixed depth.
 	Depth int
-	// CacheBudget reserves this many bytes of device memory for the
-	// degree-aware feature cache. The reservation is charged to the ledger
-	// up front, so the scheduler's K-search sees the reduced headroom.
-	// 0 disables caching.
+	// CacheBudget reserves this many bytes of device memory per device for
+	// the degree-aware feature cache. The reservation is charged to each
+	// ledger up front, so the scheduler's K-search sees the reduced
+	// headroom. 0 disables caching.
 	CacheBudget int64
+	// Adaptive lets the loader tune the effective prefetch depth within
+	// [1, Depth] from the observed starvation/headroom balance each
+	// iteration: consumer starvation grows it, headroom-gate pressure
+	// shrinks it (see depthController).
+	Adaptive bool
 }
 
-// depth returns the configured prefetch depth with its default.
+// depth returns the configured prefetch depth (or its ceiling, when
+// adaptive) with its default.
 func (c PipelineConfig) depth() int {
 	if c.Depth < 1 {
 		return 2
@@ -39,65 +44,47 @@ func (c PipelineConfig) depth() int {
 	return c.Depth
 }
 
-// pipeIter is one iteration moving through the pipeline: its batch, the
-// planner's micro-batches, and the result skeleton carrying the planning
-// phases. transfer accumulates the async copy time the prefetcher issued for
-// this iteration; it is complete before the last staged micro-batch is
-// pushed, so the consumer reads it race-free after popping that item.
-type pipeIter struct {
-	b        *sampling.Batch
-	res      *IterationResult
-	mbs      []*block.MicroBatch
-	transfer time.Duration
-	// minFeat is the smallest micro-batch feature tensor of this plan: a
-	// lower bound on the feature bytes the consumer holds whichever group it
-	// is computing, which sharpens the prefetcher's headroom reserve.
-	minFeat int64
-}
-
-// stagedMB is one prefetched micro-batch: features gathered host-side,
-// device bytes reserved, and (on a cache miss) an async H2D copy in flight.
-type stagedMB struct {
-	iter      *pipeIter
-	idx       int
-	last      bool
-	mb        *block.MicroBatch
-	feats     *tensor.Matrix
-	featAlloc *device.Allocation
-	done      time.Duration // async copy completion position on the sim timeline
-	hasCopy   bool          // false when every input row was cache-resident
-}
-
-// PipelinedSession runs a Session behind an asynchronous three-stage loader:
-// a sampler goroutine draws batches, a planner goroutine schedules them and
-// generates blocks, and a prefetcher goroutine stages each micro-batch's
-// features on-device with an async copy — so by the time RunIteration's
-// compute reaches a micro-batch, its transfer has (partly or fully) hidden
-// behind earlier compute. A degree-aware feature cache optionally pins hot
-// rows on-device, skipping the H2D copy for cache hits entirely.
+// loader is the asynchronous three-stage front-end shared by
+// PipelinedSession (one replica) and the pipelined DataParallel (one loader
+// feeding the whole cluster): a sampler goroutine draws batches, a planner
+// goroutine schedules them and generates blocks, and a prefetcher goroutine
+// stages each micro-batch's features on its round-robin target device with
+// an async copy, pushing the staged handle onto that replica's lane of a
+// bounded fan-out. By the time the consumer's compute reaches a micro-batch,
+// its transfer has (partly or fully) hidden behind earlier compute;
+// per-device degree-aware caches skip the copy for resident rows entirely.
 //
-// The pipelined session reproduces the sequential session's exact batch
-// sequence for a given Config.Seed, so results are comparable batch for
-// batch; only the timing model (overlap, cache hits) differs. RunIteration
-// must be called from one goroutine.
-type PipelinedSession struct {
-	*Session
-	PCfg PipelineConfig
+// The loader reproduces the sequential paths' exact batch sequence for a
+// given Config.Seed, so results are comparable batch for batch; only the
+// timing model (overlap, cache hits) differs. runIteration must be called
+// from one goroutine.
+type loader struct {
+	eng  *engine
+	pcfg PipelineConfig
 
 	pipe   *pipeline.Pipeline
 	batchQ *pipeline.Queue[*sampling.Batch]
 	planQ  *pipeline.Queue[*pipeIter]
-	readyQ *pipeline.Queue[*stagedMB]
+	ready  *pipeline.Fanout[*stagedMB]
 
-	cache      *pipeline.FeatureCache
-	cacheAlloc *device.Allocation
-	rowBytes   int64
+	caches      *pipeline.CacheSet // nil when caching is off
+	cacheAllocs []*device.Allocation
 
-	// stagedCount tracks feature tensors currently alive on-device (staged
-	// or being consumed); room carries a wake-up each time the consumer
-	// frees one, so the prefetcher's headroom gate can re-check.
-	stagedCount atomic.Int64
+	// stagedDev[i] tracks feature tensors currently alive on device i
+	// (staged or being consumed) and stagedTotal their sum; room carries a
+	// wake-up each time the consumer frees one (or the depth controller
+	// changes the limit), so the prefetcher's gates can re-check.
+	stagedDev   []atomic.Int64
+	stagedTotal atomic.Int64
 	room        chan struct{}
+
+	// Adaptive depth: depthCtl is nil for fixed-depth loaders; effDepth is
+	// the current effective limit (always the fixed depth when not
+	// adaptive) and gateWaits counts headroom-gate blocking episodes since
+	// the last observation.
+	depthCtl  *depthController
+	effDepth  atomic.Int64
+	gateWaits atomic.Int64
 
 	// window is the previous iteration's execution span (exposed copies +
 	// compute + communication): the interval the planner stage had to hide
@@ -105,40 +92,49 @@ type PipelinedSession struct {
 	window time.Duration
 }
 
-// NewPipelinedSession builds a session and starts its loader stages. The
-// cache budget (if any) is charged to the device ledger immediately; a
-// budget the device cannot hold is an OOM error. Close shuts the stages
-// down and releases everything.
-func NewPipelinedSession(ds *datagen.Dataset, cfg Config, pcfg PipelineConfig) (*PipelinedSession, error) {
-	s, err := NewSession(ds, cfg)
-	if err != nil {
-		return nil, err
-	}
-	p := &PipelinedSession{Session: s, PCfg: pcfg}
-	p.rowBytes = memest.SpecFromConfig(cfg.Model).FeatureRowBytes()
+// newLoader starts the loader stages over the engine's replicas. Cache
+// budgets (if any) are charged to every device ledger immediately; a budget
+// a device cannot hold is an OOM error. close shuts the stages down and
+// releases everything the loader owns.
+func newLoader(eng *engine, pcfg PipelineConfig) (*loader, error) {
+	n := len(eng.replicas)
+	l := &loader{eng: eng, pcfg: pcfg, stagedDev: make([]atomic.Int64, n)}
+	cfg := eng.cfg
 	if pcfg.CacheBudget > 0 {
-		p.cacheAlloc, err = s.GPU.Alloc("feature-cache", pcfg.CacheBudget)
-		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("train: reserving feature cache: %w", err)
+		for i := 0; i < n; i++ {
+			a, err := eng.replicas[i].gpu.Alloc("feature-cache", pcfg.CacheBudget)
+			if err != nil {
+				for _, prev := range l.cacheAllocs {
+					prev.Free()
+				}
+				return nil, fmt.Errorf("train: reserving feature cache: %w", err)
+			}
+			l.cacheAllocs = append(l.cacheAllocs, a)
 		}
-		p.cache = pipeline.NewFeatureCache(pcfg.CacheBudget, p.rowBytes, cfg.Obs.Metrics())
+		l.caches = pipeline.NewCacheSet(n, pcfg.CacheBudget, eng.rowBytes, cfg.Obs.Metrics())
 	}
-	// Freeze the activation budget after the cache reservation: every plan
+	// Freeze the activation budget after the cache reservations: every plan
 	// sees the same headroom no matter what transients are live when the
-	// planner goroutine happens to run.
-	s.budgetOverride = s.GPU.Capacity() - s.GPU.Live()
-	p.room = make(chan struct{}, 1)
+	// planner goroutine happens to run. The replicas are identical (same
+	// fixed footprint, same cache reservation), so device 0 stands for all.
+	eng.budgetOverride = eng.gpu0().Capacity() - eng.gpu0().Live()
+	l.room = make(chan struct{}, 1)
 
 	depth := pcfg.depth()
+	if pcfg.Adaptive {
+		l.depthCtl = newDepthController(depth)
+		l.effDepth.Store(int64(l.depthCtl.depth))
+	} else {
+		l.effDepth.Store(int64(depth))
+	}
 	m := cfg.Obs.Metrics()
-	p.batchQ = pipeline.NewQueue[*sampling.Batch](1, m.Gauge("pipeline/queue/batch"))
-	p.planQ = pipeline.NewQueue[*pipeIter](1, m.Gauge("pipeline/queue/plan"))
-	p.readyQ = pipeline.NewQueue[*stagedMB](depth, m.Gauge("pipeline/queue/ready"))
+	l.batchQ = pipeline.NewQueue[*sampling.Batch](1, m.Gauge("pipeline/queue/batch"))
+	l.planQ = pipeline.NewQueue[*pipeIter](1, m.Gauge("pipeline/queue/plan"))
+	l.ready = pipeline.NewFanout[*stagedMB](n, depth, m, "pipeline/queue/ready")
 
-	stream := sampling.NewStream(ds.Graph, cfg.BatchSize, cfg.Fanouts, cfg.Seed)
-	p.pipe = pipeline.New(context.Background())
-	p.pipe.Go("sampler", func(ctx context.Context) error {
+	stream := sampling.NewStream(eng.data.Graph, cfg.BatchSize, cfg.Fanouts, cfg.Seed)
+	l.pipe = pipeline.New(context.Background())
+	l.pipe.Go("sampler", func(ctx context.Context) error {
 		for {
 			t0 := time.Now()
 			b, err := stream.Next()
@@ -147,50 +143,53 @@ func NewPipelinedSession(ds *datagen.Dataset, cfg Config, pcfg PipelineConfig) (
 			}
 			cfg.Obs.Span(obs.KindSample, "", "batch", time.Since(t0),
 				int64(len(b.Seeds)), int64(len(cfg.Fanouts)))
-			if err := p.batchQ.Push(ctx, b); err != nil {
+			if err := l.batchQ.Push(ctx, b); err != nil {
 				return err
 			}
 		}
 	})
-	p.pipe.Go("planner", func(ctx context.Context) error {
+	l.pipe.Go("planner", func(ctx context.Context) error {
 		for {
-			b, err := p.batchQ.Pop(ctx)
+			b, err := l.batchQ.Pop(ctx)
 			if err != nil {
 				return err
 			}
-			it, err := p.planIteration(b)
+			it, err := l.planPinned(b)
 			if err != nil {
 				return err
 			}
-			if err := p.planQ.Push(ctx, it); err != nil {
+			if err := l.planQ.Push(ctx, it); err != nil {
 				return err
 			}
 		}
 	})
-	p.pipe.Go("prefetch", func(ctx context.Context) error {
+	l.pipe.Go("prefetch", func(ctx context.Context) error {
 		for {
-			it, err := p.planQ.Pop(ctx)
+			it, err := l.planQ.Pop(ctx)
 			if err != nil {
 				return err
 			}
-			for i, mb := range it.mbs {
-				smb, err := p.stageMicroBatch(ctx, it, i, mb)
+			for i := range it.mbs {
+				dev := i % n
+				smb, err := l.stageMicroBatch(ctx, it, i, dev)
 				if err != nil {
 					return err
 				}
-				if err := p.readyQ.Push(ctx, smb); err != nil {
+				cfg.Obs.Event(obs.KindDispatch, eng.replicas[dev].gpu.Name(), "",
+					smb.feats.Bytes(), 0, int64(dev))
+				if err := l.ready.Push(ctx, dev, smb); err != nil {
 					smb.featAlloc.Free()
-					p.releaseStaged()
+					l.releaseStaged(dev)
 					return err
 				}
 			}
 		}
 	})
-	return p, nil
+	return l, nil
 }
 
-// planIteration runs the planning half of an iteration (system plan +
-// block generation) in the planner stage.
+// planPinned runs the shared planning half (engine.planIteration) in the
+// planner stage.
 //
 // The shared planning code measures its phases with wall clocks, which is
 // accurate inline but inflated here: the planner goroutine time-shares the
@@ -198,34 +197,22 @@ func NewPipelinedSession(ds *datagen.Dataset, cfg Config, pcfg PipelineConfig) (
 // cost. The goroutine therefore pins its OS thread and rescales the recorded
 // planning phases by its thread-CPU/wall ratio, recovering what the same work
 // costs uncontended — the number the sequential session would have measured.
-func (p *PipelinedSession) planIteration(b *sampling.Batch) (*pipeIter, error) {
+func (l *loader) planPinned(b *sampling.Batch) (*pipeIter, error) {
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
 	cpu0, cpuOK := threadCPUNow()
 	wall0 := time.Now()
 
-	res := &IterationResult{}
-	parts, err := p.plan(b, res)
+	it, err := l.eng.planIteration(b)
 	if err != nil {
 		return nil, err
-	}
-	it := &pipeIter{b: b, res: res, mbs: make([]*block.MicroBatch, len(parts))}
-	for i, outputs := range parts {
-		mb, err := p.buildMicroBatch(b, outputs, res)
-		if err != nil {
-			return nil, err
-		}
-		it.mbs[i] = mb
-		if feat := int64(len(mb.InputNodes())) * p.rowBytes; i == 0 || feat < it.minFeat {
-			it.minFeat = feat
-		}
 	}
 
 	if cpuOK {
 		if cpu1, ok := threadCPUNow(); ok {
 			wall := time.Since(wall0)
 			if cpu := cpu1 - cpu0; cpu > 0 && cpu < wall {
-				scalePlanning(&res.Phases, cpu, wall)
+				scalePlanning(&it.res.Phases, cpu, wall)
 			}
 		}
 	}
@@ -245,80 +232,103 @@ func scalePlanning(ph *Phases, cpu, wall time.Duration) {
 	ph.BlockGen = scale(ph.BlockGen)
 }
 
-// stageMicroBatch prefetches one micro-batch: gather the feature rows
-// host-side, probe the cache per input node, reserve the on-device feature
-// tensor, and issue one async copy for the rows the cache missed.
+// stageMicroBatch prefetches micro-batch idx onto replica dev: gather the
+// feature rows host-side, probe that device's cache per input node, reserve
+// the on-device feature tensor, and issue one async copy for the rows the
+// cache missed.
 //
-// The headroom gate keeps staging from starving the consumer: a staged
-// tensor only goes on-device while the room left afterwards still covers
-// the plan's worst-case activations (which allocate concurrently with this
-// goroutine). When it does not, the stage waits for the consumer to free a
-// tensor and re-checks — overlap degrades to sequential staging on tight
-// budgets instead of OOMing. With nothing staged at all the device is
+// Two gates pace the stage. The adaptive depth limiter (when enabled) holds
+// total staged tensors at the controller's current effective depth. The
+// headroom gate keeps staging from starving the consumer: a staged tensor
+// only goes on-device while the room left on its device afterwards still
+// covers the plan's worst-case activations (which allocate concurrently with
+// this goroutine). When it does not, the stage waits for the consumer to
+// free a tensor and re-checks — overlap degrades to sequential staging on
+// tight budgets instead of OOMing. With nothing staged on the device it is
 // as empty as it gets, so the allocation either fits or the configuration
 // genuinely does not (systems without an estimate prefetch optimistically
-// and hit the same terminal OOM).
-func (p *PipelinedSession) stageMicroBatch(ctx context.Context, it *pipeIter, idx int, mb *block.MicroBatch) (*stagedMB, error) {
+// and hit the same terminal OOM). Both waits are deadlock-free because
+// staged items are consumed in exactly the order they were staged: anything
+// already staged is what the consumer needs next.
+func (l *loader) stageMicroBatch(ctx context.Context, it *pipeIter, idx, dev int) (*stagedMB, error) {
 	t0 := time.Now()
-	feats := p.gatherFeatures(mb)
+	e := l.eng
+	gpu := e.replicas[dev].gpu
+	mb := it.mbs[idx]
+	feats := e.gatherFeatures(mb)
 	missBytes := feats.Bytes()
-	if p.cache != nil {
+	if l.caches != nil {
 		missBytes = 0
 		for _, v := range mb.InputNodes() {
-			if !p.cache.Lookup(v) {
-				missBytes += p.rowBytes
-				p.cache.Admit(v, it.b.Graph.Degree(v))
+			if !l.caches.Lookup(dev, v) {
+				missBytes += e.rowBytes
+				l.caches.Admit(dev, v, it.b.Graph.Degree(v))
 			}
+		}
+	}
+	for l.depthCtl != nil && l.stagedTotal.Load() >= l.effDepth.Load() {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-l.room:
 		}
 	}
 	// The consumer's concurrent appetite is its group's activations: the
 	// worst-case group estimate minus the smallest feature tensor it could
 	// be holding (already on the ledger).
-	reserve := it.res.PredictedPeak - p.residentBase() - it.minFeat
-	for reserve > 0 && p.stagedCount.Load() > 0 &&
-		p.GPU.Capacity()-p.GPU.Live() < feats.Bytes()+reserve {
+	reserve := it.res.PredictedPeak - e.residentBase() - it.minFeat
+	waited := false
+	for reserve > 0 && l.stagedDev[dev].Load() > 0 &&
+		gpu.Capacity()-gpu.Live() < feats.Bytes()+reserve {
+		if !waited {
+			waited = true
+			l.gateWaits.Add(1)
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-p.room:
+		case <-l.room:
 		}
 	}
-	featAlloc, err := p.GPU.Alloc("features", feats.Bytes())
+	featAlloc, err := gpu.Alloc("features", feats.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("train: prefetching features: %w", err)
 	}
-	p.stagedCount.Add(1)
+	l.stagedDev[dev].Add(1)
+	l.stagedTotal.Add(1)
 	smb := &stagedMB{
-		iter: it, idx: idx, last: idx == len(it.mbs)-1,
+		iter: it, idx: idx, dev: dev, last: idx == len(it.mbs)-1,
 		mb: mb, feats: feats, featAlloc: featAlloc,
 	}
 	if missBytes > 0 {
-		smb.done = p.GPU.TransferH2DAsync(missBytes)
+		smb.done = gpu.TransferH2DAsync(missBytes)
 		smb.hasCopy = true
-		it.transfer += p.GPU.TransferDuration(missBytes)
+		it.transfer += gpu.TransferDuration(missBytes)
 	}
-	p.Cfg.Obs.Span(obs.KindPrefetch, p.GPU.Name(), fmt.Sprintf("mb%d", idx),
+	e.cfg.Obs.Span(obs.KindPrefetch, gpu.Name(), fmt.Sprintf("mb%d", idx),
 		time.Since(t0), feats.Bytes(), missBytes)
 	return smb, nil
 }
 
-// releaseStaged returns one staged tensor's bytes to the loader: the count
-// drops and the prefetcher's headroom gate gets a wake-up. Called wherever a
-// staged featAlloc is freed.
-func (p *PipelinedSession) releaseStaged() {
-	p.stagedCount.Add(-1)
+// releaseStaged returns one staged tensor's bytes to the loader: the counts
+// drop and the prefetcher's gates get a wake-up. Called wherever a staged
+// featAlloc is freed.
+func (l *loader) releaseStaged(dev int) {
+	l.stagedDev[dev].Add(-1)
+	l.stagedTotal.Add(-1)
 	select {
-	case p.room <- struct{}{}:
+	case l.room <- struct{}{}:
 	default:
 	}
 }
 
-// popStaged pops the next prefetched micro-batch, translating a
-// cancellation caused by a stage failure into that stage's error.
-func (p *PipelinedSession) popStaged() (*stagedMB, error) {
-	smb, err := p.readyQ.Pop(p.pipe.Context())
+// popLane pops the next staged micro-batch from one replica lane,
+// translating a cancellation caused by a stage failure into that stage's
+// error.
+func (l *loader) popLane(lane int) (*stagedMB, error) {
+	smb, err := l.ready.Pop(l.pipe.Context(), lane)
 	if err != nil {
-		if perr := p.pipe.Err(); perr != nil {
+		if perr := l.pipe.Err(); perr != nil {
 			return nil, perr
 		}
 		return nil, err
@@ -326,109 +336,172 @@ func (p *PipelinedSession) popStaged() (*stagedMB, error) {
 	return smb, nil
 }
 
-// RunIteration consumes the next planned iteration from the pipeline:
-// waits on each staged micro-batch's async copy (charging only the exposed
-// stall to DataLoading), runs the shared compute path, and steps the
-// optimizer once. HiddenTransfer reports how much copy time the overlap and
-// the cache hid; ExposedPlanning reports the share of planning the previous
-// iteration's execution window could not hide, so CriticalPath reflects what
-// the training loop experienced.
-func (p *PipelinedSession) RunIteration() (*IterationResult, error) {
+// pipeStager adapts the loader to the engine's stager interface for one
+// iteration: stage(i) pops replica lane i%n (micro-batch 0 was already
+// popped by runIteration to learn which iteration is next), accumulating the
+// wall time the consumer idled waiting; release frees the staged tensor and
+// wakes the prefetcher's gates.
+type pipeStager struct {
+	l       *loader
+	first   *stagedMB
+	starved time.Duration
+}
+
+func (ps *pipeStager) stage(it *pipeIter, i int) (*stagedMB, error) {
+	if ps.first != nil {
+		smb := ps.first
+		ps.first = nil
+		return smb, nil
+	}
 	tWait := time.Now()
-	smb, err := p.popStaged()
+	smb, err := ps.l.popLane(i % ps.l.ready.Lanes())
+	if err != nil {
+		return nil, err
+	}
+	ps.starved += time.Since(tWait)
+	return smb, nil
+}
+
+func (ps *pipeStager) release(smb *stagedMB) {
+	smb.featAlloc.Free()
+	ps.l.releaseStaged(smb.dev)
+}
+
+// runIteration consumes the next planned iteration from the pipeline:
+// executeIteration waits on each staged micro-batch's async copy (charging
+// only the exposed stall to DataLoading) and runs the shared compute path.
+// HiddenTransfer reports how much copy time the overlap and the caches hid;
+// ExposedPlanning reports the share of planning the previous iteration's
+// execution window could not hide, so CriticalPath reflects what the
+// training loop experienced. With adaptive depth on, the controller observes
+// this iteration's starvation/headroom balance and adjusts the limit.
+func (l *loader) runIteration() (*MultiGPUResult, error) {
+	tWait := time.Now()
+	first, err := l.popLane(0)
 	if err != nil {
 		return nil, err
 	}
 	starved := time.Since(tWait)
-	tIter := time.Now()
-	it := smb.iter
-	res := it.res
-	res.Pipelined = true
-	p.GPU.ResetPeak()
-	pre := p.GPU.Stats()
-	p.Model.Params.ZeroGrad()
-
-	var lossSum float32
-	var correct, counted int
-	for {
-		tMB := time.Now()
-		if smb.hasCopy {
-			p.GPU.WaitTransfer(smb.done)
+	it := first.iter
+	it.res.Pipelined = true
+	ps := &pipeStager{l: l, first: first}
+	res, err := l.eng.executeIteration(it, ps, true)
+	if err != nil {
+		if ps.first != nil {
+			// executeIteration failed before staging micro-batch 0 (e.g.
+			// parameter replication): the popped item is ours to release.
+			ps.release(ps.first)
 		}
-		mLoss, mAcc, bytes, cErr := p.computeMicroBatch(it.b, smb.mb, smb.feats, res)
-		smb.featAlloc.Free()
-		p.releaseStaged()
-		if cErr != nil {
-			return nil, cErr
-		}
-		lossSum += mLoss
-		correct += int(mAcc * float64(len(smb.mb.Outputs)))
-		counted += len(smb.mb.Outputs)
-		res.PerMicroBytes = append(res.PerMicroBytes, bytes)
-		res.TotalNodes += smb.mb.NumNodes()
-		p.Cfg.Obs.Span(obs.KindMicroBatch, p.GPU.Name(), fmt.Sprintf("mb%d", smb.idx),
-			time.Since(tMB), bytes, int64(smb.idx))
-		if smb.last {
-			break
-		}
-		tWait = time.Now()
-		if smb, err = p.popStaged(); err != nil {
-			return nil, err
-		}
-		starved += time.Since(tWait)
+		return nil, err
 	}
-	tStep := time.Now()
-	p.Opt.Step(p.Model.Params)
-	p.addCompute(time.Since(tStep), res, obs.KindOptStep)
-
-	res.K = len(it.mbs)
-	res.Loss = lossSum
-	if counted > 0 {
-		res.Accuracy = float64(correct) / float64(counted)
-	}
-	res.Peak = p.GPU.Peak()
-	st := p.GPU.Stats()
-	// Only the exposed share of the prefetched copies costs the iteration
-	// wall time; the rest ran behind compute (or never ran: cache hits).
-	res.Phases.DataLoading = st.StallTime - pre.StallTime
-	res.HiddenTransfer = it.transfer - res.Phases.DataLoading
-	if res.HiddenTransfer < 0 {
-		res.HiddenTransfer = 0
-	}
+	starved += ps.starved
 	// Planner-front overlap, mirroring the copy-front model: this iteration's
 	// planning ran in the background stage during the previous iteration's
 	// execution window, so only the excess is exposed to the training loop.
-	res.ExposedPlanning = res.Phases.Planning() - p.window
+	res.ExposedPlanning = res.Phases.Planning() - l.window
 	if res.ExposedPlanning < 0 {
 		res.ExposedPlanning = 0
 	}
-	p.window = res.Phases.DataLoading + res.Phases.GPUCompute + res.Phases.Communication
-	if p.Cfg.Obs.Enabled() {
-		p.Cfg.Obs.Span(obs.KindIteration, p.GPU.Name(), string(p.Cfg.System),
-			time.Since(tIter), res.Peak, int64(res.K))
-		// The wall time the consumer actually idled at the ready queue: the
+	l.window = res.Phases.DataLoading + res.Phases.GPUCompute + res.Phases.Communication
+	if l.depthCtl != nil {
+		l.effDepth.Store(int64(l.depthCtl.observe(starved, l.gateWaits.Swap(0))))
+		// Wake a limiter-blocked prefetcher so a raised depth takes effect
+		// without waiting for the next release.
+		select {
+		case l.room <- struct{}{}:
+		default:
+		}
+	}
+	if l.eng.cfg.Obs.Enabled() {
+		// The wall time the consumer actually idled at the ready lanes: the
 		// host-contention-dependent realization of ExposedPlanning.
-		p.Cfg.Obs.Event(obs.KindMark, p.GPU.Name(), "pipeline/starved", 0, 0, int64(starved))
-		memest.RecordEstimate(p.Cfg.Obs, p.GPU.Name(), res.PredictedPeak, res.Peak)
+		l.eng.cfg.Obs.Event(obs.KindMark, l.eng.iterDev(), "pipeline/starved", 0, 0, int64(starved))
 	}
 	return res, nil
 }
 
+// close stops the loader stages, waits for them to unwind, releases every
+// staged feature tensor and the cache reservations. Idempotent; returns the
+// first stage failure, if any (a clean shutdown returns nil).
+func (l *loader) close() error {
+	err := l.pipe.Close()
+	for lane := 0; lane < l.ready.Lanes(); lane++ {
+		for {
+			smb, ok := l.ready.TryPop(lane)
+			if !ok {
+				break
+			}
+			smb.featAlloc.Free()
+			l.releaseStaged(smb.dev)
+		}
+	}
+	for _, a := range l.cacheAllocs {
+		a.Free()
+	}
+	l.cacheAllocs = nil
+	return err
+}
+
+// PipelinedSession runs a Session behind the asynchronous loader. It
+// reproduces the sequential session's exact batch sequence for a given
+// Config.Seed, so results are comparable batch for batch; only the timing
+// model (overlap, cache hits) differs. RunIteration must be called from one
+// goroutine.
+type PipelinedSession struct {
+	*Session
+	PCfg PipelineConfig
+
+	ld *loader
+}
+
+// NewPipelinedSession builds a session and starts its loader stages. The
+// cache budget (if any) is charged to the device ledger immediately; a
+// budget the device cannot hold is an OOM error. Close shuts the stages
+// down and releases everything.
+func NewPipelinedSession(ds *datagen.Dataset, cfg Config, pcfg PipelineConfig) (*PipelinedSession, error) {
+	s, err := NewSession(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ld, err := newLoader(s.eng, pcfg)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return &PipelinedSession{Session: s, PCfg: pcfg, ld: ld}, nil
+}
+
+// RunIteration consumes the next planned iteration from the pipeline.
+func (p *PipelinedSession) RunIteration() (*IterationResult, error) {
+	res, err := p.ld.runIteration()
+	if err != nil {
+		return nil, err
+	}
+	return &res.IterationResult, nil
+}
+
+// EffectiveDepth reports the loader's current prefetch-depth limit: the
+// configured depth for fixed loaders, the controller's live value under
+// adaptive depth.
+func (p *PipelinedSession) EffectiveDepth() int {
+	return int(p.ld.effDepth.Load())
+}
+
 // CacheStats snapshots the feature cache (zero value when caching is off).
 func (p *PipelinedSession) CacheStats() pipeline.CacheStats {
-	if p.cache == nil {
+	if p.ld.caches == nil {
 		return pipeline.CacheStats{}
 	}
-	return p.cache.Stats()
+	return p.ld.caches.Stats()
 }
 
 // CacheHitRate reports the feature cache's lifetime hit rate (0 when
 // caching is off).
 func (p *PipelinedSession) CacheHitRate() float64 {
-	if p.cache == nil {
+	if p.ld.caches == nil {
 		return 0
 	}
-	return p.cache.HitRate()
+	return p.ld.caches.HitRate()
 }
 
 // Close stops the loader stages, waits for them to unwind, releases every
@@ -436,19 +509,7 @@ func (p *PipelinedSession) CacheHitRate() float64 {
 // underlying session. Idempotent; returns the first stage failure, if any
 // (a clean shutdown returns nil).
 func (p *PipelinedSession) Close() error {
-	err := p.pipe.Close()
-	for {
-		smb, ok := p.readyQ.TryPop()
-		if !ok {
-			break
-		}
-		smb.featAlloc.Free()
-		p.releaseStaged()
-	}
-	if p.cacheAlloc != nil {
-		p.cacheAlloc.Free()
-		p.cacheAlloc = nil
-	}
+	err := p.ld.close()
 	p.Session.Close()
 	return err
 }

@@ -10,24 +10,26 @@
 // (charged layer by layer during the forward pass, so OOM faults fire
 // exactly where a CUDA allocation would fail). Phase timings follow Fig 11's
 // component breakdown.
+//
+// All execution paths — the sequential Session, the PipelinedSession, and
+// DataParallel with or without the pipelined loader — drive one shared
+// iteration engine (engine.go); they differ only in their stager (how
+// features reach the device) and in whether planning runs inline or in a
+// background stage (loader in pipeline.go).
 package train
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
-	"buffalo/internal/baseline/betty"
 	"buffalo/internal/block"
 	"buffalo/internal/bucket"
 	"buffalo/internal/datagen"
 	"buffalo/internal/device"
 	"buffalo/internal/gnn"
 	"buffalo/internal/graph"
-	"buffalo/internal/memest"
 	"buffalo/internal/nn"
 	"buffalo/internal/obs"
-	"buffalo/internal/partition"
 	"buffalo/internal/sampling"
 	"buffalo/internal/schedule"
 	"buffalo/internal/tensor"
@@ -152,6 +154,29 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// gpuSpeedup returns the configured speedup with its default.
+func (c Config) gpuSpeedup() float64 {
+	if c.GPUSpeedup <= 0 {
+		return 100
+	}
+	return c.GPUSpeedup
+}
+
+// validateFor checks cfg against the dataset's shape (shared by every
+// session constructor).
+func validateFor(ds *datagen.Dataset, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Model.InDim > ds.FeatDim() {
+		return fmt.Errorf("train: model InDim %d exceeds dataset feature dim %d", cfg.Model.InDim, ds.FeatDim())
+	}
+	if cfg.Model.OutDim < ds.NumClasses {
+		return fmt.Errorf("train: model OutDim %d below %d classes", cfg.Model.OutDim, ds.NumClasses)
+	}
+	return nil
+}
+
 // IterationResult reports one training iteration.
 type IterationResult struct {
 	Loss     float32
@@ -172,7 +197,7 @@ type IterationResult struct {
 	// HiddenTransfer is the share of this iteration's H2D transfer time that
 	// overlapped with compute instead of stalling it — always 0 for the
 	// sequential path, where every copy is synchronous and fully exposed.
-	// Under the pipelined session DataLoading counts only the exposed stalls,
+	// Under a pipelined loader DataLoading counts only the exposed stalls,
 	// and DataLoading + HiddenTransfer equals the copy engine's busy time.
 	HiddenTransfer time.Duration
 	// ExposedPlanning is the share of this iteration's planning cost
@@ -182,7 +207,7 @@ type IterationResult struct {
 	// DataLoading. Always 0 for the sequential session, where planning is
 	// inline and its phases are charged in full.
 	ExposedPlanning time.Duration
-	// Pipelined marks results produced by a PipelinedSession, whose planning
+	// Pipelined marks results produced by a pipelined loader, whose planning
 	// phases overlap compute and therefore do not extend the iteration.
 	Pipelined bool
 	Phases    Phases
@@ -202,7 +227,8 @@ func (r *IterationResult) CriticalPath() time.Duration {
 	return r.ExposedPlanning + r.Phases.DataLoading + r.Phases.GPUCompute + r.Phases.Communication
 }
 
-// Session is a live training run on one simulated GPU.
+// Session is a live training run on one simulated GPU: the iteration engine
+// over a single replica with inline planning and synchronous staging.
 type Session struct {
 	Cfg   Config
 	Data  *datagen.Dataset
@@ -210,50 +236,21 @@ type Session struct {
 	Opt   nn.Optimizer
 	GPU   *device.GPU
 
-	rng        *rand.Rand
-	clusterC   float64
+	eng        *engine
 	fixedAlloc *device.Allocation // params + grads + optimizer state
-
-	// Pipelined mode (set by NewPipelinedSession before any stage starts).
-	// budgetOverride freezes the activation budget at pipeline construction:
-	// the planner goroutine must not read the live ledger while the compute
-	// goroutine's transient allocations fluctuate, or plans (and K) would
-	// depend on scheduling timing. The prefetcher's staged tensors are kept
-	// safe not by widening the plan (which would inflate K) but by a
-	// headroom gate in the loader: it only stages ahead while the leftover
-	// room covers the consumer's worst-case group.
-	budgetOverride int64
-	// kWarm warm-starts the pipelined planner's K search at the previous
-	// iteration's K minus one: consecutive batches are statistically alike,
-	// so re-proving every smaller K infeasible (and re-estimating the whole
-	// batch) each iteration is wasted scheduling work. Starting one below the
-	// last winner keeps K near-minimal — it can still drift down by one per
-	// iteration when batches shrink. Only the planner stage touches it.
-	kWarm int
 }
 
 // NewSession builds a session: model, optimizer, device, and the fixed
 // device-resident footprint. It fails with an OOM error if the model itself
 // does not fit the budget.
 func NewSession(ds *datagen.Dataset, cfg Config) (*Session, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := validateFor(ds, cfg); err != nil {
 		return nil, err
-	}
-	if cfg.Model.InDim > ds.FeatDim() {
-		return nil, fmt.Errorf("train: model InDim %d exceeds dataset feature dim %d", cfg.Model.InDim, ds.FeatDim())
-	}
-	if cfg.Model.OutDim < ds.NumClasses {
-		return nil, fmt.Errorf("train: model OutDim %d below %d classes", cfg.Model.OutDim, ds.NumClasses)
 	}
 	model, err := gnn.New(cfg.Model)
 	if err != nil {
 		return nil, err
 	}
-	lr := cfg.LearningRate
-	if lr == 0 {
-		lr = 0.01
-	}
-	opt := nn.NewAdam(lr)
 	gpu := device.NewGPU(string(cfg.System), cfg.MemBudget, device.WithRecorder(cfg.Obs))
 	// Fixed footprint: parameters + gradients + Adam moments (2x params).
 	fixed := model.Params.Bytes() + model.Params.Bytes()
@@ -261,10 +258,10 @@ func NewSession(ds *datagen.Dataset, cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("train: model does not fit the device: %w", err)
 	}
+	eng := newEngine(ds, cfg, []replica{{gpu: gpu, model: model}}, nil)
 	s := &Session{
-		Cfg: cfg, Data: ds, Model: model, Opt: opt, GPU: gpu,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		clusterC:   ds.Graph.ApproxClusteringCoefficient(cfg.Seed, 2000),
+		Cfg: cfg, Data: ds, Model: model, Opt: eng.opt, GPU: gpu,
+		eng:        eng,
 		fixedAlloc: alloc,
 	}
 	return s, nil
@@ -278,45 +275,9 @@ func (s *Session) Close() {
 	}
 }
 
-// activationBudget is the device memory available to one micro-batch's
-// features + activations. In pipelined mode it is the frozen budget captured
-// at pipeline start rather than the instantaneous ledger headroom.
-func (s *Session) activationBudget() int64 {
-	if s.budgetOverride > 0 {
-		return s.budgetOverride
-	}
-	return s.GPU.Capacity() - s.GPU.Live()
-}
-
-// residentBase is the stable device-resident footprint plans ride on top of:
-// the live ledger for the sequential path, the frozen complement of the
-// activation budget for the pipelined one (where Live fluctuates with
-// in-flight prefetches).
-func (s *Session) residentBase() int64 {
-	if s.budgetOverride > 0 {
-		return s.GPU.Capacity() - s.budgetOverride
-	}
-	return s.GPU.Live()
-}
-
 // SampleBatch draws the next iteration's batch.
 func (s *Session) SampleBatch() (*sampling.Batch, error) {
-	t0 := time.Now()
-	seeds, err := sampling.UniformSeeds(s.Data.Graph, s.Cfg.BatchSize, s.rng)
-	if err != nil {
-		return nil, err
-	}
-	b, err := sampling.SampleBatch(s.Data.Graph, seeds, s.Cfg.Fanouts, s.rng)
-	if err == nil {
-		s.Cfg.Obs.Span(obs.KindSample, "", "batch", time.Since(t0),
-			int64(len(seeds)), int64(len(s.Cfg.Fanouts)))
-	}
-	return b, err
-}
-
-// estimator builds the analytical memory model for a batch.
-func (s *Session) estimator(b *sampling.Batch) (*memest.Estimator, error) {
-	return memest.New(memest.SpecFromConfig(s.Cfg.Model), memest.ProfileBatch(b, s.clusterC))
+	return s.eng.sampleBatch()
 }
 
 // RunIteration executes one full training iteration: sample, plan, execute
@@ -332,287 +293,15 @@ func (s *Session) RunIteration() (*IterationResult, error) {
 // RunIterationOn is RunIteration against a pre-sampled batch (used by
 // experiments that compare systems on identical batches).
 func (s *Session) RunIterationOn(b *sampling.Batch) (*IterationResult, error) {
-	tIter := time.Now()
-	res := &IterationResult{}
-	parts, err := s.plan(b, res)
+	it, err := s.eng.planIteration(b)
 	if err != nil {
 		return nil, err
 	}
-	// Rebase only the peak watermark: the device clocks stay cumulative and
-	// per-iteration phases are computed as before/after deltas. A full Reset
-	// here would zero the clocks mid-copy for a pipelined caller whose
-	// prefetcher has async transfers in flight.
-	s.GPU.ResetPeak()
-	pre := s.GPU.Stats()
-	s.Model.Params.ZeroGrad()
-
-	var lossSum float32
-	var correct, counted int
-	for i, outputs := range parts {
-		tMB := time.Now()
-		mb, err := s.buildMicroBatch(b, outputs, res)
-		if err != nil {
-			return nil, err
-		}
-		mLoss, mAcc, bytes, err := s.executeMicroBatch(b, mb, res)
-		if err != nil {
-			return nil, err
-		}
-		lossSum += mLoss
-		correct += int(mAcc * float64(len(outputs)))
-		counted += len(outputs)
-		res.PerMicroBytes = append(res.PerMicroBytes, bytes)
-		res.TotalNodes += mb.NumNodes()
-		s.Cfg.Obs.Span(obs.KindMicroBatch, s.GPU.Name(), fmt.Sprintf("mb%d", i),
-			time.Since(tMB), bytes, int64(i))
-	}
-	tStep := time.Now()
-	s.Opt.Step(s.Model.Params)
-	s.addCompute(time.Since(tStep), res, obs.KindOptStep)
-
-	res.K = len(parts)
-	res.Loss = lossSum
-	if counted > 0 {
-		res.Accuracy = float64(correct) / float64(counted)
-	}
-	res.Peak = s.GPU.Peak()
-	res.Phases.DataLoading = s.GPU.Stats().TransferTime - pre.TransferTime
-	if s.Cfg.Obs.Enabled() {
-		s.Cfg.Obs.Span(obs.KindIteration, s.GPU.Name(), string(s.Cfg.System),
-			time.Since(tIter), res.Peak, int64(res.K))
-		memest.RecordEstimate(s.Cfg.Obs, s.GPU.Name(), res.PredictedPeak, res.Peak)
-	}
-	return res, nil
-}
-
-// plan produces the micro-batch output partitions per the configured system.
-func (s *Session) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeID, error) {
-	switch s.Cfg.System {
-	case DGL, PyG:
-		return [][]graph.NodeID{b.Seeds}, nil
-	case Buffalo:
-		est, err := s.estimator(b)
-		if err != nil {
-			return nil, err
-		}
-		t0 := time.Now()
-		// Keep 10% headroom under the remaining device memory: the
-		// analytical estimate carries a few percent of error and transient
-		// buffers (loss, logits gradient) ride on top of the activations.
-		// The pipelined session additionally scales the per-group cap down
-		// by the batch's feature share, so one prefetched feature tensor can
-		// sit on-device next to the group compute is consuming; the
-		// prefetcher's headroom gate (stageMicroBatch) enforces the actual
-		// safety condition at staging time.
-		limit := s.activationBudget() * 9 / 10
-		if s.budgetOverride > 0 {
-			whole, memErr := est.BatchMem(b)
-			if memErr != nil {
-				return nil, memErr
-			}
-			featBytes := int64(len(b.Frontier(b.Layers()))) *
-				memest.SpecFromConfig(s.Cfg.Model).FeatureRowBytes()
-			if whole > 0 {
-				limit = limit * whole / (whole + featBytes)
-			}
-		}
-		kStart := s.Cfg.MicroBatches
-		if s.budgetOverride > 0 && s.Cfg.MicroBatches == 0 && s.kWarm > 1 {
-			kStart = s.kWarm - 1
-		}
-		plan, err := schedule.Schedule(b, est, schedule.Options{
-			MemLimit:          limit,
-			KStart:            kStart,
-			KMax:              s.fixedKMax(b),
-			DisableRedundancy: s.Cfg.DisableRedundancy,
-			Obs:               s.Cfg.Obs,
-		})
-		dt := time.Since(t0)
-		res.Phases.Scheduling += dt
-		if err != nil {
-			return nil, err
-		}
-		s.kWarm = plan.K
-		// Predicted device peak = the winning group estimate riding on the
-		// fixed resident footprint.
-		res.PredictedPeak = plan.MaxEstimate() + s.residentBase()
-		s.Cfg.Obs.Span(obs.KindPlan, "", string(Buffalo), dt, plan.MaxEstimate(), int64(plan.K))
-		parts := make([][]graph.NodeID, len(plan.Groups))
-		for i, g := range plan.Groups {
-			parts[i] = g.Nodes()
-		}
-		return parts, nil
-	case Betty:
-		est, err := s.estimator(b)
-		if err != nil {
-			return nil, err
-		}
-		var plan *betty.Plan
-		if s.Cfg.MicroBatches > 0 {
-			plan, err = betty.Partition(b, s.Cfg.MicroBatches, s.Cfg.Seed)
-		} else {
-			plan, err = betty.FindPlan(b, est, s.activationBudget(), 0, s.Cfg.Seed)
-		}
-		if err != nil {
-			return nil, err
-		}
-		res.Phases.REGConstruction += plan.REGTime
-		res.Phases.MetisPartition += plan.MetisTime
-		s.Cfg.Obs.Span(obs.KindPlan, "", string(Betty),
-			plan.REGTime+plan.MetisTime, 0, int64(len(plan.Parts)))
-		return plan.Parts, nil
-	case RandomP, RangeP, MetisP:
-		k := s.Cfg.MicroBatches
-		if k < 1 {
-			k = 1
-		}
-		var strat partition.Strategy
-		switch s.Cfg.System {
-		case RandomP:
-			strat = partition.Random{}
-		case RangeP:
-			strat = partition.Range{}
-		default:
-			strat = partition.Metis{}
-		}
-		t0 := time.Now()
-		parts, err := strat.Partition(b, k, s.Cfg.Seed)
-		dt := time.Since(t0)
-		res.Phases.MetisPartition += dt
-		if err == nil {
-			s.Cfg.Obs.Span(obs.KindPlan, "", string(s.Cfg.System), dt, 0, int64(len(parts)))
-		}
-		return parts, err
-	}
-	return nil, fmt.Errorf("train: unknown system %q", s.Cfg.System)
-}
-
-// fixedKMax bounds Buffalo's K search when MicroBatches pins K exactly.
-func (s *Session) fixedKMax(b *sampling.Batch) int {
-	if s.Cfg.MicroBatches > 0 {
-		return s.Cfg.MicroBatches
-	}
-	return len(b.Seeds)
-}
-
-// buildMicroBatch constructs the blocks for one partition. Only Buffalo uses
-// the fast sampling-order generator (its §IV-E contribution); every baseline
-// pays the standard connection-check cost the paper's Fig 5 measures in
-// existing frameworks.
-func (s *Session) buildMicroBatch(b *sampling.Batch, outputs []graph.NodeID, res *IterationResult) (*block.MicroBatch, error) {
-	naive := s.Cfg.System != Buffalo || s.Cfg.NaiveBlockGen
-	if naive {
-		mb, check, build, err := block.GenerateNaiveTimed(b, outputs)
-		res.Phases.ConnectionCheck += check
-		res.Phases.BlockGen += build
-		if err == nil {
-			// The BlockGen phase covers only the build half, so the span
-			// mirrors it; the connection-check half is annotated separately
-			// (it is Fig 11's dominant baseline overhead, not construction).
-			s.Cfg.Obs.Span(obs.KindBlockGen, "", "naive/build", build, mb.NumNodes(), int64(len(outputs)))
-			s.Cfg.Obs.Event(obs.KindMark, "", "blockgen/check", 0, 0, int64(check))
-		}
-		return mb, err
-	}
-	t0 := time.Now()
-	mb, err := block.GenerateTraced(b, outputs, s.Cfg.Obs)
-	dt := time.Since(t0)
-	res.Phases.BlockGen += dt
-	if err == nil {
-		s.Cfg.Obs.Span(obs.KindBlockGen, "", "fast", dt, mb.NumNodes(), int64(len(outputs)))
-	}
-	return mb, err
-}
-
-// gatherFeatures assembles the host-side input-feature tensor of one
-// micro-batch (the staging buffer a real loader would pin for the H2D copy).
-func (s *Session) gatherFeatures(mb *block.MicroBatch) *tensor.Matrix {
-	inDim := s.Cfg.Model.InDim
-	inputs := mb.InputNodes()
-	feats := tensor.New(len(inputs), inDim)
-	for i, v := range inputs {
-		copy(feats.Row(i), s.Data.FeatureRow(v)[:inDim])
-	}
-	return feats
-}
-
-// executeMicroBatch moves one micro-batch through the device: feature
-// transfer, layer-by-layer charged forward, loss, backward, release.
-func (s *Session) executeMicroBatch(b *sampling.Batch, mb *block.MicroBatch, res *IterationResult) (loss float32, acc float64, microBytes int64, err error) {
-	feats := s.gatherFeatures(mb)
-	featAlloc, err := s.GPU.Alloc("features", feats.Bytes())
+	res, err := s.eng.executeIteration(it, seqStager{e: s.eng}, false)
 	if err != nil {
-		return 0, 0, 0, fmt.Errorf("train: loading features: %w", err)
+		return nil, err
 	}
-	defer featAlloc.Free()
-	s.GPU.TransferH2D(feats.Bytes())
-	return s.computeMicroBatch(b, mb, feats, res)
-}
-
-// computeMicroBatch runs the device-side math of one micro-batch whose
-// input features are already resident: charged forward, loss, backward. The
-// caller owns the feature allocation; layer activations are charged and
-// released here.
-func (s *Session) computeMicroBatch(b *sampling.Batch, mb *block.MicroBatch, feats *tensor.Matrix, res *IterationResult) (loss float32, acc float64, microBytes int64, err error) {
-	var layerAllocs []*device.Allocation
-	defer func() {
-		for _, a := range layerAllocs {
-			a.Free()
-		}
-	}()
-	tFwd := time.Now()
-	fwd, err := s.Model.ForwardWithHook(mb, feats, func(layer int, plannedBytes int64) error {
-		a, err := s.GPU.Alloc(fmt.Sprintf("activations/layer%d", layer), plannedBytes)
-		if err != nil {
-			return err
-		}
-		layerAllocs = append(layerAllocs, a)
-		return nil
-	})
-	if err != nil {
-		return 0, 0, 0, fmt.Errorf("train: forward: %w", err)
-	}
-	labels := make([]int32, len(mb.Outputs))
-	for i, v := range mb.Outputs {
-		labels[i] = s.Data.Labels[v]
-	}
-	scale := float32(len(mb.Outputs)) / float32(b.NumOutputNodes())
-	mLoss, dLogits, err := nn.CrossEntropy(fwd.Logits, labels, scale)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	s.addCompute(time.Since(tFwd), res, obs.KindForward)
-	tBwd := time.Now()
-	if _, err := s.Model.Backward(fwd, dLogits); err != nil {
-		return 0, 0, 0, err
-	}
-	s.addCompute(time.Since(tBwd), res, obs.KindBackward)
-
-	acc = nn.Accuracy(fwd.Logits, labels)
-	return mLoss, acc, feats.Bytes() + fwd.ActivationBytes(), nil
-}
-
-// addCompute records measured host compute time onto the simulated kernel
-// clock: scaled by the modeled GPU speedup, with the PyG penalty on top. The
-// scaled duration is recorded identically as a phase-kind span (forward,
-// backward, optimizer step) and onto Phases.GPUCompute, so the per-kind span
-// sums add up to the phase total exactly.
-func (s *Session) addCompute(d time.Duration, res *IterationResult, kind obs.Kind) {
-	d = time.Duration(float64(d) / s.Cfg.gpuSpeedup())
-	if s.Cfg.System == PyG {
-		d = time.Duration(float64(d) * pygComputePenalty)
-	}
-	s.GPU.AddComputeTime(d)
-	res.Phases.GPUCompute += d
-	s.Cfg.Obs.Span(kind, s.GPU.Name(), "", d, 0, 0)
-}
-
-// gpuSpeedup returns the configured speedup with its default.
-func (c Config) gpuSpeedup() float64 {
-	if c.GPUSpeedup <= 0 {
-		return 100
-	}
-	return c.GPUSpeedup
+	return &res.IterationResult, nil
 }
 
 // EpochResult summarizes one pass of TrainEpochs.
@@ -651,26 +340,25 @@ func (s *Session) Evaluate(nodes []graph.NodeID) (loss float32, acc float64, err
 	if len(nodes) == 0 {
 		return 0, 0, fmt.Errorf("train: Evaluate needs at least one node")
 	}
-	b, err := sampling.SampleBatch(s.Data.Graph, nodes, s.Cfg.Fanouts, s.rng)
+	b, err := sampling.SampleBatch(s.Data.Graph, nodes, s.Cfg.Fanouts, s.eng.rng)
 	if err != nil {
 		return 0, 0, err
 	}
-	est, err := s.estimator(b)
+	est, err := s.eng.estimator(b)
 	if err != nil {
 		return 0, 0, err
 	}
-	plan, err := schedule.Schedule(b, est, schedule.Options{MemLimit: s.activationBudget() * 9 / 10})
+	plan, err := schedule.Schedule(b, est, schedule.Options{MemLimit: s.eng.activationBudget() * 9 / 10})
 	if err != nil {
 		return 0, 0, err
 	}
 	correct, counted := 0, 0
-	res := &IterationResult{}
 	for _, g := range plan.Groups {
 		mb, err := block.Generate(b, g.Nodes())
 		if err != nil {
 			return 0, 0, err
 		}
-		mLoss, mAcc, _, err := s.executeEval(b, mb, res)
+		mLoss, mAcc, err := s.executeEval(b, mb)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -681,8 +369,8 @@ func (s *Session) Evaluate(nodes []graph.NodeID) (loss float32, acc float64, err
 	return loss, float64(correct) / float64(counted), nil
 }
 
-// executeEval is executeMicroBatch without the backward pass.
-func (s *Session) executeEval(b *sampling.Batch, mb *block.MicroBatch, res *IterationResult) (loss float32, acc float64, bytes int64, err error) {
+// executeEval is one forward-only micro-batch (no backward pass).
+func (s *Session) executeEval(b *sampling.Batch, mb *block.MicroBatch) (loss float32, acc float64, err error) {
 	inDim := s.Cfg.Model.InDim
 	inputs := mb.InputNodes()
 	feats := tensor.New(len(inputs), inDim)
@@ -691,7 +379,7 @@ func (s *Session) executeEval(b *sampling.Batch, mb *block.MicroBatch, res *Iter
 	}
 	featAlloc, err := s.GPU.Alloc("eval/features", feats.Bytes())
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, err
 	}
 	defer featAlloc.Free()
 	s.GPU.TransferH2D(feats.Bytes())
@@ -711,7 +399,7 @@ func (s *Session) executeEval(b *sampling.Batch, mb *block.MicroBatch, res *Iter
 		return nil
 	})
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, err
 	}
 	labels := make([]int32, len(mb.Outputs))
 	for i, v := range mb.Outputs {
@@ -720,8 +408,8 @@ func (s *Session) executeEval(b *sampling.Batch, mb *block.MicroBatch, res *Iter
 	scale := float32(len(mb.Outputs)) / float32(b.NumOutputNodes())
 	mLoss, _, err := nn.CrossEntropy(fwd.Logits, labels, scale)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, err
 	}
-	s.addCompute(time.Since(t0), res, obs.KindForward)
-	return mLoss, nn.Accuracy(fwd.Logits, labels), feats.Bytes() + fwd.ActivationBytes(), nil
+	s.eng.addCompute(0, time.Since(t0), obs.KindForward)
+	return mLoss, nn.Accuracy(fwd.Logits, labels), nil
 }

@@ -9,8 +9,9 @@
 #                      timeline reconstruction) under the race detector —
 #                      a fast, focused pass so trace/ledger coherence
 #                      regressions surface before the full suite
-#   5. pipeline gate   the async-loader tests (bounded queues, prefetch
-#                      shutdown/cancellation, feature cache) under race
+#   5. pipeline gate   the async-loader tests (bounded queues, fan-out
+#                      lanes, prefetch shutdown/cancellation, feature
+#                      cache, multi-GPU pipelined loading) under race
 #   6. go test -race   the full test suite under the race detector
 #
 # Run from anywhere; the script cds to the repository root. Fails fast on
@@ -42,10 +43,12 @@ go test -race -run Obs -count=1 ./internal/obs/... ./internal/device/... ./inter
 echo "== pipeline race gate =="
 # The async loader runs three stage goroutines against one consumer over
 # bounded queues, with a headroom gate between the prefetcher and the
-# consumer's allocations. Its queue primitives and shutdown/cancellation
-# tests must stay race-clean on their own before the slow full-suite pass.
+# consumer's allocations; in the multi-GPU configuration one shared loader
+# feeds per-replica fan-out lanes and per-device caches. Its queue
+# primitives and shutdown/cancellation tests must stay race-clean on their
+# own before the slow full-suite pass.
 go test -race -count=1 ./internal/pipeline/...
-go test -race -count=1 -run 'TestPipelined|TestDataLoading' ./internal/train/
+go test -race -count=1 -run 'TestPipelined|TestDataLoading|TestMultiGPUPipelined|TestAdaptiveDepth|TestFixedDepth' ./internal/train/
 
 echo "== go test -race =="
 # Race instrumentation slows the heavy suites several-fold and packages
