@@ -21,7 +21,11 @@
 //
 // Multi-GPU: -gpus N runs data-parallel Buffalo over N simulated devices;
 // composed with -pipeline, one shared loader stages every replica's
-// micro-batches round-robin with a per-device feature cache.
+// micro-batches round-robin with a per-device feature cache. -plan-ahead W
+// widens the pipeline's planner stage to W concurrent workers behind a
+// reorder buffer (plans still arrive in sampling order); -comm-overlap
+// switches the gradient all-reduce to size-bounded buckets (-bucket-kb)
+// launched during the backward tail, reporting the exposed/hidden comm split.
 package main
 
 import (
@@ -50,6 +54,9 @@ func main() {
 	prefetchDepth := flag.Int("prefetch-depth", 2, "micro-batches the pipeline may stage ahead of compute")
 	adaptiveDepth := flag.Bool("adaptive-depth", false, "let the pipeline tune its depth within [1, -prefetch-depth] from starvation/headroom signals")
 	cacheBudgetMB := flag.Int64("cache-budget-mb", 0, "device MB reserved for the degree-aware feature cache (0 = off; implies -pipeline)")
+	planAhead := flag.Int("plan-ahead", 0, "planner-pool width: concurrent planner workers behind a reorder buffer (0/1 = single planner; implies -pipeline)")
+	commOverlap := flag.Bool("comm-overlap", false, "bucketed overlapped all-reduce: launch gradient buckets during the backward tail (multi-GPU)")
+	bucketKB := flag.Int64("bucket-kb", 0, "gradient bucket size in KB for -comm-overlap (0 = 32KB default)")
 	seed := flag.Int64("seed", 7, "seed")
 	tracePath := flag.String("trace", "", "write an execution trace to this file")
 	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome|jsonl|folded")
@@ -101,6 +108,8 @@ func main() {
 		MemBudget:    *budgetMB * buffalo.MB,
 		MicroBatches: *micro,
 		Seed:         *seed,
+		CommOverlap:  *commOverlap,
+		BucketBytes:  *bucketKB << 10,
 		Obs:          rec,
 	}
 	switch *system {
@@ -139,8 +148,9 @@ func main() {
 		Depth:       *prefetchDepth,
 		CacheBudget: *cacheBudgetMB * buffalo.MB,
 		Adaptive:    *adaptiveDepth,
+		PlanAhead:   *planAhead,
 	}
-	usePipeline := *pipelined || *cacheBudgetMB > 0 || *adaptiveDepth
+	usePipeline := *pipelined || *cacheBudgetMB > 0 || *adaptiveDepth || *planAhead > 1
 
 	if *gpus > 1 {
 		var dp *buffalo.DataParallel
@@ -163,14 +173,15 @@ func main() {
 				fail(err)
 			}
 			if usePipeline {
-				fmt.Printf("iter %d: loss=%.4f K=%d peak=%.1fMB critical=%v (compute=%v comm=%v hidden=%v depth=%d)\n",
+				fmt.Printf("iter %d: loss=%.4f K=%d peak=%.1fMB critical=%v (compute=%v comm=%v exposed-comm=%v hidden-comm=%v hidden=%v depth=%d)\n",
 					i, res.Loss, res.K, float64(res.Peak)/float64(buffalo.MB),
 					res.CriticalPath(), res.Phases.GPUCompute, res.Phases.Communication,
-					res.HiddenTransfer, dp.EffectiveDepth())
+					res.ExposedComm, res.HiddenComm, res.HiddenTransfer, dp.EffectiveDepth())
 			} else {
-				fmt.Printf("iter %d: loss=%.4f K=%d peak=%.1fMB total=%v (compute=%v comm=%v)\n",
+				fmt.Printf("iter %d: loss=%.4f K=%d peak=%.1fMB critical=%v (compute=%v comm=%v exposed-comm=%v hidden-comm=%v)\n",
 					i, res.Loss, res.K, float64(res.Peak)/float64(buffalo.MB),
-					res.Phases.Total(), res.Phases.GPUCompute, res.Phases.Communication)
+					res.CriticalPath(), res.Phases.GPUCompute, res.Phases.Communication,
+					res.ExposedComm, res.HiddenComm)
 			}
 		}
 		if *cacheBudgetMB > 0 {

@@ -104,6 +104,34 @@ func main() {
 		100*plateau)
 	fmt.Printf("pipeline on:  2-GPU gain %.1f%% (host-side generation overlaps compute)\n",
 		100*(1-sum.critical/sums[0].critical))
+
+	// Past 2 replicas, two more serial bottlenecks appear: the single
+	// planner (one K-search feeding ever-faster consumers) and the
+	// synchronous all-reduce. A plan-ahead planner pool widens the first; the
+	// bucketed overlapped reduce launches gradient buckets during the
+	// backward tail to hide the second. See the `scaleout` experiment for
+	// the full sweep.
+	cfg4 := cfg
+	cfg4.CommOverlap = true
+	// Roomier per-device budget with K pinned: the scale-out stanza measures
+	// the planner pool and the comm overlap, not the memory wall.
+	cfg4.MemBudget = 2 * cfg.MemBudget
+	cfg4.MicroBatches = 8
+	dp4, err := buffalo.NewDataParallelPipelined(ds, cfg4, 4, buffalo.PipelineConfig{
+		Depth:     2,
+		PlanAhead: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res4, sum4, err := measure(dp4)
+	dp4.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4 GPUs pool+overlap: K=%d exposed-plan=%v comm=%v exposed-comm=%v hidden-comm=%v avg-iter=%.0fms\n",
+		res4.K, res4.ExposedPlanning.Round(1e6), res4.Phases.Communication.Round(1e3),
+		res4.ExposedComm.Round(1e3), res4.HiddenComm.Round(1e3), 1000*sum4.critical/iters)
 }
 
 // tally sums a configuration's steady-state iterations.

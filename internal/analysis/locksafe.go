@@ -184,6 +184,15 @@ func blockingCallReason(p *Pass, call *ast.CallExpr) string {
 	if isDeviceMethod(fn, "Cluster", "AllReduce") {
 		return "simulated collective Cluster.AllReduce"
 	}
+	if isDeviceMethod(fn, "Cluster", "AllReduceAsync") {
+		// Async launch still books interconnect time under the cluster's
+		// comm-engine clock; holding a mutex across it serializes every
+		// replica's bucket launches.
+		return "simulated collective Cluster.AllReduceAsync"
+	}
+	if isDeviceMethod(fn, "Cluster", "WaitReduce") {
+		return "simulated stall Cluster.WaitReduce"
+	}
 	path := funcPkgPath(fn)
 	switch path {
 	case "time":

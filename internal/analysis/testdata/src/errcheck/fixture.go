@@ -145,6 +145,43 @@ func DispatchPropagates(q *laneQueue, items []int) error {
 	return nil
 }
 
+// reorder mimics the planner pool's sequence-number reorder buffer: Put
+// fails on a duplicate or out-of-window sequence (a planner bug) or on
+// shutdown, and Pop's error is the only way a consumer learns the pool
+// died. Dropping either turns a wedged planner pool into a silent hang.
+type reorder struct{ next uint64 }
+
+func (r *reorder) Put(seq uint64, v int) error {
+	if seq < r.next {
+		return io.ErrClosedPipe
+	}
+	return nil
+}
+
+func (r *reorder) Pop() (int, error) { return 0, io.ErrClosedPipe }
+
+// PlannerDrop delivers a plan without checking for a dead or out-of-order
+// buffer: the worker keeps planning batches nobody will consume.
+func PlannerDrop(r *reorder, seq uint64) {
+	r.Put(seq, 1) // want:errcheck
+}
+
+// PrefetchDrop discards the pop error along with the plan — the consumer
+// spins on zero values after shutdown.
+func PrefetchDrop(r *reorder) {
+	r.Pop() // want:errcheck
+}
+
+// PlannerPropagates is the reviewable pool-worker shape — a failed delivery
+// unwinds the worker: clean.
+func PlannerPropagates(r *reorder, seq uint64) error {
+	if err := r.Put(seq, 1); err != nil {
+		return err
+	}
+	_, err := r.Pop()
+	return err
+}
+
 // Exempt exercises the best-effort allowlist: clean.
 func Exempt(sb *strings.Builder) {
 	fmt.Println("stdout printing is best-effort")

@@ -138,3 +138,46 @@ func (f *fanout) GoodStageShape(dev int) {
 	f.staged[dev]++
 	f.mu.Unlock()
 }
+
+// reducer mimics the bucketed gradient reduce: a cluster comm engine with a
+// mutex guarding bucket bookkeeping shared with the planner pool.
+type reducer struct {
+	mu      sync.Mutex
+	cluster *device.Cluster
+	buckets map[int]int64
+}
+
+// BadLaunchUnderLock launches a bucket's ring reduce inside the critical
+// section: the launch books interconnect time on the comm-engine clock, and
+// every other goroutine touching the bucket table serializes on it.
+func (r *reducer) BadLaunchUnderLock(j int, ready time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cluster.AllReduceAsync(r.buckets[j], ready) // want:locksafe
+}
+
+// BadWaitReduceUnderLock stalls on the comm engine while holding the lock —
+// the optimizer-step handoff would serialize behind the slowest bucket.
+func (r *reducer) BadWaitReduceUnderLock(done time.Duration) {
+	r.mu.Lock()
+	r.cluster.WaitReduce(done) // want:locksafe
+	r.mu.Unlock()
+}
+
+// BadSyncReduceUnderDefer runs the monolithic synchronous collective while
+// the deferred unlock keeps the mutex held.
+func (r *reducer) BadSyncReduceUnderDefer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cluster.AllReduce(1 << 20) // want:locksafe
+}
+
+// GoodReduceShape is the engine's discipline: read the bucket size under the
+// lock, launch and wait with no locks held.
+func (r *reducer) GoodReduceShape(j int, ready time.Duration) time.Duration {
+	r.mu.Lock()
+	size := r.buckets[j]
+	r.mu.Unlock()
+	r.cluster.AllReduceAsync(size, ready)
+	return r.cluster.WaitReduce(ready)
+}

@@ -11,6 +11,13 @@ import (
 // Cluster is a set of identical simulated GPUs connected by a shared
 // interconnect (PCIe in the paper's two-A100 machine, §V-G). It models the
 // gradient all-reduce the data-parallel trainer performs each iteration.
+//
+// Like the per-GPU copy engine, the interconnect is its own engine on the
+// simulated timeline: a reduce launched while compute tails are still
+// running (AllReduceAsync) charges the iteration only for the share the
+// training step actually had to wait for (WaitReduce), with the hidden
+// remainder reported separately. The synchronous AllReduce keeps the fully
+// exposed model for trainers that combine gradients after all compute.
 type Cluster struct {
 	gpus []*GPU
 
@@ -18,12 +25,25 @@ type Cluster struct {
 	linkBandwidth float64
 	linkLatency   time.Duration
 
-	// mu guards commTime: the trainer's consumer goroutine accumulates it via
-	// AllReduce while observers (experiment reports, tests) may read it
-	// concurrently through CommTime.
+	// mu guards the comm clocks: the trainer's consumer goroutine accumulates
+	// them via AllReduce/AllReduceAsync/WaitReduce while observers (experiment
+	// reports, tests) may read them concurrently through CommTime and
+	// ExposedCommTime.
 	mu       sync.Mutex
 	commTime time.Duration
-	rec      *obs.Recorder
+	// commFront is the comm engine's busy-until position on the current
+	// iteration's reduce window (origin = iteration start, the same timeline
+	// the trainer's per-replica compute positions live on). WaitReduce closes
+	// the window and rewinds it: the optimizer step that consumes the reduced
+	// gradients gates the next iteration's backward, so the interconnect is
+	// always idle when a new iteration starts.
+	commFront time.Duration
+	// exposedComm accumulates the WaitReduce stalls: the share of commTime
+	// the training step could not hide behind compute tails.
+	exposedComm time.Duration
+	// bucketSeq numbers the async reduces of the current window for traces.
+	bucketSeq int64
+	rec       *obs.Recorder
 }
 
 // NewCluster builds n identical GPUs named base-0..base-(n-1).
@@ -47,30 +67,107 @@ func (c *Cluster) Size() int { return len(c.gpus) }
 // GPU returns device i.
 func (c *Cluster) GPU(i int) *GPU { return c.gpus[i] }
 
-// AllReduce models a ring all-reduce of size bytes across the cluster and
-// returns the simulated duration (2(n-1)/n chunk exchanges over the slowest
-// link). Single-GPU clusters take no time.
-func (c *Cluster) AllReduce(size int64) time.Duration {
+// RingReduceDuration is the one place the ring all-reduce cost model lives:
+// a ring over n devices moves each of the n chunks (size/n bytes) through
+// 2(n-1) exchange steps — n-1 reduce-scatter hops plus n-1 all-gather hops —
+// over the slowest link, paying the per-message latency once per step. Every
+// reduce this cluster models, synchronous or bucketed, is priced here, so
+// volume-accounting fixes cannot drift between paths. Single-GPU clusters
+// reduce nothing and take no time.
+func (c *Cluster) RingReduceDuration(size int64) time.Duration {
 	n := len(c.gpus)
 	if n < 2 {
 		return 0
 	}
 	steps := 2 * (n - 1)
 	chunk := float64(size) / float64(n)
-	d := time.Duration(float64(steps)*(chunk/c.linkBandwidth)*float64(time.Second)) +
+	return time.Duration(float64(steps)*(chunk/c.linkBandwidth)*float64(time.Second)) +
 		time.Duration(steps)*c.linkLatency
+}
+
+// AllReduce models a synchronous ring all-reduce of size bytes across the
+// cluster and returns the simulated duration (see RingReduceDuration). The
+// caller's training step waits for it in full, so the whole duration is
+// exposed. Single-GPU clusters take no time.
+func (c *Cluster) AllReduce(size int64) time.Duration {
+	d := c.RingReduceDuration(size)
+	if d == 0 {
+		return 0
+	}
 	c.mu.Lock()
 	c.commTime += d
+	c.exposedComm += d
 	c.mu.Unlock()
-	c.rec.Span(obs.KindAllReduce, "", "allreduce", d, size, int64(n))
+	c.rec.Span(obs.KindAllReduce, "", "allreduce", d, size, int64(len(c.gpus)))
 	return d
 }
 
-// CommTime reports the accumulated all-reduce time.
+// AllReduceAsync launches one gradient bucket's ring reduce on the comm
+// engine: the reduce starts as soon as both the interconnect is free and the
+// bucket's gradients are ready (the position on the iteration timeline the
+// trainer passes — a bucket produced mid-backward cannot reduce before the
+// backward pass reaches it). It returns the reduce's completion position;
+// the full ring duration accrues on the comm clock (the interconnect is busy
+// that long), and how much of it was hidden behind compute is decided at
+// WaitReduce time. Single-GPU clusters return ready unchanged at no cost.
+func (c *Cluster) AllReduceAsync(size int64, ready time.Duration) time.Duration {
+	d := c.RingReduceDuration(size)
+	if d == 0 {
+		return ready
+	}
+	c.mu.Lock()
+	start := c.commFront
+	if ready > start {
+		start = ready
+	}
+	c.commFront = start + d
+	c.commTime += d
+	done := c.commFront
+	seq := c.bucketSeq
+	c.bucketSeq++
+	c.mu.Unlock()
+	c.rec.Span(obs.KindBucketReduce, "", "bucket", d, size, seq)
+	return done
+}
+
+// WaitReduce ends the current iteration's reduce window: the training step
+// has reached position at on the iteration timeline (its slowest replica's
+// compute tail) and must wait for the comm engine's outstanding reduces. The
+// stall — the exposed, non-hidden share of the window's reduce time — is
+// accrued on the exposed-comm clock and returned (0 when every reduce
+// finished behind compute). The window front rewinds to the timeline origin
+// for the next iteration.
+func (c *Cluster) WaitReduce(at time.Duration) time.Duration {
+	c.mu.Lock()
+	stall := c.commFront - at
+	if stall < 0 {
+		stall = 0
+	}
+	c.exposedComm += stall
+	c.commFront = 0
+	c.bucketSeq = 0
+	c.mu.Unlock()
+	if stall > 0 {
+		c.rec.Span(obs.KindStall, "", "reduce-wait", stall, 0, 0)
+	}
+	return stall
+}
+
+// CommTime reports the accumulated all-reduce time: the interconnect's total
+// busy time across synchronous and bucketed reduces.
 func (c *Cluster) CommTime() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.commTime
+}
+
+// ExposedCommTime reports the share of CommTime the training step waited
+// for: synchronous reduces in full plus the WaitReduce stalls of bucketed
+// windows. CommTime minus ExposedCommTime is what overlap hid.
+func (c *Cluster) ExposedCommTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exposedComm
 }
 
 // ResetPeaks drops every device's peak watermark to its current live bytes,
@@ -84,25 +181,32 @@ func (c *Cluster) ResetPeaks() {
 	}
 }
 
-// ResetClocks zeroes every device clock and the interconnect clock. Like
-// GPU.ResetClocks it leaves peak watermarks alone; Reset does both. Unsafe
-// while any device has an async transfer in flight (see GPU.ResetClocks) —
+// ResetClocks zeroes every device clock and the interconnect clocks (busy,
+// exposed, and the reduce-window front). Like GPU.ResetClocks it leaves peak
+// watermarks alone; Reset does both. Unsafe while any device has an async
+// transfer in flight or a reduce window is open (see GPU.ResetClocks) —
 // pipelined callers should rely on ResetPeaks plus clock deltas instead.
 func (c *Cluster) ResetClocks() {
 	c.mu.Lock()
 	c.commTime = 0
+	c.exposedComm = 0
+	c.commFront = 0
+	c.bucketSeq = 0
 	c.mu.Unlock()
 	for _, g := range c.gpus {
 		g.ResetClocks()
 	}
 }
 
-// Reset zeroes the interconnect clock and atomically resets every device's
+// Reset zeroes the interconnect clocks and atomically resets every device's
 // peak watermark and clocks (GPU.Reset per device). Like ResetClocks it must
 // not run while async transfers are pending on any device.
 func (c *Cluster) Reset() {
 	c.mu.Lock()
 	c.commTime = 0
+	c.exposedComm = 0
+	c.commFront = 0
+	c.bucketSeq = 0
 	c.mu.Unlock()
 	for _, g := range c.gpus {
 		g.Reset()

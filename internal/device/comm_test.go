@@ -1,0 +1,176 @@
+package device
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingReduceDurationPinned pins the ring all-reduce cost model to the
+// formula the paper's interconnect analysis uses: 2(n-1) exchange steps,
+// each moving one size/n chunk over the slowest link plus the per-message
+// latency. Both the synchronous and the bucketed reduce paths price through
+// this one function, so this test guards the volume accounting for both.
+func TestRingReduceDurationPinned(t *testing.T) {
+	c, err := NewCluster("gpu", 4, GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(1 << 20)
+	// steps = 2(4-1) = 6, chunk = size/4, link = 10e9 B/s, latency = 25µs.
+	steps := 6
+	chunk := float64(size) / 4
+	want := time.Duration(float64(steps)*(chunk/10e9)*float64(time.Second)) +
+		time.Duration(steps)*25*time.Microsecond
+	if got := c.RingReduceDuration(size); got != want {
+		t.Fatalf("RingReduceDuration(%d) = %v, want %v", size, got, want)
+	}
+	// The synchronous path charges exactly the formula, fully exposed.
+	if got := c.AllReduce(size); got != want {
+		t.Fatalf("AllReduce(%d) = %v, want %v", size, got, want)
+	}
+	if c.CommTime() != want || c.ExposedCommTime() != want {
+		t.Fatalf("clocks after sync reduce: busy %v exposed %v, want both %v",
+			c.CommTime(), c.ExposedCommTime(), want)
+	}
+}
+
+// TestRingReduceSingleGPU: a single-device cluster has nothing to reduce.
+func TestRingReduceSingleGPU(t *testing.T) {
+	c, err := NewCluster("gpu", 1, GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.RingReduceDuration(1 << 20); d != 0 {
+		t.Fatalf("single-GPU ring duration = %v, want 0", d)
+	}
+	if d := c.AllReduce(1 << 20); d != 0 {
+		t.Fatalf("single-GPU AllReduce = %v, want 0", d)
+	}
+	if done := c.AllReduceAsync(1<<20, 5*time.Millisecond); done != 5*time.Millisecond {
+		t.Fatalf("single-GPU AllReduceAsync must pass ready through, got %v", done)
+	}
+	if stall := c.WaitReduce(time.Millisecond); stall != 0 {
+		t.Fatalf("single-GPU WaitReduce stall = %v, want 0", stall)
+	}
+}
+
+// TestAllReduceAsyncOverlap drives the comm engine through one bucketed
+// window: two buckets launched while compute is still running. The first
+// bucket hides completely behind the compute tail; the exposed stall is only
+// what spills past it, and busy = exposed + hidden holds on the clocks.
+func TestAllReduceAsyncOverlap(t *testing.T) {
+	c, err := NewCluster("gpu", 2, GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(4 << 20)
+	d := c.RingReduceDuration(size)
+	if d <= 0 {
+		t.Fatal("want a positive ring duration")
+	}
+	// Bucket 0 is ready early; bucket 1 becomes ready exactly when compute
+	// ends, so its whole duration (plus any queueing) is exposed.
+	computeEnd := 3 * d
+	done0 := c.AllReduceAsync(size, d)
+	if done0 != 2*d {
+		t.Fatalf("bucket 0 completion = %v, want %v", done0, 2*d)
+	}
+	done1 := c.AllReduceAsync(size, computeEnd)
+	if done1 != computeEnd+d {
+		t.Fatalf("bucket 1 completion = %v, want %v (engine was free at its ready time)", done1, computeEnd+d)
+	}
+	stall := c.WaitReduce(computeEnd)
+	if stall != d {
+		t.Fatalf("exposed stall = %v, want %v (bucket 1 fully exposed, bucket 0 fully hidden)", stall, d)
+	}
+	if busy := c.CommTime(); busy != 2*d {
+		t.Fatalf("comm busy time = %v, want %v", busy, 2*d)
+	}
+	if exp := c.ExposedCommTime(); exp != d {
+		t.Fatalf("exposed comm time = %v, want %v", exp, d)
+	}
+}
+
+// TestAllReduceAsyncSerializesOnInterconnect: back-to-back buckets ready at
+// the same instant queue on the one interconnect — completions stack.
+func TestAllReduceAsyncSerializesOnInterconnect(t *testing.T) {
+	c, err := NewCluster("gpu", 4, GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(1 << 20)
+	d := c.RingReduceDuration(size)
+	var last time.Duration
+	for i := 1; i <= 3; i++ {
+		last = c.AllReduceAsync(size, 0)
+		if want := time.Duration(i) * d; last != want {
+			t.Fatalf("bucket %d completion = %v, want %v", i-1, last, want)
+		}
+	}
+	// Waiting from the origin exposes the full window.
+	if stall := c.WaitReduce(0); stall != last {
+		t.Fatalf("stall from origin = %v, want %v", stall, last)
+	}
+	// The window front rewound: a new window starts at the origin again.
+	if done := c.AllReduceAsync(size, 0); done != d {
+		t.Fatalf("first bucket of the next window completes at %v, want %v", done, d)
+	}
+	c.WaitReduce(0)
+}
+
+// TestWaitReduceFullyHidden: compute tails longer than the whole reduce
+// window expose nothing.
+func TestWaitReduceFullyHidden(t *testing.T) {
+	c, err := NewCluster("gpu", 2, GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(1 << 20)
+	d := c.RingReduceDuration(size)
+	c.AllReduceAsync(size, 0)
+	if stall := c.WaitReduce(10 * d); stall != 0 {
+		t.Fatalf("stall = %v, want 0 (reduce finished behind compute)", stall)
+	}
+	if exp := c.ExposedCommTime(); exp != 0 {
+		t.Fatalf("exposed comm = %v, want 0", exp)
+	}
+	if busy := c.CommTime(); busy != d {
+		t.Fatalf("busy comm = %v, want %v", busy, d)
+	}
+}
+
+// TestCommClockConcurrentReaders: observers may read the comm clocks while
+// the trainer drives reduce windows; run under -race this guards the lock
+// discipline.
+func TestCommClockConcurrentReaders(t *testing.T) {
+	c, err := NewCluster("gpu", 2, GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.CommTime()
+				_ = c.ExposedCommTime()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		c.AllReduceAsync(1<<16, 0)
+		c.AllReduceAsync(1<<16, time.Millisecond)
+		c.WaitReduce(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if c.CommTime() < c.ExposedCommTime() {
+		t.Fatalf("busy %v < exposed %v", c.CommTime(), c.ExposedCommTime())
+	}
+}

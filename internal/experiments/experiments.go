@@ -158,6 +158,7 @@ func Registry() []struct {
 		{"multigpu", MultiGPU},
 		{"pipeline", PipelineOverlap},
 		{"multigpu-pipeline", MultiGPUPipeline},
+		{"scaleout", Scaleout},
 		{"ablation", Ablations},
 	}
 }

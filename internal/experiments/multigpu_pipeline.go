@@ -156,7 +156,8 @@ type mgRun struct {
 	acc   mgAccum
 }
 
-// mgAccum sums the per-iteration numbers one multigpu-pipeline row reports.
+// mgAccum sums the per-iteration numbers one multi-GPU experiment row
+// reports (shared by multigpu-pipeline and scaleout).
 type mgAccum struct {
 	k           int
 	exposedPlan time.Duration
@@ -164,6 +165,8 @@ type mgAccum struct {
 	hidden      time.Duration
 	compute     time.Duration
 	comm        time.Duration
+	exposedComm time.Duration
+	hiddenComm  time.Duration
 	critical    time.Duration
 	cacheNote   string
 }
@@ -180,5 +183,7 @@ func (a *mgAccum) add(res *train.MultiGPUResult) {
 	a.hidden += res.HiddenTransfer
 	a.compute += res.Phases.GPUCompute
 	a.comm += res.Phases.Communication
+	a.exposedComm += res.ExposedComm
+	a.hiddenComm += res.HiddenComm
 	a.critical += res.CriticalPath()
 }

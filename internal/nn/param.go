@@ -47,6 +47,11 @@ func (p *Param) InitXavier(rng *rand.Rand) {
 // Bytes reports the parameter's value+gradient storage footprint.
 func (p *Param) Bytes() int64 { return p.Value.Bytes() + p.Grad.Bytes() }
 
+// GradBytes reports the gradient buffer's footprint alone: the payload a
+// data-parallel all-reduce actually moves (parameter values are replicated,
+// never reduced).
+func (p *Param) GradBytes() int64 { return p.Grad.Bytes() }
+
 // ParamSet is an ordered collection of parameters, the unit optimizers and
 // gradient bookkeeping operate on.
 type ParamSet struct {
@@ -91,6 +96,81 @@ func (ps *ParamSet) Bytes() int64 {
 		b += p.Bytes()
 	}
 	return b
+}
+
+// GradBytes reports the set's total gradient footprint: what one full
+// gradient all-reduce moves. Always Bytes()/2 with the value/grad pairing,
+// but callers sizing communication must say so explicitly rather than
+// halving the combined footprint inline.
+func (ps *ParamSet) GradBytes() int64 {
+	var b int64
+	for _, p := range ps.params {
+		b += p.GradBytes()
+	}
+	return b
+}
+
+// GradBucket is one size-bounded slice of a ParamSet's gradients: the unit a
+// bucketed all-reduce launches as soon as backward has produced every
+// gradient in it. Indices index into Params() and stay in backward order
+// within and across buckets.
+type GradBucket struct {
+	Indices []int
+	Bytes   int64 // summed gradient payload of the bucket
+}
+
+// GradBuckets partitions the set's gradients into buckets of at most
+// maxBytes gradient payload each, in backward order: the LAST registered
+// parameter first, since backward passes produce gradients for the output
+// layers before the input layers, and an overlapped reducer wants each
+// bucket ready as early in the backward pass as possible. A parameter whose
+// gradient alone exceeds maxBytes gets its own bucket (a reduce cannot split
+// one tensor). maxBytes <= 0 returns a single bucket holding everything —
+// the monolithic reduce.
+func (ps *ParamSet) GradBuckets(maxBytes int64) []GradBucket {
+	if len(ps.params) == 0 {
+		return nil
+	}
+	if maxBytes <= 0 {
+		b := GradBucket{Indices: make([]int, 0, len(ps.params))}
+		for i := len(ps.params) - 1; i >= 0; i-- {
+			b.Indices = append(b.Indices, i)
+			b.Bytes += ps.params[i].GradBytes()
+		}
+		return []GradBucket{b}
+	}
+	var out []GradBucket
+	cur := GradBucket{}
+	for i := len(ps.params) - 1; i >= 0; i-- {
+		g := ps.params[i].GradBytes()
+		if len(cur.Indices) > 0 && cur.Bytes+g > maxBytes {
+			out = append(out, cur)
+			cur = GradBucket{}
+		}
+		cur.Indices = append(cur.Indices, i)
+		cur.Bytes += g
+	}
+	out = append(out, cur)
+	return out
+}
+
+// AddGradsFromBucket accumulates src's gradients into ps for exactly the
+// parameters of one bucket. Accumulating bucket by bucket in any bucket
+// order, with a fixed replica order inside each bucket, performs the same
+// per-parameter float additions in the same order as one whole-set
+// AddGradsFrom sweep — which is what keeps a bucketed all-reduce bit-
+// identical to the sequential combine.
+func (ps *ParamSet) AddGradsFromBucket(src *ParamSet, b GradBucket) error {
+	if len(ps.params) != len(src.params) {
+		return fmt.Errorf("nn: param count mismatch %d vs %d", len(ps.params), len(src.params))
+	}
+	for _, i := range b.Indices {
+		if i < 0 || i >= len(ps.params) {
+			return fmt.Errorf("nn: bucket index %d out of range (%d params)", i, len(ps.params))
+		}
+		ps.params[i].Grad.AddInPlace(src.params[i].Grad)
+	}
+	return nil
 }
 
 // CopyValuesFrom copies parameter values from src (matched by order); used by

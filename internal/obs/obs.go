@@ -39,6 +39,10 @@ const (
 	KindCompute
 	// KindAllReduce is a simulated ring all-reduce span across a cluster.
 	KindAllReduce
+	// KindBucketReduce is one gradient bucket's asynchronous ring reduce,
+	// launched behind backward compute: Bytes is the bucket's gradient
+	// payload, Aux its launch index within the iteration's reduce window.
+	KindBucketReduce
 	// KindSample is a batch-sampling span: Bytes is the seed count, Aux the
 	// layer count.
 	KindSample
@@ -85,26 +89,27 @@ const (
 )
 
 var kindNames = [numKinds]string{
-	KindAlloc:       "alloc",
-	KindFree:        "free",
-	KindOOM:         "oom",
-	KindTransferH2D: "h2d",
-	KindCompute:     "compute",
-	KindAllReduce:   "allreduce",
-	KindSample:      "sample",
-	KindPlan:        "plan",
-	KindEstimate:    "estimate",
-	KindBlockGen:    "blockgen",
-	KindFanout:      "fanout",
-	KindMicroBatch:  "microbatch",
-	KindForward:     "forward",
-	KindBackward:    "backward",
-	KindOptStep:     "optstep",
-	KindIteration:   "iteration",
-	KindPrefetch:    "prefetch",
-	KindStall:       "stall",
-	KindDispatch:    "dispatch",
-	KindMark:        "mark",
+	KindAlloc:        "alloc",
+	KindFree:         "free",
+	KindOOM:          "oom",
+	KindTransferH2D:  "h2d",
+	KindCompute:      "compute",
+	KindAllReduce:    "allreduce",
+	KindBucketReduce: "bucketreduce",
+	KindSample:       "sample",
+	KindPlan:         "plan",
+	KindEstimate:     "estimate",
+	KindBlockGen:     "blockgen",
+	KindFanout:       "fanout",
+	KindMicroBatch:   "microbatch",
+	KindForward:      "forward",
+	KindBackward:     "backward",
+	KindOptStep:      "optstep",
+	KindIteration:    "iteration",
+	KindPrefetch:     "prefetch",
+	KindStall:        "stall",
+	KindDispatch:     "dispatch",
+	KindMark:         "mark",
 }
 
 // String returns the kind's trace category name.

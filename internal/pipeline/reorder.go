@@ -1,0 +1,174 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"buffalo/internal/obs"
+)
+
+// Reorder is a bounded sequence-number resequencer between a pool of
+// concurrent producers and one ordered consumer: producers complete items in
+// whatever order they finish and Put them under the sequence number they were
+// assigned at dispatch; Pop delivers items strictly in sequence-number order,
+// starting at 0. It is what lets a plan-ahead planner pool run several
+// K-searches concurrently while the training loop still consumes plans in the
+// exact order the batches were sampled — the pool changes timing, never the
+// stream.
+//
+// The window bounds how far completed items may run ahead of the consumer:
+// Put blocks while seq >= next + window, pacing producers the way a bounded
+// queue paces a single one. The item the consumer needs next (seq == next)
+// is always admitted immediately, whatever the backlog, so a stalled window
+// cannot deadlock: the blocking producers are by construction holding later
+// sequence numbers than the one being waited for.
+//
+// Safe for any number of concurrent producers and one or more consumers.
+// Close is idempotent; after Close, Pop drains deliverable items in order and
+// then reports ErrClosed.
+type Reorder[T any] struct {
+	mu      sync.Mutex
+	pending map[uint64]T
+	next    uint64 // lowest sequence number not yet delivered
+	window  uint64
+	closed  bool
+	// wake is closed-and-replaced whenever state changes that blocked
+	// waiters care about (an item arrived, the window advanced, Close):
+	// a broadcast without tracking individual waiters.
+	wake  chan struct{}
+	gauge *obs.Gauge
+}
+
+// NewReorder builds a resequencer admitting completed items up to window
+// sequence numbers ahead of the next undelivered one (minimum 1). gauge may
+// be nil; when set it tracks the number of buffered (completed, undelivered)
+// items.
+func NewReorder[T any](window int, gauge *obs.Gauge) *Reorder[T] {
+	if window < 1 {
+		window = 1
+	}
+	return &Reorder[T]{
+		pending: make(map[uint64]T),
+		window:  uint64(window),
+		wake:    make(chan struct{}),
+		gauge:   gauge,
+	}
+}
+
+// Put inserts the item completed under seq, blocking while seq is more than
+// window-1 ahead of the next undelivered sequence number. It returns
+// ctx.Err() if the context is canceled while waiting, ErrClosed after Close,
+// and a hard error for a duplicate or already-delivered seq (a producer-pool
+// wiring bug).
+func (r *Reorder[T]) Put(ctx context.Context, seq uint64, v T) error {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return ErrClosed
+		}
+		if seq < r.next {
+			r.mu.Unlock()
+			return fmt.Errorf("pipeline: reorder seq %d already delivered (next %d)", seq, r.next)
+		}
+		if _, dup := r.pending[seq]; dup {
+			r.mu.Unlock()
+			return fmt.Errorf("pipeline: duplicate reorder seq %d", seq)
+		}
+		if seq < r.next+r.window {
+			r.pending[seq] = v
+			n := int64(len(r.pending))
+			r.broadcastLocked()
+			r.mu.Unlock()
+			r.gauge.Set(n)
+			return nil
+		}
+		wake := r.wake
+		r.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Pop delivers the next item in sequence order, blocking until it arrives.
+// It returns ErrClosed once the resequencer is closed and the next-in-order
+// item is not buffered (later items a canceled producer never completed are
+// discarded by the caller's drain), or ctx.Err() if the context is canceled
+// while waiting.
+func (r *Reorder[T]) Pop(ctx context.Context) (T, error) {
+	var zero T
+	for {
+		r.mu.Lock()
+		if v, ok := r.pending[r.next]; ok {
+			delete(r.pending, r.next)
+			r.next++
+			n := int64(len(r.pending))
+			r.broadcastLocked()
+			r.mu.Unlock()
+			r.gauge.Set(n)
+			return v, nil
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return zero, ErrClosed
+		}
+		wake := r.wake
+		r.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// TryPop delivers the next-in-order item without blocking. It reports false
+// when that item has not been Put yet — used by shutdown paths to drain and
+// release whatever the pool managed to complete before cancellation.
+func (r *Reorder[T]) TryPop() (T, bool) {
+	r.mu.Lock()
+	v, ok := r.pending[r.next]
+	if !ok {
+		r.mu.Unlock()
+		var zero T
+		return zero, false
+	}
+	delete(r.pending, r.next)
+	r.next++
+	n := int64(len(r.pending))
+	r.broadcastLocked()
+	r.mu.Unlock()
+	r.gauge.Set(n)
+	return v, true
+}
+
+// Close marks the resequencer closed: blocked and future Puts fail with
+// ErrClosed, Pops drain what is deliverable in order and then report
+// ErrClosed. Idempotent and safe to call concurrently with Put and Pop.
+func (r *Reorder[T]) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.broadcastLocked()
+	}
+	r.mu.Unlock()
+}
+
+// Len reports the number of completed, undelivered items currently buffered
+// (including any buffered out-of-order ahead of a missing seq).
+func (r *Reorder[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// broadcastLocked wakes every blocked Put and Pop by closing the current wake
+// channel and installing a fresh one. Callers hold r.mu.
+func (r *Reorder[T]) broadcastLocked() {
+	close(r.wake)
+	r.wake = make(chan struct{})
+}

@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"buffalo/internal/baseline/betty"
@@ -52,12 +53,20 @@ type engine struct {
 	// transient allocations fluctuate, or plans (and K) would depend on
 	// scheduling timing. Zero means "read the live ledger" (sequential mode).
 	budgetOverride int64
-	// kWarm warm-starts the pipelined planner's K search at the previous
-	// iteration's K minus one: consecutive batches are statistically alike,
-	// so re-proving every smaller K infeasible each iteration is wasted
-	// scheduling work. Only the (single) planning goroutine touches it, and
-	// only when budgetOverride is set.
-	kWarm int
+	// kWarm warm-starts the pipelined planner's K search at the most recently
+	// planned iteration's K minus one: consecutive batches are statistically
+	// alike, so re-proving every smaller K infeasible each iteration is
+	// wasted scheduling work. It is a hint, not state the plan depends on for
+	// correctness — with a plan-ahead pool several planner goroutines read
+	// and publish it concurrently, hence the atomic. Only consulted when
+	// budgetOverride is set.
+	kWarm atomic.Int64
+
+	// buckets caches the gradient bucketization for the overlapped reducer:
+	// parameter shapes are fixed for a session, so the partition is computed
+	// once on first use. Only the consumer goroutine (executeIteration)
+	// touches it.
+	buckets []nn.GradBucket
 }
 
 // newEngine wires the shared spine over a set of replicas. cluster is nil
@@ -254,8 +263,8 @@ func (e *engine) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeID
 			}
 		}
 		kStart := e.cfg.MicroBatches
-		if e.budgetOverride > 0 && e.cfg.MicroBatches == 0 && e.kWarm > 1 {
-			kStart = e.kWarm - 1
+		if kw := int(e.kWarm.Load()); e.budgetOverride > 0 && e.cfg.MicroBatches == 0 && kw > 1 {
+			kStart = kw - 1
 		}
 		plan, err := schedule.Schedule(b, est, schedule.Options{
 			MemLimit:          limit,
@@ -269,7 +278,7 @@ func (e *engine) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeID
 		if err != nil {
 			return nil, err
 		}
-		e.kWarm = plan.K
+		e.kWarm.Store(int64(plan.K))
 		// Predicted device peak = the winning group estimate riding on the
 		// fixed resident footprint.
 		res.PredictedPeak = plan.MaxEstimate() + e.residentBase()
@@ -392,8 +401,11 @@ func (e *engine) addCompute(dev int, d time.Duration, kind obs.Kind) time.Durati
 // computeMicroBatch runs the device-side math of one micro-batch on replica
 // dev, whose input features are already resident: charged forward, loss,
 // backward. The caller owns the feature allocation; layer activations are
-// charged and released here. Scaled compute time accrues on perCompute[dev].
-func (e *engine) computeMicroBatch(dev int, b *sampling.Batch, mb *block.MicroBatch, feats *tensor.Matrix, perCompute []time.Duration) (loss float32, acc float64, microBytes int64, err error) {
+// charged and released here. Scaled compute time accrues on perCompute[dev];
+// lastBwd[dev] records this micro-batch's backward duration — after the
+// iteration's final micro-batch it is the window the overlapped reducer's
+// bucket-readiness model spreads gradient completion over.
+func (e *engine) computeMicroBatch(dev int, b *sampling.Batch, mb *block.MicroBatch, feats *tensor.Matrix, perCompute, lastBwd []time.Duration) (loss float32, acc float64, microBytes int64, err error) {
 	r := e.replicas[dev]
 	var layerAllocs []*device.Allocation
 	defer func() {
@@ -427,7 +439,9 @@ func (e *engine) computeMicroBatch(dev int, b *sampling.Batch, mb *block.MicroBa
 	if _, err := r.model.Backward(fwd, dLogits); err != nil {
 		return 0, 0, 0, err
 	}
-	perCompute[dev] += e.addCompute(dev, time.Since(tBwd), obs.KindBackward)
+	bwd := e.addCompute(dev, time.Since(tBwd), obs.KindBackward)
+	perCompute[dev] += bwd
+	lastBwd[dev] = bwd
 
 	acc = nn.Accuracy(fwd.Logits, labels)
 	return mLoss, acc, feats.Bytes() + fwd.ActivationBytes(), nil
@@ -468,6 +482,7 @@ func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGP
 	}
 
 	perCompute := make([]time.Duration, n)
+	lastBwd := make([]time.Duration, n)
 	var lossSum float32
 	var correct, counted int
 	for i := range it.mbs {
@@ -480,7 +495,7 @@ func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGP
 		if async && smb.hasCopy {
 			gpu.WaitTransfer(smb.done)
 		}
-		mLoss, mAcc, bytes, cErr := e.computeMicroBatch(smb.dev, it.b, smb.mb, smb.feats, perCompute)
+		mLoss, mAcc, bytes, cErr := e.computeMicroBatch(smb.dev, it.b, smb.mb, smb.feats, perCompute, lastBwd)
 		ex.release(smb)
 		if cErr != nil {
 			return nil, cErr
@@ -497,12 +512,9 @@ func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGP
 	// Combine gradients into replica 0 before the step: the simulated ring
 	// all-reduce charges the interconnect for what real NCCL would move.
 	if n > 1 {
-		for i := 1; i < n; i++ {
-			if err := main.Params.AddGradsFrom(e.replicas[i].model.Params); err != nil {
-				return nil, err
-			}
+		if err := e.reduceGradients(res, perCompute, lastBwd); err != nil {
+			return nil, err
 		}
-		res.Phases.Communication += e.cluster.AllReduce(main.Params.Bytes() / 2)
 	}
 	tStep := time.Now()
 	e.opt.Step(main.Params)
@@ -553,4 +565,90 @@ func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGP
 		memest.RecordEstimate(e.cfg.Obs, e.iterDev(), res.PredictedPeak, res.Peak)
 	}
 	return res, nil
+}
+
+// gradBuckets returns the (cached) gradient bucketization of the main
+// replica's parameter set for the overlapped reducer.
+func (e *engine) gradBuckets() []nn.GradBucket {
+	if e.buckets == nil {
+		e.buckets = e.replicas[0].model.Params.GradBuckets(e.cfg.bucketBytes())
+	}
+	return e.buckets
+}
+
+// reduceGradients combines every replica's gradients into replica 0 and
+// charges the simulated interconnect, filling in Communication (interconnect
+// busy time) plus the ExposedComm/HiddenComm split.
+//
+// Sequential path (CommOverlap off): one whole-set accumulation sweep, then a
+// monolithic synchronous ring priced on the full gradient payload
+// (Params.GradBytes) — fully exposed, since nothing else runs while it does.
+//
+// Overlapped path: the gradient set is split into size-bounded buckets in
+// backward order and each bucket's ring reduce is launched on the cluster's
+// comm engine at the bucket's modeled ready time. Gradients accumulate across
+// micro-batches, so a bucket is final only during the last backward pass of
+// its replica; bucket j of m is modeled ready a (j+1)/m fraction into each
+// replica's final backward window, and the launch waits for the slowest
+// replica. The optimizer step then waits for the reduce window (WaitReduce at
+// the slowest replica's compute-tail end), exposing only what spilled past
+// compute. The numeric combine is the same per-parameter additions in the
+// same order as the sequential sweep (each parameter lives in exactly one
+// bucket, replica order 1..n-1 fixed inside each), so losses stay
+// bit-identical — see nn.AddGradsFromBucket.
+func (e *engine) reduceGradients(res *MultiGPUResult, perCompute, lastBwd []time.Duration) error {
+	main := e.replicas[0].model
+	n := len(e.replicas)
+	if !e.cfg.CommOverlap {
+		for i := 1; i < n; i++ {
+			if err := main.Params.AddGradsFrom(e.replicas[i].model.Params); err != nil {
+				return err
+			}
+		}
+		d := e.cluster.AllReduce(main.Params.GradBytes())
+		res.Phases.Communication += d
+		res.ExposedComm += d
+		return nil
+	}
+	buckets := e.gradBuckets()
+	m := len(buckets)
+	var maxCompute time.Duration
+	for _, c := range perCompute {
+		if c > maxCompute {
+			maxCompute = c
+		}
+	}
+	var busy time.Duration
+	for j, b := range buckets {
+		for i := 1; i < n; i++ {
+			if err := main.Params.AddGradsFromBucket(e.replicas[i].model.Params, b); err != nil {
+				return err
+			}
+		}
+		ready := bucketReady(j, m, perCompute, lastBwd)
+		e.cluster.AllReduceAsync(b.Bytes, ready)
+		busy += e.cluster.RingReduceDuration(b.Bytes)
+	}
+	exposed := e.cluster.WaitReduce(maxCompute)
+	res.Phases.Communication += busy
+	res.ExposedComm += exposed
+	res.HiddenComm += busy - exposed
+	return nil
+}
+
+// bucketReady models when bucket j of m (backward launch order) has final
+// gradients on every replica: a (j+1)/m fraction into each replica's last
+// backward window, taken at the slowest replica. The last bucket's ready time
+// is exactly the slowest compute tail, so at least its own ring duration is
+// always exposed — the honest floor of the overlap model.
+func bucketReady(j, m int, perCompute, lastBwd []time.Duration) time.Duration {
+	var ready time.Duration
+	for r := range perCompute {
+		t := perCompute[r] - lastBwd[r] +
+			time.Duration(int64(lastBwd[r])*int64(j+1)/int64(m))
+		if t > ready {
+			ready = t
+		}
+	}
+	return ready
 }

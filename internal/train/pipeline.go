@@ -33,6 +33,15 @@ type PipelineConfig struct {
 	// iteration: consumer starvation grows it, headroom-gate pressure
 	// shrinks it (see depthController).
 	Adaptive bool
+	// PlanAhead is the planner-pool width: how many planner goroutines run
+	// K-searches and block generation concurrently, each on its own sampled
+	// batch. A sequence-number reorder buffer re-serializes finished plans,
+	// so the consumer sees exactly the order the batches were sampled in —
+	// the pool changes timing, never the stream. 0 or 1 keeps the single
+	// background planner. Raising it is how one planner stage stops being
+	// the bottleneck past 2 replicas, at the cost of holding up to PlanAhead
+	// planned iterations in flight.
+	PlanAhead int
 }
 
 // depth returns the configured prefetch depth (or its ceiling, when
@@ -44,27 +53,46 @@ func (c PipelineConfig) depth() int {
 	return c.Depth
 }
 
+// planAhead returns the configured planner-pool width with its default.
+func (c PipelineConfig) planAhead() int {
+	if c.PlanAhead < 1 {
+		return 1
+	}
+	return c.PlanAhead
+}
+
+// seqBatch is a sampled batch tagged with its dispatch sequence number: the
+// position the plan-ahead pool must deliver its plan at, whatever order the
+// planner workers finish in.
+type seqBatch struct {
+	seq uint64
+	b   *sampling.Batch
+}
+
 // loader is the asynchronous three-stage front-end shared by
 // PipelinedSession (one replica) and the pipelined DataParallel (one loader
-// feeding the whole cluster): a sampler goroutine draws batches, a planner
-// goroutine schedules them and generates blocks, and a prefetcher goroutine
-// stages each micro-batch's features on its round-robin target device with
-// an async copy, pushing the staged handle onto that replica's lane of a
-// bounded fan-out. By the time the consumer's compute reaches a micro-batch,
-// its transfer has (partly or fully) hidden behind earlier compute;
-// per-device degree-aware caches skip the copy for resident rows entirely.
+// feeding the whole cluster): a sampler goroutine draws batches, a pool of
+// PlanAhead planner goroutines schedules them and generates blocks (finished
+// plans re-serialized by a sequence-number reorder buffer), and a prefetcher
+// goroutine stages each micro-batch's features on its round-robin target
+// device with an async copy, pushing the staged handle onto that replica's
+// lane of a bounded fan-out. By the time the consumer's compute reaches a
+// micro-batch, its transfer has (partly or fully) hidden behind earlier
+// compute; per-device degree-aware caches skip the copy for resident rows
+// entirely.
 //
 // The loader reproduces the sequential paths' exact batch sequence for a
-// given Config.Seed, so results are comparable batch for batch; only the
-// timing model (overlap, cache hits) differs. runIteration must be called
-// from one goroutine.
+// given Config.Seed — whatever the pool width, since the reorder buffer
+// delivers plans in dispatch order — so results are comparable batch for
+// batch; only the timing model (overlap, cache hits, planner concurrency)
+// differs. runIteration must be called from one goroutine.
 type loader struct {
 	eng  *engine
 	pcfg PipelineConfig
 
 	pipe   *pipeline.Pipeline
-	batchQ *pipeline.Queue[*sampling.Batch]
-	planQ  *pipeline.Queue[*pipeIter]
+	batchQ *pipeline.Queue[seqBatch]
+	planR  *pipeline.Reorder[*pipeIter]
 	ready  *pipeline.Fanout[*stagedMB]
 
 	caches      *pipeline.CacheSet // nil when caching is off
@@ -86,10 +114,15 @@ type loader struct {
 	effDepth  atomic.Int64
 	gateWaits atomic.Int64
 
-	// window is the previous iteration's execution span (exposed copies +
-	// compute + communication): the interval the planner stage had to hide
-	// this iteration's planning behind. Consumer-goroutine state.
-	window time.Duration
+	// windows is a ring of the last planAhead() iterations' execution spans
+	// (exposed copies + compute + exposed communication): with a pool of W
+	// planners, iteration i's planning was dispatched roughly W iterations
+	// before its consumption and could hide behind every execution window in
+	// between, so the exposed share is what spills past their sum. W = 1
+	// degenerates to the single previous window of the single-planner model.
+	// Consumer-goroutine state.
+	windows []time.Duration
+	winIdx  int
 }
 
 // newLoader starts the loader stages over the engine's replicas. Cache
@@ -128,14 +161,16 @@ func newLoader(eng *engine, pcfg PipelineConfig) (*loader, error) {
 		l.effDepth.Store(int64(depth))
 	}
 	m := cfg.Obs.Metrics()
-	l.batchQ = pipeline.NewQueue[*sampling.Batch](1, m.Gauge("pipeline/queue/batch"))
-	l.planQ = pipeline.NewQueue[*pipeIter](1, m.Gauge("pipeline/queue/plan"))
+	planners := pcfg.planAhead()
+	l.windows = make([]time.Duration, planners)
+	l.batchQ = pipeline.NewQueue[seqBatch](planners, m.Gauge("pipeline/queue/batch"))
+	l.planR = pipeline.NewReorder[*pipeIter](planners, m.Gauge("pipeline/queue/plan"))
 	l.ready = pipeline.NewFanout[*stagedMB](n, depth, m, "pipeline/queue/ready")
 
 	stream := sampling.NewStream(eng.data.Graph, cfg.BatchSize, cfg.Fanouts, cfg.Seed)
 	l.pipe = pipeline.New(context.Background())
 	l.pipe.Go("sampler", func(ctx context.Context) error {
-		for {
+		for seq := uint64(0); ; seq++ {
 			t0 := time.Now()
 			b, err := stream.Next()
 			if err != nil {
@@ -143,29 +178,37 @@ func newLoader(eng *engine, pcfg PipelineConfig) (*loader, error) {
 			}
 			cfg.Obs.Span(obs.KindSample, "", "batch", time.Since(t0),
 				int64(len(b.Seeds)), int64(len(cfg.Fanouts)))
-			if err := l.batchQ.Push(ctx, b); err != nil {
+			if err := l.batchQ.Push(ctx, seqBatch{seq: seq, b: b}); err != nil {
 				return err
 			}
 		}
 	})
-	l.pipe.Go("planner", func(ctx context.Context) error {
-		for {
-			b, err := l.batchQ.Pop(ctx)
-			if err != nil {
-				return err
+	// The planner pool: each worker pulls the next sampled batch, plans it
+	// (K-search + block generation), and inserts the plan under its dispatch
+	// sequence number. The reorder window equals the pool width, so a worker
+	// stuck on a hard batch back-pressures the rest instead of letting plans
+	// run unboundedly ahead; the in-order plan is always admitted, so the
+	// pool cannot deadlock (see pipeline.Reorder).
+	for w := 0; w < planners; w++ {
+		l.pipe.Go(fmt.Sprintf("planner/%d", w), func(ctx context.Context) error {
+			for {
+				sb, err := l.batchQ.Pop(ctx)
+				if err != nil {
+					return err
+				}
+				it, err := l.planPinned(sb.b)
+				if err != nil {
+					return err
+				}
+				if err := l.planR.Put(ctx, sb.seq, it); err != nil {
+					return err
+				}
 			}
-			it, err := l.planPinned(b)
-			if err != nil {
-				return err
-			}
-			if err := l.planQ.Push(ctx, it); err != nil {
-				return err
-			}
-		}
-	})
+		})
+	}
 	l.pipe.Go("prefetch", func(ctx context.Context) error {
 		for {
-			it, err := l.planQ.Pop(ctx)
+			it, err := l.planR.Pop(ctx)
 			if err != nil {
 				return err
 			}
@@ -396,13 +439,22 @@ func (l *loader) runIteration() (*MultiGPUResult, error) {
 	}
 	starved += ps.starved
 	// Planner-front overlap, mirroring the copy-front model: this iteration's
-	// planning ran in the background stage during the previous iteration's
-	// execution window, so only the excess is exposed to the training loop.
-	res.ExposedPlanning = res.Phases.Planning() - l.window
+	// planning ran in a background worker, dispatched up to planAhead()
+	// iterations before its consumption, so it could hide behind the last
+	// planAhead() execution windows; only the excess is exposed to the
+	// training loop.
+	var hide time.Duration
+	for _, w := range l.windows {
+		hide += w
+	}
+	res.ExposedPlanning = res.Phases.Planning() - hide
 	if res.ExposedPlanning < 0 {
 		res.ExposedPlanning = 0
 	}
-	l.window = res.Phases.DataLoading + res.Phases.GPUCompute + res.Phases.Communication
+	// Communication contributes only its exposed share: hidden bucket
+	// reduces run concurrently with compute already counted here.
+	l.windows[l.winIdx] = res.Phases.DataLoading + res.Phases.GPUCompute + res.ExposedComm
+	l.winIdx = (l.winIdx + 1) % len(l.windows)
 	if l.depthCtl != nil {
 		l.effDepth.Store(int64(l.depthCtl.observe(starved, l.gateWaits.Swap(0))))
 		// Wake a limiter-blocked prefetcher so a raised depth takes effect

@@ -65,7 +65,11 @@ type Phases struct {
 	BlockGen        time.Duration // block construction (fast gen or naive build part)
 	DataLoading     time.Duration // simulated H2D transfers
 	GPUCompute      time.Duration // forward + backward + step
-	Communication   time.Duration // multi-GPU all-reduce
+	// Communication is the multi-GPU all-reduce: the interconnect's busy
+	// time for this iteration. Under the bucketed overlapped reducer only a
+	// share of it extends the iteration — see IterationResult.ExposedComm
+	// and HiddenComm for the split; sequentially it is fully exposed.
+	Communication time.Duration
 }
 
 // Total sums all phases.
@@ -120,6 +124,21 @@ type Config struct {
 	GPUSpeedup float64
 	Seed       int64
 
+	// CommOverlap enables the bucketed overlapped all-reduce for multi-GPU
+	// runs: gradients are split into size-bounded buckets (BucketBytes) and
+	// each bucket's ring reduce launches as its gradients become ready in
+	// backward order, hiding behind the compute tails still running. Losses
+	// are bit-identical to the sequential combine (fixed bucket→replica
+	// accumulation order); only the timing model changes — Communication
+	// still records the interconnect's busy time, but only ExposedComm
+	// extends the iteration. Off, the reduce is one monolithic synchronous
+	// ring charged after the slowest replica finishes.
+	CommOverlap bool
+	// BucketBytes bounds each gradient bucket's payload under CommOverlap.
+	// 0 defaults to 32 KB — the DDP-style 25 MB bucket mapped through the
+	// repo's GB→MB scaling convention (DESIGN.md §3).
+	BucketBytes int64
+
 	// Ablation knobs.
 	DisableRedundancy bool // Buffalo: use R_group = 1 in the estimator
 	NaiveBlockGen     bool // Buffalo: use the connection-check generator
@@ -151,8 +170,24 @@ func (c Config) Validate() error {
 	if c.MemBudget < 1 {
 		return fmt.Errorf("train: MemBudget must be >= 1")
 	}
+	if c.BucketBytes < 0 {
+		return fmt.Errorf("train: BucketBytes must be >= 0")
+	}
 	return nil
 }
+
+// bucketBytes returns the configured gradient-bucket bound with its default.
+func (c Config) bucketBytes() int64 {
+	if c.BucketBytes > 0 {
+		return c.BucketBytes
+	}
+	return 32 << 10
+}
+
+// EffectiveBucketBytes reports the gradient-bucket bound the overlapped
+// reducer will use: BucketBytes, or its 32 KB default when unset. For
+// reporting layers (CLI, experiments) that print the resolved knob.
+func (c Config) EffectiveBucketBytes() int64 { return c.bucketBytes() }
 
 // gpuSpeedup returns the configured speedup with its default.
 func (c Config) gpuSpeedup() float64 {
@@ -207,6 +242,18 @@ type IterationResult struct {
 	// DataLoading. Always 0 for the sequential session, where planning is
 	// inline and its phases are charged in full.
 	ExposedPlanning time.Duration
+	// ExposedComm is the share of this iteration's all-reduce time that
+	// stalled the training loop: the interconnect work that spilled past the
+	// slowest replica's compute tail. Under the sequential (monolithic)
+	// reduce it equals Phases.Communication — the whole reduce runs after
+	// compute. Under CommOverlap, bucket reduces launch during the backward
+	// tail and ExposedComm counts only what the optimizer step had to wait
+	// for, with ExposedComm + HiddenComm == Phases.Communication.
+	ExposedComm time.Duration
+	// HiddenComm is the share of the all-reduce that ran behind still-active
+	// compute — the communication analogue of HiddenTransfer. Always 0
+	// without CommOverlap.
+	HiddenComm time.Duration
 	// Pipelined marks results produced by a pipelined loader, whose planning
 	// phases overlap compute and therefore do not extend the iteration.
 	Pipelined bool
@@ -215,16 +262,19 @@ type IterationResult struct {
 
 // CriticalPath is the end-to-end time the training loop experiences for this
 // iteration. Sequentially every phase runs back to back, so it is the phase
-// sum. Under the pipelined loader the planning phases (scheduling, partition,
-// block generation) run in a background stage and overlap the previous
-// iteration's execution; their clocks still record where the work went, but
-// only the exposed share extends the iteration, on top of the exposed copies,
-// compute, and communication.
+// sum — except that the all-reduce contributes only its exposed share, since
+// the bucketed overlapped reducer (Config.CommOverlap) can hide part of the
+// interconnect time behind compute even without the pipelined loader. Under
+// the pipelined loader the planning phases (scheduling, partition, block
+// generation) run in a background stage and overlap the previous iteration's
+// execution; their clocks still record where the work went, but only the
+// exposed share extends the iteration, on top of the exposed copies, compute,
+// and exposed communication.
 func (r *IterationResult) CriticalPath() time.Duration {
 	if !r.Pipelined {
-		return r.Phases.Total()
+		return r.Phases.Total() - r.Phases.Communication + r.ExposedComm
 	}
-	return r.ExposedPlanning + r.Phases.DataLoading + r.Phases.GPUCompute + r.Phases.Communication
+	return r.ExposedPlanning + r.Phases.DataLoading + r.Phases.GPUCompute + r.ExposedComm
 }
 
 // Session is a live training run on one simulated GPU: the iteration engine

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Bench-regression harness for the Buffalo reproduction.
+#
+# Runs the root benchmark suite (one benchmark per paper artifact plus the
+# training-iteration variants, see bench_test.go) with -benchmem and -count
+# samples, and writes BENCH_<date>.json mapping each benchmark to its
+# fastest ns/op and its allocs/op. The fastest-of-N sample is the floor
+# estimator: on a shared host the minimum is the run least polluted by
+# scheduler noise, and allocation counts are deterministic so any sample
+# serves. Compare two snapshots with a diff (the JSON is sorted and
+# one-line-per-benchmark) or feed the raw -bench output to benchstat.
+#
+# Usage: scripts/bench.sh [bench-regex]
+#   bench-regex   passed to -bench (default: . — the full suite)
+#   COUNT=<n>     samples per benchmark (default: 5)
+#   OUT=<path>    output file (default: BENCH_$(date +%F).json in the root)
+#
+# The raw `go test -bench` output is echoed to stderr as it streams, so a
+# long run shows progress; only the JSON lands in the output file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench="${1:-.}"
+count="${COUNT:-5}"
+out="${OUT:-BENCH_$(date +%F).json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$bench" -benchmem -count "$count" . | tee "$raw" >&2
+
+# Pass 1: best ns/op (and its allocs/op) per benchmark, one line each.
+# Pass 2 (after a stable name sort): assemble the JSON.
+awk '
+    /^Benchmark/ && /ns\/op/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)        # strip the GOMAXPROCS suffix
+        sub(/^Benchmark/, "", name)
+        ns = $3 + 0                      # iterations ns/op B/op allocs/op
+        allocs = $7 + 0
+        if (!(name in best) || ns < best[name]) {
+            best[name] = ns
+            alloc[name] = allocs
+        }
+    }
+    END { for (name in best) print name, best[name], alloc[name] }
+' "$raw" | sort | awk -v date="$(date +%F)" -v count="$count" '
+    { names[NR] = $1; ns[NR] = $2; allocs[NR] = $3 }
+    END {
+        printf "{\n  \"date\": \"%s\",\n  \"count\": %d,\n  \"benchmarks\": {\n", date, count
+        for (i = 1; i <= NR; i++)
+            printf "    \"%s\": {\"ns_per_op\": %d, \"allocs_per_op\": %d}%s\n",
+                names[i], ns[i], allocs[i], (i < NR ? "," : "")
+        printf "  }\n}\n"
+    }
+' > "$out"
+
+echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks, best of $count)" >&2

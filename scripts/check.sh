@@ -12,7 +12,10 @@
 #   5. pipeline gate   the async-loader tests (bounded queues, fan-out
 #                      lanes, prefetch shutdown/cancellation, feature
 #                      cache, multi-GPU pipelined loading) under race
-#   6. go test -race   the full test suite under the race detector
+#   6. scaleout gate   the N-GPU scale-out tests (plan-ahead planner pool,
+#                      reorder buffer, comm-engine clock, bucketed
+#                      overlapped reduce) under race
+#   7. go test -race   the full test suite under the race detector
 #
 # Run from anywhere; the script cds to the repository root. Fails fast on
 # the first broken gate.
@@ -49,6 +52,18 @@ echo "== pipeline race gate =="
 # own before the slow full-suite pass.
 go test -race -count=1 ./internal/pipeline/...
 go test -race -count=1 -run 'TestPipelined|TestDataLoading|TestMultiGPUPipelined|TestAdaptiveDepth|TestFixedDepth' ./internal/train/
+
+echo "== scaleout race gate =="
+# The N-GPU scale-out path: the plan-ahead pool runs several K-search
+# workers against one sequence-number reorder buffer (ordered delivery,
+# bounded window, shutdown/OOM unwinding), while the bucketed reduce books
+# interconnect time on the cluster's comm-engine clock from the consumer as
+# replicas finish backward. Both must stay race-clean on their own — the
+# reorder buffer and comm clock are the two pieces of shared mutable state
+# this path adds.
+go test -race -count=1 -run 'TestReorder' ./internal/pipeline/
+go test -race -count=1 -run 'TestRingReduce|TestAllReduceAsync|TestWaitReduce|TestCommClock' ./internal/device/
+go test -race -count=1 -run 'TestCommOverlap|TestPlanAhead' ./internal/train/
 
 echo "== go test -race =="
 # Race instrumentation slows the heavy suites several-fold and packages
