@@ -9,10 +9,12 @@ build:
 test:
 	$(GO) build ./... && $(GO) test ./...
 
-# The repository's own static-analysis suite (see internal/analysis).
+# The repository's own static-analysis suite (see internal/analysis): the
+# six analyzers plus stale-suppression detection and the hot-path allocation
+# budget gate against the committed baseline.
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/buffalo-vet ./...
+	$(GO) run ./cmd/buffalo-vet -stale-ignores -baseline scripts/vet_hotalloc_baseline.json ./...
 
 # Extended verify tier: gofmt + go vet + buffalo-vet + race-enabled tests.
 check:

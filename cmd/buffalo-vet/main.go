@@ -1,7 +1,8 @@
 // Command buffalo-vet runs the repository's domain-aware static analyzers
-// (see internal/analysis) over the module: allocfree, errcheck, locksafe,
-// and shapecheck. It is stdlib-only and loads packages with go/parser +
-// go/types against the source importer.
+// (see internal/analysis) over the module: allocfree, errcheck, hotalloc,
+// leaksafe, locksafe, and shapecheck. It is stdlib-only and loads packages
+// with go/parser + go/types against the source importer; the
+// interprocedural analyzers share one whole-module call graph.
 //
 // Usage:
 //
@@ -14,11 +15,19 @@
 //
 // Flags:
 //
-//	-analyzers a,b   run only the named analyzers (default: all)
-//	-disable a,b     run all analyzers except the named ones
-//	-json            emit diagnostics as a JSON array
-//	-list            list available analyzers and exit
-//	-C dir           module root to analyze (default: ascend from cwd)
+//	-analyzers a,b     run only the named analyzers (default: all)
+//	-disable a,b       run all analyzers except the named ones
+//	-json              emit diagnostics as a JSON array
+//	-list              list available analyzers and exit
+//	-C dir             module root to analyze (default: ascend from cwd)
+//	-stale-ignores     also report //buffalo:vet-ignore directives that
+//	                   suppress nothing
+//	-timing            print per-analyzer wall time to stderr
+//	-baseline file     gate hotalloc against the committed baseline file
+//	-baseline-write    rewrite the -baseline file from current counts
+//	                   (both growth and shrinkage) instead of gating
+//	-hotalloc-summary  print per-root reachable allocation-site totals and
+//	                   exit (used by scripts/bench.sh)
 package main
 
 import (
@@ -27,7 +36,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"buffalo/internal/analysis"
 )
@@ -44,6 +55,11 @@ func run(args []string) int {
 		jsonOut      = fs.Bool("json", false, "emit diagnostics as JSON")
 		list         = fs.Bool("list", false, "list available analyzers and exit")
 		chdir        = fs.String("C", "", "module root to analyze (default: ascend from cwd)")
+		staleIgnores = fs.Bool("stale-ignores", false, "report vet-ignore directives that suppress nothing")
+		timing       = fs.Bool("timing", false, "print per-analyzer wall time to stderr")
+		baselinePath = fs.String("baseline", "", "hotalloc baseline file to gate against")
+		baselineW    = fs.Bool("baseline-write", false, "rewrite the -baseline file from current counts")
+		hotSummary   = fs.Bool("hotalloc-summary", false, "print per-root allocation-site totals and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,6 +69,10 @@ func run(args []string) int {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *baselineW && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "buffalo-vet: -baseline-write requires -baseline <file>")
+		return 2
 	}
 
 	analyzers, err := selectAnalyzers(*analyzerList, *disableList)
@@ -81,7 +101,46 @@ func run(args []string) int {
 		return 2
 	}
 
-	diags := analysis.Run(prog, pkgs, analyzers)
+	opts := &analysis.RunOptions{StaleIgnores: *staleIgnores}
+	if *timing {
+		opts.Timing = make(map[string]time.Duration)
+	}
+	if *hotSummary || *baselineW {
+		// Recording runs need the counts, not the gate.
+		opts.RecordHotSites = true
+	} else if *baselinePath != "" {
+		base, err := analysis.ReadHotBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "buffalo-vet:", err)
+			return 2
+		}
+		opts.HotBaseline = base
+	}
+
+	diags := analysis.RunOpts(prog, pkgs, analyzers, opts)
+	printTiming(opts)
+
+	if *hotSummary {
+		printHotSummary(opts.HotSites)
+		return 0
+	}
+	if *baselineW {
+		sites := opts.HotSites
+		if sites == nil {
+			sites = analysis.NewHotBaseline()
+		}
+		if err := sites.WriteFile(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "buffalo-vet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "buffalo-vet: wrote hotalloc baseline for %d root(s) to %s\n",
+			len(sites.Roots), *baselinePath)
+		return 0
+	}
+	for _, line := range opts.Shrunk {
+		fmt.Fprintln(os.Stderr, "buffalo-vet: baseline slack:", line)
+	}
+
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].File = rel
@@ -100,6 +159,9 @@ func run(args []string) int {
 	} else {
 		for _, d := range diags {
 			fmt.Println(d)
+			for _, hop := range d.Chain {
+				fmt.Println("\t" + hop)
+			}
 		}
 	}
 	if len(diags) > 0 {
@@ -109,6 +171,43 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// printTiming reports per-analyzer wall time (plus the shared call-graph
+// construction) to stderr, slowest first.
+func printTiming(opts *analysis.RunOptions) {
+	if opts.Timing == nil {
+		return
+	}
+	names := make([]string, 0, len(opts.Timing))
+	for name := range opts.Timing {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if opts.Timing[names[i]] != opts.Timing[names[j]] {
+			return opts.Timing[names[i]] > opts.Timing[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "buffalo-vet: timing %-12s %8.1fms\n",
+			name, float64(opts.Timing[name].Microseconds())/1000)
+	}
+}
+
+// printHotSummary emits one "<root> <total>" line per hot root, sorted.
+func printHotSummary(sites *analysis.HotBaseline) {
+	if sites == nil {
+		return
+	}
+	roots := make([]string, 0, len(sites.Roots))
+	for name := range sites.Roots {
+		roots = append(roots, name)
+	}
+	sort.Strings(roots)
+	for _, name := range roots {
+		fmt.Printf("%s %d\n", name, sites.Roots[name].Total)
+	}
 }
 
 // selectAnalyzers resolves the -analyzers / -disable flags.

@@ -30,7 +30,7 @@ func TestMatchPattern(t *testing.T) {
 
 func TestSelectAnalyzersFlags(t *testing.T) {
 	all, err := selectAnalyzers("", "")
-	if err != nil || len(all) != 4 {
+	if err != nil || len(all) != 6 {
 		t.Fatalf("default selection: %v, %d analyzers", err, len(all))
 	}
 	only, err := selectAnalyzers("allocfree, locksafe", "")
@@ -38,7 +38,7 @@ func TestSelectAnalyzersFlags(t *testing.T) {
 		t.Fatalf("-analyzers selection: %v, %d analyzers", err, len(only))
 	}
 	without, err := selectAnalyzers("", "errcheck")
-	if err != nil || len(without) != 3 {
+	if err != nil || len(without) != 5 {
 		t.Fatalf("-disable selection: %v, %d analyzers", err, len(without))
 	}
 	for _, a := range without {

@@ -8,10 +8,22 @@
 //     owner, or the ledger's peak-memory curves silently corrupt.
 //   - errcheck: error results must not be discarded; the memory estimator
 //     and scheduler communicate OOM through errors.
+//   - hotalloc: allocation sites reachable from declared hot roots (train
+//     iteration, pipeline stage bodies, tensor/nn kernels) are counted per
+//     root and gated against a committed baseline, so the zero-allocation
+//     hot-path budget is enforced before benchmarks move.
+//   - leaksafe: every spawned goroutine must be able to terminate — an
+//     unconditional loop it reaches needs an exit or a termination signal
+//     (select, channel receive/range, or a call that reaches one).
 //   - locksafe: no simulated-transfer, I/O, or ledger Alloc calls while a
 //     sync.Mutex is held (deadlock and latency hazards under concurrency).
+//     The check is interprocedural: a call under a lock is flagged when any
+//     function reachable from it blocks, with the chain in the diagnostic.
 //   - shapecheck: literally visible tensor dimensions must be positive and
 //     matmul-compatible.
+//
+// The interprocedural analyzers share one whole-module call graph (see
+// internal/analysis/callgraph) built lazily per run.
 //
 // A diagnostic can be suppressed with a line directive:
 //
@@ -19,6 +31,8 @@
 //
 // placed either at the end of the offending line or alone on the line
 // directly above it. An empty analyzer list suppresses every analyzer.
+// Directives that no longer suppress anything are themselves reported when
+// a run asks for stale-ignore detection.
 package analysis
 
 import (
@@ -29,6 +43,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding from one analyzer.
@@ -38,6 +53,10 @@ type Diagnostic struct {
 	Line     int    `json:"line"`
 	Column   int    `json:"column"`
 	Message  string `json:"message"`
+	// Chain, when present, is the call path an interprocedural analyzer
+	// followed from the reported site to the function that violates the
+	// invariant, outermost call first.
+	Chain []string `json:"chain,omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -45,16 +64,20 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named, independently enableable check.
+// Analyzer is one named, independently enableable check. Per-package
+// analyzers set Run; module-scoped analyzers (which need every package's
+// findings merged before they can judge, like the hotalloc budget) set
+// RunModule instead.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{AllocFree, ErrCheck, LockSafe, ShapeCheck}
+	return []*Analyzer{AllocFree, ErrCheck, HotAlloc, LeakSafe, LockSafe, ShapeCheck}
 }
 
 // ByName resolves analyzer names (comma- or space-separated) against the
@@ -85,6 +108,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	state   *runState
 	ignores ignoreIndex
 	diags   *[]Diagnostic
 }
@@ -92,16 +116,27 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless an ignore directive suppresses
 // it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if p.ignores.suppressed(p.Analyzer.Name, position) {
+	p.ReportChain(pos, nil, format, args...)
+}
+
+// ReportChain records a diagnostic carrying an interprocedural call chain.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	report(p.Fset, p.ignores, p.diags, p.Analyzer.Name, pos, chain, format, args...)
+}
+
+func report(fset *token.FileSet, ignores ignoreIndex, diags *[]Diagnostic,
+	analyzer string, pos token.Pos, chain []string, format string, args ...any) {
+	position := fset.Position(pos)
+	if ignores.suppressed(analyzer, position) {
 		return
 	}
-	*p.diags = append(*p.diags, Diagnostic{
-		Analyzer: p.Analyzer.Name,
+	*diags = append(*diags, Diagnostic{
+		Analyzer: analyzer,
 		File:     position.Filename,
 		Line:     position.Line,
 		Column:   position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
@@ -118,25 +153,109 @@ func (p *Pass) TypeOf(expr ast.Expr) types.Type {
 	return nil
 }
 
+// ModulePass carries a module-scoped analyzer's view of the whole run.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	// Pkgs are the packages selected for this run (fixtures included);
+	// diagnostics should be confined to them, though the call graph spans
+	// the whole module.
+	Pkgs []*Package
+
+	state   *runState
+	opts    *RunOptions
+	ignores ignoreIndex
+	diags   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive suppresses
+// it.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	report(mp.state.fset, mp.ignores, mp.diags, mp.Analyzer.Name, pos, nil, format, args...)
+}
+
+// RunOptions tunes RunOpts beyond plain diagnostics. The zero value matches
+// Run. Timing, HotSites, and Shrunk are outputs, filled when requested.
+type RunOptions struct {
+	// StaleIgnores appends a "vet-ignore" diagnostic for every suppression
+	// directive that suppressed nothing, provided every analyzer it names
+	// actually ran (an empty-list directive requires the full suite).
+	StaleIgnores bool
+	// HotBaseline, when set, gates the hotalloc analyzer: allocation counts
+	// above the baseline become diagnostics, counts below it are collected
+	// into Shrunk as advisories.
+	HotBaseline *HotBaseline
+	// RecordHotSites asks hotalloc to fill HotSites with the current
+	// per-root allocation counts (used by -baseline write and summaries).
+	RecordHotSites bool
+	// Timing, when non-nil, accumulates wall time per analyzer, plus a
+	// "callgraph" pseudo-entry for the shared graph construction.
+	Timing map[string]time.Duration
+
+	// HotSites receives the current hotalloc counts when RecordHotSites is
+	// set (or a baseline gate runs).
+	HotSites *HotBaseline
+	// Shrunk receives one line per baseline entry the module no longer
+	// reaches, advising a baseline rewrite.
+	Shrunk []string
+}
+
 // Run executes the given analyzers over the given packages and returns the
 // merged diagnostics sorted by position.
 func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunOpts(prog, pkgs, analyzers, nil)
+}
+
+// RunOpts is Run with options: stale-ignore detection, the hotalloc
+// baseline gate, and per-analyzer timing.
+func RunOpts(prog *Program, pkgs []*Package, analyzers []*Analyzer, opts *RunOptions) []Diagnostic {
+	if opts == nil {
+		opts = &RunOptions{}
+	}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := buildIgnoreIndex(prog.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
+	ignores := buildIgnoreIndex(prog.Fset, allFiles(pkgs))
+	state := newRunState(prog, pkgs, opts)
+	for _, a := range analyzers {
+		start := time.Now()
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{
 				Analyzer: a,
-				Fset:     prog.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
+				Prog:     prog,
+				Pkgs:     pkgs,
+				state:    state,
+				opts:     opts,
 				ignores:  ignores,
 				diags:    &diags,
+			})
+		} else {
+			for _, pkg := range pkgs {
+				a.Run(&Pass{
+					Analyzer: a,
+					Fset:     prog.Fset,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					state:    state,
+					ignores:  ignores,
+					diags:    &diags,
+				})
 			}
-			a.Run(pass)
+		}
+		if opts.Timing != nil {
+			opts.Timing[a.Name] += time.Since(start)
 		}
 	}
+	if opts.StaleIgnores {
+		reportStaleIgnores(prog.Fset, ignores, analyzers, &diags)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders findings deterministically regardless of package
+// selection order or analyzer interleaving: by file, position, analyzer,
+// then message.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -148,26 +267,104 @@ func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+}
+
+func allFiles(pkgs []*Package) []*ast.File {
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	return files
+}
+
+// reportStaleIgnores emits a diagnostic for every directive whose hit count
+// stayed at zero, provided this run gave each analyzer it names a chance to
+// fire (otherwise silence proves nothing).
+func reportStaleIgnores(fset *token.FileSet, ignores ignoreIndex, analyzers []*Analyzer, diags *[]Diagnostic) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := len(ran) == len(All())
+	seen := make(map[*ignoreDirective]bool)
+	var stale []*ignoreDirective
+	for _, byLine := range ignores {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if seen[d] || d.hits > 0 {
+					seen[d] = true
+					continue
+				}
+				seen[d] = true
+				covered := fullSuite
+				if len(d.analyzers) > 0 {
+					covered = true
+					for name := range d.analyzers {
+						if !ran[name] {
+							covered = false
+							break
+						}
+					}
+				}
+				if covered {
+					stale = append(stale, d)
+				}
+			}
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i].pos, stale[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, d := range stale {
+		names := "any analyzer"
+		if len(d.analyzers) > 0 {
+			list := make([]string, 0, len(d.analyzers))
+			for name := range d.analyzers {
+				list = append(list, name)
+			}
+			sort.Strings(list)
+			names = strings.Join(list, ", ")
+		}
+		*diags = append(*diags, Diagnostic{
+			Analyzer: "vet-ignore",
+			File:     d.pos.Filename,
+			Line:     d.pos.Line,
+			Column:   d.pos.Column,
+			Message:  fmt.Sprintf("stale suppression: no %s diagnostic here anymore; remove the directive", names),
+		})
+	}
 }
 
 // ignoreDirective is the parsed form of one //buffalo:vet-ignore comment.
+// Suppressions count hits so unused directives can be reported as stale.
 type ignoreDirective struct {
 	analyzers map[string]bool // empty means all analyzers
+	pos       token.Position
+	hits      int
 }
 
-func (d ignoreDirective) matches(analyzer string) bool {
+func (d *ignoreDirective) matches(analyzer string) bool {
 	return len(d.analyzers) == 0 || d.analyzers[analyzer]
 }
 
-// ignoreIndex maps file -> line -> directives that apply to that line.
-type ignoreIndex map[string]map[int][]ignoreDirective
+// ignoreIndex maps file -> line -> directives that apply to that line. A
+// directive covering two lines (its own and the next) appears twice but is
+// one shared object, so a hit on either line marks it used.
+type ignoreIndex map[string]map[int][]*ignoreDirective
 
 func (ix ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
 	for _, d := range ix[pos.Filename][pos.Line] {
 		if d.matches(analyzer) {
+			d.hits++
 			return true
 		}
 	}
@@ -195,11 +392,12 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 				if !ok {
 					continue
 				}
-				d := parseIgnore(rest)
 				pos := fset.Position(c.Pos())
+				d := parseIgnore(rest)
+				d.pos = pos
 				byLine := ix[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]ignoreDirective)
+					byLine = make(map[int][]*ignoreDirective)
 					ix[pos.Filename] = byLine
 				}
 				byLine[pos.Line] = append(byLine[pos.Line], d)
@@ -215,8 +413,8 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 // parseIgnore parses the analyzer list following the directive prefix. The
 // list ends at the first token that is not a known separator-joined word;
 // anything after it is treated as free-form justification.
-func parseIgnore(rest string) ignoreDirective {
-	d := ignoreDirective{analyzers: make(map[string]bool)}
+func parseIgnore(rest string) *ignoreDirective {
+	d := &ignoreDirective{analyzers: make(map[string]bool)}
 	rest = strings.TrimSpace(rest)
 	if rest == "" {
 		return d

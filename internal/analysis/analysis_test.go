@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -117,7 +118,190 @@ func checkFixture(t *testing.T, analyzer *Analyzer) {
 func TestAllocFreeFixture(t *testing.T)  { checkFixture(t, AllocFree) }
 func TestErrCheckFixture(t *testing.T)   { checkFixture(t, ErrCheck) }
 func TestLockSafeFixture(t *testing.T)   { checkFixture(t, LockSafe) }
+func TestLeakSafeFixture(t *testing.T)   { checkFixture(t, LeakSafe) }
 func TestShapeCheckFixture(t *testing.T) { checkFixture(t, ShapeCheck) }
+
+// TestLockSafeTransitiveRequired proves the interprocedural extension is
+// doing work the old analyzer could not: with the call-graph hop disabled,
+// none of the helper-wrapped fixture violations are found.
+func TestLockSafeTransitiveRequired(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "locksafe")
+	transWant := wantLines(t, dir, "locksafe-transitive")
+	if len(transWant) == 0 {
+		t.Fatal("locksafe fixture has no transitive markers")
+	}
+	p, pkg := loadFixture(t, "locksafe")
+	locksafeTransitive = false
+	defer func() { locksafeTransitive = true }()
+	got := gotLines(Run(p, []*Package{pkg}, []*Analyzer{LockSafe}))
+	for k := range transWant {
+		if got[k] {
+			t.Errorf("intraprocedural locksafe unexpectedly caught %s", k)
+		}
+	}
+}
+
+// TestLockSafeChain asserts transitive diagnostics carry the offending
+// call chain down to the classified blocking operation.
+func TestLockSafeChain(t *testing.T) {
+	p, pkg := loadFixture(t, "locksafe")
+	diags := Run(p, []*Package{pkg}, []*Analyzer{LockSafe})
+	found := false
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "reserve") || len(d.Chain) == 0 {
+			continue
+		}
+		found = true
+		last := d.Chain[len(d.Chain)-1]
+		if !strings.Contains(last, "ledger allocation GPU.Alloc") {
+			t.Errorf("chain terminal %q does not name the blocking op", last)
+		}
+	}
+	if !found {
+		t.Fatal("no chained diagnostic through the reserve helper")
+	}
+}
+
+// TestHotAllocRecordAndGate drives the baseline lifecycle on the hotalloc
+// fixture: record the census, gate cleanly against it, then prove the gate
+// fails when the baseline forgets one site and advises when it over-budgets.
+func TestHotAllocRecordAndGate(t *testing.T) {
+	p, pkg := loadFixture(t, "hotalloc")
+	rec := &RunOptions{RecordHotSites: true}
+	if diags := RunOpts(p, []*Package{pkg}, []*Analyzer{HotAlloc}, rec); len(diags) != 0 {
+		t.Fatalf("recording run reported %d diagnostics", len(diags))
+	}
+	sites := rec.HotSites
+	if sites == nil {
+		t.Fatal("recording run produced no sites")
+	}
+	root := sites.Roots["fixture-kernel"]
+	if root == nil {
+		t.Fatalf("missing fixture-kernel root; have %v", rootNames(sites))
+	}
+	if root.Total != 5 {
+		t.Errorf("fixture-kernel total = %d, want 5", root.Total)
+	}
+	kernel := root.Funcs["fixture/hotalloc.Kernel"]
+	if kernel["make"] != 1 || kernel["append"] != 1 {
+		t.Errorf("Kernel census = %v, want make:1 append:1", kernel)
+	}
+	scale := root.Funcs["fixture/hotalloc.scale"]
+	if scale["new"] != 1 || scale["lit"] != 1 || scale["iface"] != 1 {
+		t.Errorf("scale census = %v, want new:1 lit:1 iface:1", scale)
+	}
+	if _, cold := root.Funcs["fixture/hotalloc.Cold"]; cold {
+		t.Error("unreachable Cold counted against the hot root")
+	}
+
+	// Gating against the recorded census is clean.
+	gate := &RunOptions{HotBaseline: sites}
+	if diags := RunOpts(p, []*Package{pkg}, []*Analyzer{HotAlloc}, gate); len(diags) != 0 {
+		t.Fatalf("self-gate reported %d diagnostics: %v", len(diags), diags)
+	}
+	if len(gate.Shrunk) != 0 {
+		t.Fatalf("self-gate reported slack: %v", gate.Shrunk)
+	}
+
+	// A baseline that forgot the make site must fail on exactly it — the
+	// "new hot-path allocation" acceptance case.
+	tight := copyBaseline(sites)
+	tight.Roots["fixture-kernel"].Funcs["fixture/hotalloc.Kernel"]["make"] = 0
+	fail := &RunOptions{HotBaseline: tight}
+	diags := RunOpts(p, []*Package{pkg}, []*Analyzer{HotAlloc}, fail)
+	if len(diags) != 1 {
+		t.Fatalf("tightened gate reported %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if d := diags[0]; d.Analyzer != "hotalloc" || !strings.Contains(d.Message, "make") {
+		t.Errorf("unexpected gate diagnostic: %s", d)
+	}
+
+	// A baseline with slack produces an advisory, not a diagnostic.
+	loose := copyBaseline(sites)
+	loose.Roots["fixture-kernel"].Funcs["fixture/hotalloc.Kernel"]["make"] = 3
+	slack := &RunOptions{HotBaseline: loose}
+	if diags := RunOpts(p, []*Package{pkg}, []*Analyzer{HotAlloc}, slack); len(diags) != 0 {
+		t.Fatalf("loose gate reported %d diagnostics", len(diags))
+	}
+	if len(slack.Shrunk) != 1 || !strings.Contains(slack.Shrunk[0], "make") {
+		t.Errorf("loose gate slack = %v, want one make advisory", slack.Shrunk)
+	}
+}
+
+func copyBaseline(b *HotBaseline) *HotBaseline {
+	out := NewHotBaseline()
+	for root, rb := range b.Roots {
+		for fn, kinds := range rb.Funcs {
+			for kind, count := range kinds {
+				out.Add(root, fn, kind, count)
+			}
+		}
+	}
+	return out
+}
+
+func rootNames(b *HotBaseline) []string {
+	out := make([]string, 0, len(b.Roots))
+	for k := range b.Roots {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestStaleIgnores runs the full suite with stale detection over the
+// directive fixture: the two directives that suppress nothing (one naming
+// the wrong analyzer, one on a clean line) are reported, the working ones
+// are not.
+func TestStaleIgnores(t *testing.T) {
+	p, pkg := loadFixture(t, "ignored")
+	opts := &RunOptions{StaleIgnores: true}
+	diags := RunOpts(p, []*Package{pkg}, All(), opts)
+	want := wantLines(t, filepath.Join("testdata", "src", "ignored"), "vet-ignore")
+	got := make(map[string]bool)
+	for _, d := range diags {
+		if d.Analyzer == "vet-ignore" {
+			got[fmt.Sprintf("%s:%d", filepath.Base(d.File), d.Line)] = true
+		}
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("expected stale-ignore report at %s", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("unexpected stale-ignore report at %s", k)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("diag: %s", d)
+		}
+	}
+}
+
+// TestDeterministicOrder runs the full suite over two fixture packages in
+// both selection orders: the merged diagnostics must be identical and
+// position-sorted, regardless of package order or analyzer interleaving.
+func TestDeterministicOrder(t *testing.T) {
+	p, pkgA := loadFixture(t, "locksafe")
+	_, pkgB := loadFixture(t, "leaksafe")
+	d1 := Run(p, []*Package{pkgA, pkgB}, All())
+	d2 := Run(p, []*Package{pkgB, pkgA}, All())
+	if len(d1) == 0 {
+		t.Fatal("expected findings from the fixture packages")
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Errorf("diagnostics differ across package orders:\n%v\nvs\n%v", d1, d2)
+	}
+	for i := 1; i < len(d1); i++ {
+		a, b := d1[i-1], d1[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}
 
 // TestIgnoreDirective proves //buffalo:vet-ignore suppresses exactly the
 // named analyzer, in both inline and preceding-line placement, and that a

@@ -1,0 +1,409 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"buffalo/internal/analysis/callgraph"
+)
+
+// HotAlloc enforces the hot-path allocation budget (ROADMAP direction 5:
+// zero-allocation hot path). Hot roots — the train-engine iteration,
+// pipeline stage bodies, and the tensor/nn kernels — are declared either
+// with a directive:
+//
+//	//buffalo:hot-root <name>
+//
+// on (or directly above) a function declaration or function literal, or
+// implicitly for every top-level function of the packages in
+// hotRootPackages. Every allocation site in any function reachable from a
+// root (over any call-graph edge, goroutines included — a spawned stage
+// allocates on the hot path too) is counted per root:
+//
+//	make    make(...) of slices, maps, channels
+//	new     new(T)
+//	append  append growth
+//	lit     slice/map composite literals and &T{...}
+//	iface   value-to-interface boxing at call boundaries
+//
+// The counts are gated against a committed baseline
+// (scripts/vet_hotalloc_baseline.json): any count above the baseline is a
+// diagnostic, any count below it is an advisory to rewrite the baseline, so
+// the static number can only move in a reviewed commit — before a single
+// benchmark runs.
+//
+// HotAlloc is module-scoped (RunModule): budgets only make sense over the
+// merged whole-module reachability, not per package. Without a baseline or
+// a recording request the analyzer is silent.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "allocation sites reachable from hot roots stay within the committed baseline",
+	RunModule: runHotAlloc,
+}
+
+// hotRootPrefix is the comment directive declaring a hot root.
+const hotRootPrefix = "buffalo:hot-root"
+
+// hotRootPackages maps import-path suffixes to implicit root names: every
+// top-level function in a matching package is a member of that root.
+var hotRootPackages = map[string]string{
+	"internal/tensor": "tensor-kernels",
+	"internal/nn":     "nn-kernels",
+}
+
+// allocKinds is the stable order the site kinds are reported in.
+var allocKinds = []string{"make", "new", "append", "lit", "iface"}
+
+func runHotAlloc(mp *ModulePass) {
+	opts := mp.opts
+	if opts.HotBaseline == nil && !opts.RecordHotSites {
+		return
+	}
+	s := mp.state
+	g := s.Graph()
+	roots := collectHotRoots(mp, g)
+	if len(roots) == 0 {
+		return
+	}
+	sites := make(map[*callgraph.Node]map[string]*siteCount)
+	current := NewHotBaseline()
+	nodeByName := make(map[string]*callgraph.Node)
+	rootNames := make([]string, 0, len(roots))
+	for name := range roots {
+		rootNames = append(rootNames, name)
+	}
+	sort.Strings(rootNames)
+	for _, rootName := range rootNames {
+		for n := range reachAllEdges(roots[rootName]) {
+			counts := sites[n]
+			if counts == nil {
+				counts = countAllocSites(n)
+				sites[n] = counts
+			}
+			for kind, sc := range counts {
+				current.Add(rootName, n.Name, kind, sc.count)
+			}
+			nodeByName[n.Name] = n
+		}
+	}
+	if opts.RecordHotSites || opts.HotBaseline != nil {
+		opts.HotSites = current
+	}
+	if opts.HotBaseline == nil {
+		return
+	}
+	gateHotBaseline(mp, opts.HotBaseline, current, sites, nodeByName)
+}
+
+// siteCount is the per-(function, kind) tally plus the first site position,
+// where a budget overrun is reported.
+type siteCount struct {
+	count int
+	first token.Pos
+}
+
+// gateHotBaseline compares current counts against the baseline: overruns
+// become diagnostics at the first offending site, underruns become Shrunk
+// advisories so the baseline can be tightened with -baseline write.
+func gateHotBaseline(mp *ModulePass, base, current *HotBaseline,
+	sites map[*callgraph.Node]map[string]*siteCount, nodeByName map[string]*callgraph.Node) {
+	rootNames := sortedKeys(current.Roots)
+	for _, root := range rootNames {
+		rb := current.Roots[root]
+		for _, fn := range sortedKeys(rb.Funcs) {
+			for _, kind := range allocKinds {
+				cur := rb.Funcs[fn][kind]
+				budget := base.Count(root, fn, kind)
+				if cur > budget {
+					pos := token.NoPos
+					if n := nodeByName[fn]; n != nil {
+						if sc := sites[n][kind]; sc != nil {
+							pos = sc.first
+						}
+					}
+					mp.Reportf(pos,
+						"hot-path allocation budget exceeded: %d %s site(s) in %s reachable from root %q, baseline allows %d (optimize, justify with //buffalo:vet-ignore hotalloc, or re-baseline)",
+						cur, kind, fn, root, budget)
+				}
+			}
+		}
+	}
+	// Underruns: anything the baseline still budgets that the module no
+	// longer reaches.
+	for _, root := range sortedKeys(base.Roots) {
+		brb := base.Roots[root]
+		crb := current.Roots[root]
+		if crb == nil {
+			mp.opts.Shrunk = append(mp.opts.Shrunk,
+				"root "+root+" is gone from the module; rewrite the baseline")
+			continue
+		}
+		for _, fn := range sortedKeys(brb.Funcs) {
+			for _, kind := range allocKinds {
+				budget := brb.Funcs[fn][kind]
+				cur := 0
+				if crb.Funcs[fn] != nil {
+					cur = crb.Funcs[fn][kind]
+				}
+				if cur < budget {
+					mp.opts.Shrunk = append(mp.opts.Shrunk, fmt.Sprintf(
+						"root %s: %s %s shrank %d -> %d; tighten with -baseline write",
+						root, fn, kind, budget, cur))
+				}
+			}
+		}
+	}
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectHotRoots gathers root membership from directives and the implicit
+// package table, over the selected packages only.
+func collectHotRoots(mp *ModulePass, g *callgraph.Graph) map[string][]*callgraph.Node {
+	roots := make(map[string][]*callgraph.Node)
+	for _, pkg := range mp.Pkgs {
+		pkgRoot := ""
+		for suffix, name := range hotRootPackages {
+			if pkg.ImportPath == suffix || strings.HasSuffix(pkg.ImportPath, "/"+suffix) {
+				pkgRoot = name
+				break
+			}
+		}
+		directives := hotRootDirectives(mp.Prog.Fset, pkg.Files)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				node := g.NodeOf(fn)
+				if node == nil {
+					continue
+				}
+				if name := directiveAt(directives, mp.Prog.Fset, fd.Pos()); name != "" {
+					roots[name] = append(roots[name], node)
+				} else if pkgRoot != "" {
+					roots[pkgRoot] = append(roots[pkgRoot], node)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if name := directiveAt(directives, mp.Prog.Fset, lit.Pos()); name != "" {
+					if node := g.NodeOfLit(lit); node != nil {
+						roots[name] = append(roots[name], node)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return roots
+}
+
+// hotRootDirectives indexes //buffalo:hot-root comments by file and line; a
+// standalone directive also covers the next line, mirroring vet-ignore.
+func hotRootDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]string {
+	ix := make(map[string]map[int]string)
+	sources := make(map[string][]byte)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), hotRootPrefix)
+				if !ok {
+					continue
+				}
+				name := strings.TrimSpace(rest)
+				if name == "" {
+					continue
+				}
+				if i := strings.IndexAny(name, " \t"); i >= 0 {
+					name = name[:i]
+				}
+				pos := fset.Position(c.Pos())
+				byLine := ix[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]string)
+					ix[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = name
+				if startsLine(sources, pos) {
+					byLine[pos.Line+1] = name
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// directiveAt resolves the hot-root name covering a declaration position,
+// looking at the declaration's own line (covers doc comments ending just
+// above and standalone directives on the previous line).
+func directiveAt(ix map[string]map[int]string, fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return ix[p.Filename][p.Line]
+}
+
+// reachAllEdges returns every node reachable from the members over any
+// edge kind — spawned goroutines and stored callbacks run on the hot path
+// as much as direct calls do.
+func reachAllEdges(members []*callgraph.Node) map[*callgraph.Node]bool {
+	seen := make(map[*callgraph.Node]bool)
+	queue := append([]*callgraph.Node(nil), members...)
+	for _, m := range members {
+		seen[m] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// countAllocSites tallies allocation sites in a node's own body.
+func countAllocSites(n *callgraph.Node) map[string]*siteCount {
+	counts := make(map[string]*siteCount)
+	add := func(kind string, pos token.Pos) {
+		sc := counts[kind]
+		if sc == nil {
+			sc = &siteCount{first: pos}
+			counts[kind] = sc
+		}
+		sc.count++
+	}
+	info := n.Pkg.Info
+	inspectOwnBody(n, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.CallExpr:
+			if name, ok := builtinName(info, v); ok {
+				switch name {
+				case "make":
+					add("make", v.Pos())
+				case "new":
+					add("new", v.Pos())
+				case "append":
+					add("append", v.Pos())
+				}
+				return true
+			}
+			for _, pos := range boxedArgs(info, v) {
+				add("iface", pos)
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(v).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				add("lit", v.Pos())
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if _, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok {
+					add("lit", v.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return counts
+}
+
+// builtinName reports whether a call invokes a builtin, and which.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// boxedArgs returns the positions of call arguments whose concrete value is
+// boxed into an interface parameter (including variadic ...any), plus
+// explicit conversions to interface types. Pointer-shaped values (pointers,
+// channels, maps, funcs, unsafe pointers) fit in an interface word without
+// allocating and are not counted.
+func boxedArgs(info *types.Info, call *ast.CallExpr) []token.Pos {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	if tv.IsType() {
+		// Conversion T(x): boxing when T is an interface and x concrete.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(info.TypeOf(call.Args[0])) {
+			return []token.Pos{call.Args[0].Pos()}
+		}
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	var out []token.Pos
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if boxes(info.TypeOf(arg)) {
+			out = append(out, arg.Pos())
+		}
+	}
+	return out
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: concrete and wider than the single pointer word the interface
+// holds directly.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		if b.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	if types.IsInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"buffalo/internal/analysis/callgraph"
+)
+
+// LeakSafe flags goroutines that can never terminate: a `go` statement
+// whose spawned function reaches — over synchronous call edges, interface
+// dispatch included — an unconditional `for { ... }` loop with no exit
+// (return, break, goto, panic) and no termination signal (a select, a
+// channel receive, or a range over a channel, directly or through a call
+// that reaches one). Buffalo's pipeline spawns samplers, planner pools, and
+// prefetchers per session; a stage that cannot observe shutdown outlives
+// its session and leaks memory, ledger reservations, and OS threads.
+//
+// Two spawn shapes are checked: direct `go f(...)` / `go func(){...}()`
+// statements, and functions handed to a *spawner* — a function (like
+// pipeline.Pipeline.Go) that passes one of its parameters to a goroutine,
+// detected transitively by the call-graph builder — so stage bodies are
+// checked at the call site that submits them, where the code lives.
+var LeakSafe = &Analyzer{
+	Name: "leaksafe",
+	Doc:  "every spawned goroutine must be able to reach termination",
+	Run:  runLeakSafe,
+}
+
+func runLeakSafe(p *Pass) {
+	if p.state == nil {
+		return
+	}
+	g := p.state.Graph()
+	forever := p.state.Forever()
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.GoStmt:
+				for _, e := range g.EdgesAt(v.Call) {
+					if e.Kind != callgraph.Spawn || !forever.Reaches(e.Callee) {
+						continue
+					}
+					p.ReportChain(v.Pos(), p.state.ForeverChain(e.Callee),
+						"goroutine spawned here can never terminate: %s reaches an inescapable loop", e.Callee.Name)
+					break
+				}
+			case *ast.CallExpr:
+				checkSpawnerArgs(p, g, forever, v)
+			}
+			return true
+		})
+	}
+}
+
+// checkSpawnerArgs flags function values handed to a spawner parameter —
+// one the callee (transitively) passes to a goroutine — when the spawned
+// body reaches an inescapable loop.
+func checkSpawnerArgs(p *Pass, g *callgraph.Graph, forever *callgraph.Reach, call *ast.CallExpr) {
+	callee := g.NodeOf(staticCallee(p.Info, call))
+	if callee == nil || len(callee.SpawnerParams) == 0 {
+		return
+	}
+	for j, arg := range call.Args {
+		pj := j
+		if pj >= len(callee.SpawnerParams) {
+			pj = len(callee.SpawnerParams) - 1 // variadic tail
+		}
+		if !callee.SpawnerParams[pj] {
+			continue
+		}
+		var target *callgraph.Node
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			target = g.NodeOfLit(a)
+		case *ast.Ident:
+			if fn, ok := p.Info.Uses[a].(*types.Func); ok {
+				target = g.NodeOf(fn)
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := p.Info.Uses[a.Sel].(*types.Func); ok {
+				target = g.NodeOf(fn)
+			}
+		}
+		if target == nil || !forever.Reaches(target) {
+			continue
+		}
+		p.ReportChain(arg.Pos(), p.state.ForeverChain(target),
+			"function passed to %s runs on a spawned goroutine and can never terminate: %s reaches an inescapable loop",
+			callee.Name, target.Name)
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -12,15 +13,26 @@ import (
 // critical section stalls every trainer goroutine — and taking the ledger
 // lock around a call that itself locks the ledger deadlocks outright.
 //
+// The check is interprocedural: a call under a held lock is also flagged
+// when any function reachable from it over synchronous call edges (static,
+// interface-dispatch, invoked or callback literals) performs a blocking
+// operation, and the diagnostic carries the offending call chain. Work
+// handed to another goroutine (go statements) does not block the critical
+// section and is not followed.
+//
 // The walk is a statement-ordered approximation, not a CFG: a lock is
 // considered held from x.Lock() (or from function entry to the end for
 // defer x.Unlock()) until a matching x.Unlock() at the same nesting level.
 // Function literals are analyzed independently with no locks held.
 var LockSafe = &Analyzer{
 	Name: "locksafe",
-	Doc:  "no transfers, I/O, or ledger allocations while a mutex is held",
+	Doc:  "no transfers, I/O, or ledger allocations while a mutex is held, transitively",
 	Run:  runLockSafe,
 }
+
+// locksafeTransitive gates the interprocedural extension; tests flip it off
+// to demonstrate what the intraprocedural analyzer alone misses.
+var locksafeTransitive = true
 
 func runLockSafe(p *Pass) {
 	for _, f := range p.Files {
@@ -154,17 +166,47 @@ func reportBlockingCalls(p *Pass, node ast.Node, held map[string]bool) {
 		if !ok {
 			return true
 		}
-		if why := blockingCallReason(p, call); why != "" {
+		if why := blockingCallReason(p.Info, call); why != "" {
 			p.Reportf(call.Pos(), "%s while holding %s", why, heldList(held))
+			return true
 		}
+		reportTransitiveBlocking(p, call, held)
 		return true
 	})
 }
 
+// reportTransitiveBlocking flags a call whose callee — resolved through the
+// module call graph, including interface dispatch and callback literals —
+// reaches a blocking operation. Lock operations themselves are exempt (the
+// lock tracking above models them), as is anything without a resolvable
+// module callee.
+func reportTransitiveBlocking(p *Pass, call *ast.CallExpr, held map[string]bool) {
+	if !locksafeTransitive || p.state == nil {
+		return
+	}
+	if _, _, isLock := lockOp(p, call); isLock {
+		return
+	}
+	blocking := p.state.Blocking()
+	for _, e := range p.state.Graph().EdgesAt(call) {
+		if !syncEdge(e) || !blocking.Reaches(e.Callee) {
+			continue
+		}
+		chain := p.state.BlockChain(e.Callee)
+		reason := "a blocking operation"
+		if len(chain) > 0 {
+			reason = chain[len(chain)-1]
+		}
+		p.ReportChain(call.Pos(), chain, "call to %s reaches %s while holding %s",
+			e.Callee.Name, reason, heldList(held))
+		return
+	}
+}
+
 // blockingCallReason classifies a call that should not run under a mutex,
 // returning a human-readable reason or "".
-func blockingCallReason(p *Pass, call *ast.CallExpr) string {
-	fn := staticCallee(p.Info, call)
+func blockingCallReason(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
 	if fn == nil {
 		return ""
 	}

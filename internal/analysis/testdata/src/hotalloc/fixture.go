@@ -1,0 +1,37 @@
+// Package fixture declares a hot root with a known allocation census for
+// the hotalloc analyzer's tests: the counts asserted there must match the
+// sites seeded here, and Cold's allocations must stay invisible.
+package fixture
+
+import "fmt"
+
+type block struct {
+	data []float64
+	next *block
+}
+
+// Kernel is the declared hot root: one make and one append site of its
+// own, plus whatever it reaches through scale.
+//
+//buffalo:hot-root fixture-kernel
+func Kernel(n int) []float64 {
+	buf := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, float64(i))
+	}
+	return scale(buf)
+}
+
+// scale is reachable from the root: one new, one composite-literal, and
+// one interface-boxing site (len(xs) boxed into fmt.Sprint's ...any).
+func scale(xs []float64) []float64 {
+	out := new(block)
+	out.data = []float64{1, 2, 3}
+	_ = fmt.Sprint(len(xs))
+	return out.data
+}
+
+// Cold is not reachable from any hot root; its allocation must not count.
+func Cold() *block {
+	return &block{}
+}

@@ -19,7 +19,14 @@ func SuppressedAll() *tensor.Matrix {
 	return tensor.New(0, 0) //buffalo:vet-ignore
 }
 
-// WrongAnalyzer names a different analyzer, so shapecheck still fires.
+// WrongAnalyzer names a different analyzer, so shapecheck still fires —
+// and once allocfree also runs, the directive is provably stale.
 func WrongAnalyzer() *tensor.Matrix {
-	return tensor.New(-1, 1) //buffalo:vet-ignore allocfree -- want:shapecheck
+	return tensor.New(-1, 1) //buffalo:vet-ignore allocfree -- want:shapecheck and want:vet-ignore
+}
+
+// StaleDirective suppresses nothing: the dimensions are fine, so a
+// stale-ignores run must flag the directive itself.
+func StaleDirective() *tensor.Matrix {
+	return tensor.New(2, 3) //buffalo:vet-ignore shapecheck stale by design; want:vet-ignore
 }

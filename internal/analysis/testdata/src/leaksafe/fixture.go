@@ -1,0 +1,167 @@
+// Package fixture seeds goroutine-leak violations for the leaksafe
+// analyzer: goroutines whose bodies reach an unconditional loop with no
+// exit and no termination signal, spawned directly or through a spawner
+// helper shaped like pipeline.Pipeline.Go.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// spin loops forever with no exit or signal: the canonical leak.
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// callsSpin reaches the spinner through one call hop.
+func callsSpin() { spin() }
+
+// BadDirectSpawn spawns the spinner directly.
+func BadDirectSpawn() {
+	go spin() // want:leaksafe
+}
+
+// BadLitSpawn spawns a literal that loops forever.
+func BadLitSpawn() {
+	go func() { // want:leaksafe
+		for {
+		}
+	}()
+}
+
+// BadIndirectSpawn leaks through the helper: only the call graph sees it.
+func BadIndirectSpawn() {
+	go callsSpin() // want:leaksafe
+}
+
+// launch hands its parameter to a goroutine — a spawner, so arguments are
+// checked at the call sites that submit them.
+func launch(fn func()) {
+	go fn()
+}
+
+// relaunch forwards its parameter to launch: a spawner by propagation.
+func relaunch(fn func()) { launch(fn) }
+
+// wrapLaunch spawns a literal that invokes the parameter, mirroring
+// pipeline.Pipeline.Go's shape.
+func wrapLaunch(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn()
+	}()
+}
+
+func BadSpawnerArg() {
+	launch(spin) // want:leaksafe
+}
+
+func BadSpawnerLit() {
+	launch(func() { // want:leaksafe
+		for {
+		}
+	})
+}
+
+func BadTransitiveSpawner() {
+	relaunch(spin) // want:leaksafe
+}
+
+func BadWrappedSpawner() {
+	wrapLaunch(spin) // want:leaksafe
+}
+
+// GoodCtxLoop selects on ctx.Done — the canonical stage-body shape.
+func GoodCtxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// GoodDoneChannel blocks on a done channel each turn; a close releases it.
+func GoodDoneChannel(done chan struct{}) {
+	go func() {
+		for {
+			<-done
+			return
+		}
+	}()
+}
+
+// GoodBoundedLoop terminates on its own: the loop has a condition.
+func GoodBoundedLoop(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = i
+		}
+	}()
+}
+
+// GoodRangeChannel drains a channel until it is closed.
+func GoodRangeChannel(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// GoodBreakLoop exits through an unlabeled break belonging to the loop.
+func GoodBreakLoop(flag *bool) {
+	go func() {
+		for {
+			if *flag {
+				break
+			}
+		}
+	}()
+}
+
+// GoodLabeledBreak exits the outer loop from inside a nested select, where
+// an unlabeled break would only leave the select.
+func GoodLabeledBreak(done chan struct{}) {
+	go func() {
+	outer:
+		for {
+			select {
+			case <-done:
+				break outer
+			default:
+			}
+		}
+	}()
+}
+
+// GoodSignalViaHelper observes the termination signal through a call: the
+// loop body blocks in waitTick, whose receive a close unblocks.
+func waitTick(ch chan struct{}) { <-ch }
+
+func GoodSignalViaHelper(ch chan struct{}) {
+	go func() {
+		for {
+			waitTick(ch)
+		}
+	}()
+}
+
+// GoodSpawnerGoodArg submits a terminating body through the spawner.
+func GoodSpawnerGoodArg(ch chan int) {
+	launch(func() {
+		for v := range ch {
+			_ = v
+		}
+	})
+}

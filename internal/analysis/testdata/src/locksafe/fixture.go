@@ -139,6 +139,116 @@ func (f *fanout) GoodStageShape(dev int) {
 	f.mu.Unlock()
 }
 
+// reserve is the helper the intraprocedural analyzer cannot see through:
+// the ledger allocation is one call away from the critical section.
+func (l *ledger) reserve() error {
+	a, err := l.gpu.Alloc("helper", 1)
+	if err != nil {
+		return err
+	}
+	a.Free()
+	return nil
+}
+
+// stageViaHelper adds a second hop on the way to the allocation.
+func (l *ledger) stageViaHelper() error { return l.reserve() }
+
+// BadHelperAlloc allocates through a helper while the deferred unlock keeps
+// the mutex held — invisible to a one-call-at-a-time analyzer, caught by
+// the call graph.
+func (l *ledger) BadHelperAlloc() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reserve() // want:locksafe-transitive
+}
+
+// BadTwoHopAlloc reaches the allocation through two helpers.
+func (l *ledger) BadTwoHopAlloc() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stageViaHelper() // want:locksafe-transitive
+}
+
+// withHook runs a caller-provided callback synchronously.
+func (l *ledger) withHook(fn func()) { fn() }
+
+// BadHookTransfer hands a blocking callback to a helper that may invoke it
+// while the lock is held: the literal argument is a synchronous edge.
+func (l *ledger) BadHookTransfer() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.withHook(func() { l.gpu.TransferH2D(1 << 10) }) // want:locksafe-transitive
+}
+
+// GoodSpawnUnderLock hands the blocking work to another goroutine: the
+// critical section itself never blocks (the spawned body is leaksafe's
+// jurisdiction, not locksafe's).
+func (l *ledger) GoodSpawnUnderLock(done chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	go func() {
+		l.gpu.TransferH2D(1 << 10)
+		close(done)
+	}()
+}
+
+// bump is pure bookkeeping; calling it under the lock is fine.
+func (l *ledger) bump(resident map[int64]bool, key int64) { resident[key] = true }
+
+// GoodHelperBookkeeping calls a non-blocking helper under the lock.
+func (l *ledger) GoodHelperBookkeeping(resident map[int64]bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bump(resident, 7)
+}
+
+// stageBackend abstracts a staging target; the method name is unexported,
+// so only this fixture's types can satisfy it.
+type stageBackend interface {
+	stageBlock(n int64)
+}
+
+type devBackend struct{ gpu *device.GPU }
+
+func (d *devBackend) stageBlock(n int64) { d.gpu.TransferH2D(n) }
+
+type memBackend struct{ total int64 }
+
+func (m *memBackend) stageBlock(n int64) { m.total += n }
+
+// BadInterfaceStage dispatches through the interface while holding the
+// bookkeeping lock: class-hierarchy analysis considers every implementing
+// type, and devBackend blocks.
+func (f *fanout) BadInterfaceStage(t stageBackend) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t.stageBlock(1 << 20) // want:locksafe-transitive
+}
+
+// cell carries a mutex reached through computed indices — the exprKey
+// regression: index expressions with arithmetic used to collapse to one
+// "?" key, so two distinct mutexes looked identical.
+type cell struct {
+	mu sync.Mutex
+}
+
+// BadDistinctUnknown locks one computed mutex and unlocks a different one:
+// the first stays held across the sleep. Before the exprKey fix both
+// expressions keyed as "cs[?].mu" and the unlock wrongly released the lock.
+func BadDistinctUnknown(cs []cell, i, j int) {
+	cs[i+1].mu.Lock()
+	cs[j-1].mu.Unlock()
+	time.Sleep(time.Millisecond) // want:locksafe
+}
+
+// GoodMatchedUnknown locks and unlocks the same computed expression: the
+// structural keys must still pair up, releasing the lock before the sleep.
+func GoodMatchedUnknown(cs []cell, i int) {
+	cs[i+1].mu.Lock()
+	cs[i+1].mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
 // reducer mimics the bucketed gradient reduce: a cluster comm engine with a
 // mutex guarding bucket bookkeeping shared with the planner pool.
 type reducer struct {

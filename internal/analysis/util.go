@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"strings"
@@ -91,7 +92,14 @@ func isErrorType(t types.Type) bool {
 }
 
 // exprKey renders a (small) expression as a stable string key, used to
-// identify which mutex an x.mu.Lock() call refers to.
+// identify which mutex an x.mu.Lock() call refers to. Two occurrences of
+// the same source expression must produce the same key (so Lock/Unlock
+// pairs match up), and two different expressions must not collapse to one
+// key (or locksafe would treat two distinct unknown mutexes as the same
+// held lock). Structurally renderable shapes get a spelled-out key;
+// anything else gets a key unique to its token position, which keeps
+// distinct unknowns distinct at the cost of never pairing an unknown Lock
+// with its Unlock — a safe direction (the lock just stays held).
 func exprKey(e ast.Expr) string {
 	switch v := ast.Unparen(e).(type) {
 	case *ast.Ident:
@@ -104,11 +112,19 @@ func exprKey(e ast.Expr) string {
 		return "*" + exprKey(v.X)
 	case *ast.UnaryExpr:
 		return v.Op.String() + exprKey(v.X)
+	case *ast.BinaryExpr:
+		return exprKey(v.X) + v.Op.String() + exprKey(v.Y)
 	case *ast.CallExpr:
-		return exprKey(v.Fun) + "()"
+		args := make([]string, 0, len(v.Args))
+		for _, a := range v.Args {
+			args = append(args, exprKey(a))
+		}
+		return exprKey(v.Fun) + "(" + strings.Join(args, ",") + ")"
+	case *ast.TypeAssertExpr:
+		return exprKey(v.X) + ".(type)"
 	case *ast.BasicLit:
 		return v.Value
 	default:
-		return "?"
+		return fmt.Sprintf("?:%d", e.Pos())
 	}
 }

@@ -169,6 +169,7 @@ func newLoader(eng *engine, pcfg PipelineConfig) (*loader, error) {
 
 	stream := sampling.NewStream(eng.data.Graph, cfg.BatchSize, cfg.Fanouts, cfg.Seed)
 	l.pipe = pipeline.New(context.Background())
+	//buffalo:hot-root pipeline-stages
 	l.pipe.Go("sampler", func(ctx context.Context) error {
 		for seq := uint64(0); ; seq++ {
 			t0 := time.Now()
@@ -190,6 +191,7 @@ func newLoader(eng *engine, pcfg PipelineConfig) (*loader, error) {
 	// run unboundedly ahead; the in-order plan is always admitted, so the
 	// pool cannot deadlock (see pipeline.Reorder).
 	for w := 0; w < planners; w++ {
+		//buffalo:hot-root pipeline-stages
 		l.pipe.Go(fmt.Sprintf("planner/%d", w), func(ctx context.Context) error {
 			for {
 				sb, err := l.batchQ.Pop(ctx)
@@ -206,6 +208,7 @@ func newLoader(eng *engine, pcfg PipelineConfig) (*loader, error) {
 			}
 		})
 	}
+	//buffalo:hot-root pipeline-stages
 	l.pipe.Go("prefetch", func(ctx context.Context) error {
 		for {
 			it, err := l.planR.Pop(ctx)
@@ -418,6 +421,8 @@ func (ps *pipeStager) release(smb *stagedMB) {
 // execution window could not hide, so CriticalPath reflects what the
 // training loop experienced. With adaptive depth on, the controller observes
 // this iteration's starvation/headroom balance and adjusts the limit.
+//
+//buffalo:hot-root train-iteration
 func (l *loader) runIteration() (*MultiGPUResult, error) {
 	tWait := time.Now()
 	first, err := l.popLane(0)

@@ -10,6 +10,11 @@
 # serves. Compare two snapshots with a diff (the JSON is sorted and
 # one-line-per-benchmark) or feed the raw -bench output to benchstat.
 #
+# Alongside the measured allocs/op, the snapshot records buffalo-vet's
+# static hot-path allocation census (hotalloc_sites, per hot root): when
+# allocs/op moves, the site counts say whether the hot path itself gained
+# or lost allocation sites, or whether only the per-iteration mix shifted.
+#
 # Usage: scripts/bench.sh [bench-regex]
 #   bench-regex   passed to -bench (default: . — the full suite)
 #   COUNT=<n>     samples per benchmark (default: 5)
@@ -24,12 +29,15 @@ bench="${1:-.}"
 count="${COUNT:-5}"
 out="${OUT:-BENCH_$(date +%F).json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+sites="$(mktemp)"
+trap 'rm -f "$raw" "$sites"' EXIT
+go run ./cmd/buffalo-vet -hotalloc-summary ./... > "$sites"
 
 go test -run '^$' -bench "$bench" -benchmem -count "$count" . | tee "$raw" >&2
 
 # Pass 1: best ns/op (and its allocs/op) per benchmark, one line each.
-# Pass 2 (after a stable name sort): assemble the JSON.
+# Pass 2 (after a stable name sort): assemble the JSON, folding in the
+# static hot-path site census collected above.
 awk '
     /^Benchmark/ && /ns\/op/ {
         name = $1
@@ -43,10 +51,19 @@ awk '
         }
     }
     END { for (name in best) print name, best[name], alloc[name] }
-' "$raw" | sort | awk -v date="$(date +%F)" -v count="$count" '
+' "$raw" | sort | awk -v date="$(date +%F)" -v count="$count" -v sites="$sites" '
     { names[NR] = $1; ns[NR] = $2; allocs[NR] = $3 }
     END {
-        printf "{\n  \"date\": \"%s\",\n  \"count\": %d,\n  \"benchmarks\": {\n", date, count
+        printf "{\n  \"date\": \"%s\",\n  \"count\": %d,\n", date, count
+        printf "  \"hotalloc_sites\": {"
+        sep = ""
+        while ((getline line < sites) > 0) {
+            split(line, f, " ")
+            printf "%s\"%s\": %d", sep, f[1], f[2]
+            sep = ", "
+        }
+        close(sites)
+        printf "},\n  \"benchmarks\": {\n"
         for (i = 1; i <= NR; i++)
             printf "    \"%s\": {\"ns_per_op\": %d, \"allocs_per_op\": %d}%s\n",
                 names[i], ns[i], allocs[i], (i < NR ? "," : "")

@@ -3,8 +3,15 @@
 #
 #   1. gofmt -l        every tracked Go file is formatted
 #   2. go vet          the stock toolchain analyzers
-#   3. buffalo-vet     the domain-aware suite (allocfree, errcheck,
-#                      locksafe, shapecheck) over every module package
+#   3. buffalo-vet     the domain-aware suite (allocfree, errcheck, hotalloc,
+#                      leaksafe, locksafe, shapecheck) over every module
+#                      package, with stale-suppression detection on and the
+#                      hot-path allocation census gated against the committed
+#                      baseline (scripts/vet_hotalloc_baseline.json) — a new
+#                      allocation site reachable from a hot root fails here
+#                      until it is optimized away, justified with a
+#                      //buffalo:vet-ignore, or deliberately re-baselined
+#                      with -baseline-write
 #   4. obs race gate   the observability tests (recorder, ledger events,
 #                      timeline reconstruction) under the race detector —
 #                      a fast, focused pass so trace/ledger coherence
@@ -34,7 +41,8 @@ echo "== go vet =="
 go vet ./...
 
 echo "== buffalo-vet =="
-go run ./cmd/buffalo-vet ./...
+go run ./cmd/buffalo-vet -stale-ignores -timing \
+    -baseline scripts/vet_hotalloc_baseline.json ./...
 
 echo "== observability race gate =="
 # The recorder is fed from under the GPU ledger mutex and from concurrent
