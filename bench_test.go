@@ -462,6 +462,53 @@ func BenchmarkRunIteration_Pipelined(b *testing.B) {
 	}
 }
 
+// BenchmarkRunIteration_PipelinedTap is BenchmarkRunIteration_Pipelined with
+// a live streaming tap subscribed and drained by a consumer goroutine: the
+// acceptance benchmark for the -live meter path. README records the target:
+// within 1% of the untapped pipelined run — the offer path is one atomic
+// load when no tap is attached and one non-blocking send per event when one
+// is.
+func BenchmarkRunIteration_PipelinedTap(b *testing.B) {
+	st := fixtures(b)
+	rec := obs.NewRecorder(nil, nil)
+	p, err := train.NewPipelinedSession(st.cora, train.Config{
+		System: train.Buffalo,
+		Model: gnn.Config{Arch: gnn.SAGE, Aggregator: gnn.Mean, Layers: 2,
+			InDim: st.cora.FeatDim(), Hidden: 16, OutDim: st.cora.NumClasses, Seed: 1},
+		Fanouts:      []int{5, 5},
+		BatchSize:    256,
+		MemBudget:    device.GB,
+		MicroBatches: 4,
+		Seed:         7,
+		Obs:          rec,
+	}, train.PipelineConfig{Depth: 2, CacheBudget: 8 * device.MB})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	tap := rec.Subscribe(0)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-tap.Events():
+			case <-stop:
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunIteration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rec.Unsubscribe(tap)
+	close(stop)
+}
+
 // BenchmarkBettyREG: REG construction, the dominant Betty phase Fig 11
 // attributes 46.8% of end-to-end time to.
 func BenchmarkBettyREG(b *testing.B) {

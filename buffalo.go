@@ -194,7 +194,18 @@ func RunExperiment(id string, quick bool, seed int64, w io.Writer) error {
 // registry is reset between experiments. A nil recorder behaves exactly like
 // RunExperiment.
 func RunExperimentObserved(id string, quick bool, seed int64, rec *Recorder, w io.Writer) error {
-	return experiments.Run(id, experiments.Options{Quick: quick, Seed: seed, Obs: rec}, w)
+	return experiments.Run(id, experiments.Options{Quick: quick, Seed: seed, Obs: rec, MetricsSummary: true}, w)
+}
+
+// ExperimentOptions is the full experiment-sweep configuration, for callers
+// that need finer control than RunExperimentObserved — e.g. accumulating one
+// metrics registry across the whole sweep for a run manifest instead of
+// rendering and resetting per experiment.
+type ExperimentOptions = experiments.Options
+
+// RunExperiments is RunExperiment with explicit options.
+func RunExperiments(id string, opts ExperimentOptions, w io.Writer) error {
+	return experiments.Run(id, opts, w)
 }
 
 // WriteDatasetFile serializes a dataset to path in the binary dataset

@@ -19,6 +19,13 @@
 // tune that depth from starvation/headroom signals, and -cache-budget-mb
 // reserves device memory for the degree-aware feature cache.
 //
+// Run manifests: -report out.json writes a versioned run manifest (config,
+// per-phase breakdown, estimator error distribution, per-device memory
+// summary, cache/pipeline state, metrics snapshot) for buffalo-report
+// show/diff/gate. -live renders a self-rewriting status line on stderr —
+// per-device live/peak memory, iteration rate, phase mix — fed by a bounded
+// recorder tap that never blocks the training hot path.
+//
 // Multi-GPU: -gpus N runs data-parallel Buffalo over N simulated devices;
 // composed with -pipeline, one shared loader stages every replica's
 // micro-batches round-robin with a per-device feature cache. -plan-ahead W
@@ -32,7 +39,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
+	"time"
 
 	"buffalo"
 )
@@ -62,6 +71,8 @@ func main() {
 	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome|jsonl|folded")
 	traceRing := flag.Int("trace-ring", 0, "bound the trace to the most recent N events (0 = unbounded)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry and memory-timeline summary after the run")
+	reportPath := flag.String("report", "", "write a versioned run manifest to this file (see buffalo-report)")
+	live := flag.Bool("live", false, "render a live status line (memory, it/s, phase mix) on stderr during the run")
 	flag.Parse()
 
 	if *traceFormat != "chrome" && *traceFormat != "jsonl" && *traceFormat != "folded" {
@@ -76,9 +87,9 @@ func main() {
 		}
 	}
 	var rec *buffalo.Recorder
-	if trace != nil || *metrics {
+	if trace != nil || *metrics || *reportPath != "" || *live {
 		var reg *buffalo.Metrics
-		if *metrics {
+		if *metrics || *reportPath != "" {
 			reg = buffalo.NewMetrics()
 		}
 		rec = buffalo.NewRecorder(trace, reg)
@@ -152,6 +163,28 @@ func main() {
 	}
 	usePipeline := *pipelined || *cacheBudgetMB > 0 || *adaptiveDepth || *planAhead > 1
 
+	// Both rr and meter are nil-safe: every branch threads them without
+	// branching on whether -report/-live were given.
+	var rr *buffalo.RunReport
+	if *reportPath != "" {
+		rr = buffalo.NewRunReport("buffalo-train", *dataset, cfg, *gpus)
+		if usePipeline {
+			rr.SetPipeline(pcfg)
+		}
+	}
+	var meter *buffalo.Meter
+	if *live {
+		meter = buffalo.NewMeter(rec, os.Stderr, 0)
+	}
+	defer meter.Stop()
+	exitOOM := func(format string, args ...any) {
+		meter.Stop()
+		fmt.Printf(format, args...)
+		rr.RecordOOM()
+		writeManifest(rr, rec, *reportPath)
+		os.Exit(1)
+	}
+
 	if *gpus > 1 {
 		var dp *buffalo.DataParallel
 		if usePipeline {
@@ -167,11 +200,11 @@ func main() {
 			res, err := dp.RunIteration()
 			if err != nil {
 				if buffalo.IsOOM(err) {
-					fmt.Printf("iter %d: OOM under %dMB per-GPU budget — shrink -cache-budget-mb or -prefetch-depth, or grow -budget-mb\n", i, *budgetMB)
-					os.Exit(1)
+					exitOOM("iter %d: OOM under %dMB per-GPU budget — shrink -cache-budget-mb or -prefetch-depth, or grow -budget-mb\n", i, *budgetMB)
 				}
 				fail(err)
 			}
+			rr.Record(&res.IterationResult)
 			if usePipeline {
 				fmt.Printf("iter %d: loss=%.4f K=%d peak=%.1fMB critical=%v (compute=%v comm=%v exposed-comm=%v hidden-comm=%v hidden=%v depth=%d)\n",
 					i, res.Loss, res.K, float64(res.Peak)/float64(buffalo.MB),
@@ -191,11 +224,14 @@ func main() {
 			}
 			fmt.Printf("cache aggregate: %.0f%% hit rate\n", 100*dp.CacheHitRate())
 		}
+		rr.CaptureDataParallel(dp)
+		meter.Stop()
 		devices := make([]string, *gpus)
 		for i := range devices {
 			devices[i] = fmt.Sprintf("gpu-%d", i)
 		}
 		report(rec, trace, *tracePath, *traceFormat, *metrics, devices)
+		writeManifest(rr, rec, *reportPath)
 		return
 	}
 	if usePipeline {
@@ -210,11 +246,11 @@ func main() {
 			res, err := p.RunIteration()
 			if err != nil {
 				if buffalo.IsOOM(err) {
-					fmt.Printf("iter %d: OOM under %dMB budget — shrink -cache-budget-mb or -prefetch-depth, or grow -budget-mb\n", i, *budgetMB)
-					os.Exit(1)
+					exitOOM("iter %d: OOM under %dMB budget — shrink -cache-budget-mb or -prefetch-depth, or grow -budget-mb\n", i, *budgetMB)
 				}
 				fail(err)
 			}
+			rr.Record(res)
 			fmt.Printf("iter %d: loss=%.4f K=%d peak=%.1fMB total=%v (loading=%v hidden=%v exposed-plan=%v)\n",
 				i, res.Loss, res.K, float64(res.Peak)/float64(buffalo.MB),
 				res.CriticalPath(), res.Phases.DataLoading, res.HiddenTransfer, res.ExposedPlanning)
@@ -224,7 +260,10 @@ func main() {
 			fmt.Printf("cache: %d entries, %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
 				st.Entries, st.Hits, st.Misses, 100*p.CacheHitRate(), st.Evictions)
 		}
+		rr.CapturePipelined(p)
+		meter.Stop()
 		report(rec, trace, *tracePath, *traceFormat, *metrics, []string{string(cfg.System)})
+		writeManifest(rr, rec, *reportPath)
 		return
 	}
 	s, err := buffalo.NewSession(ds, cfg)
@@ -236,15 +275,36 @@ func main() {
 		res, err := s.RunIteration()
 		if err != nil {
 			if buffalo.IsOOM(err) {
-				fmt.Printf("iter %d: OOM under %dMB budget — try -system buffalo or a larger budget\n", i, *budgetMB)
-				os.Exit(1)
+				exitOOM("iter %d: OOM under %dMB budget — try -system buffalo or a larger budget\n", i, *budgetMB)
 			}
 			fail(err)
 		}
+		rr.Record(res)
 		fmt.Printf("iter %d: loss=%.4f acc=%.3f K=%d peak=%.1fMB total=%v\n",
 			i, res.Loss, res.Accuracy, res.K, float64(res.Peak)/float64(buffalo.MB), res.Phases.Total())
 	}
+	rr.CaptureSession(s)
+	meter.Stop()
 	report(rec, trace, *tracePath, *traceFormat, *metrics, []string{string(cfg.System)})
+	writeManifest(rr, rec, *reportPath)
+}
+
+// writeManifest stamps and writes the run manifest; a nil report or empty
+// path writes nothing. The git revision is best-effort — a tarball checkout
+// still gets a manifest, just without provenance.
+func writeManifest(rr *buffalo.RunReport, rec *buffalo.Recorder, path string) {
+	if rr == nil || path == "" {
+		return
+	}
+	m := rr.Build(rec)
+	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		m.Git = strings.TrimSpace(string(out))
+	}
+	if err := buffalo.WriteRunManifest(path, m); err != nil {
+		fail(err)
+	}
+	fmt.Printf("report: wrote %s\n", path)
 }
 
 // report renders the post-run observability artifacts: the metrics registry

@@ -6,12 +6,21 @@
 //	experiments -run all -quick       # the whole suite at reduced scale
 //	experiments -run pipeline         # async-prefetch/cache vs sequential loading
 //	experiments -list                 # available experiment ids
+//
+// Observability: -metrics appends a per-experiment metrics summary to each
+// table; -report out.json accumulates one metrics registry across the whole
+// sweep and writes a run manifest (metrics snapshot + estimator error
+// distribution) for buffalo-report show/diff/gate; -live renders a live
+// status line on stderr while the sweep runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
+	"time"
 
 	"buffalo"
 )
@@ -22,6 +31,8 @@ func main() {
 	seed := flag.Int64("seed", 3, "dataset and sampling seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	metrics := flag.Bool("metrics", false, "append a per-experiment metrics summary table to each experiment")
+	reportPath := flag.String("report", "", "write a sweep-wide run manifest to this file (see buffalo-report)")
+	live := flag.Bool("live", false, "render a live status line (memory, it/s, phase mix) on stderr during the sweep")
 	flag.Parse()
 
 	if *list {
@@ -34,12 +45,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: pass -run <id> or -list; ids map to the paper's figures/tables (see DESIGN.md)")
 		os.Exit(2)
 	}
-	var rec *buffalo.Recorder
-	if *metrics {
-		rec = buffalo.NewRecorder(nil, buffalo.NewMetrics())
+	// -metrics renders and resets the registry per experiment; -report needs
+	// the registry to accumulate across the sweep instead, so the two are
+	// mutually exclusive rather than silently truncating the manifest.
+	if *metrics && *reportPath != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -metrics resets the registry between experiments; use it or -report, not both")
+		os.Exit(2)
 	}
-	if err := buffalo.RunExperimentObserved(*run, *quick, *seed, rec, os.Stdout); err != nil {
+	var rec *buffalo.Recorder
+	if *metrics || *reportPath != "" {
+		rec = buffalo.NewRecorder(nil, buffalo.NewMetrics())
+	} else if *live {
+		rec = buffalo.NewRecorder(nil, nil)
+	}
+	var meter *buffalo.Meter
+	if *live {
+		meter = buffalo.NewMeter(rec, os.Stderr, 0)
+	}
+	opts := buffalo.ExperimentOptions{Quick: *quick, Seed: *seed, Obs: rec, MetricsSummary: *metrics}
+	err := buffalo.RunExperiments(*run, opts, os.Stdout)
+	meter.Stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *reportPath != "" {
+		m := buffalo.BuildMetricsManifest("experiments", rec)
+		m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+			m.Git = strings.TrimSpace(string(out))
+		}
+		if err := buffalo.WriteRunManifest(*reportPath, m); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: wrote %s\n", *reportPath)
 	}
 }

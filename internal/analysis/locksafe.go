@@ -2,16 +2,20 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
 
 // LockSafe flags blocking work performed while a sync.Mutex (or RWMutex
 // write lock) is held: simulated device transfers, ledger allocations,
-// all-reduces, real I/O (os, io, net), and time.Sleep. Buffalo's device
-// ledger serializes every allocator on one mutex, so blocking inside a
-// critical section stalls every trainer goroutine — and taking the ledger
-// lock around a call that itself locks the ledger deadlocks outright.
+// all-reduces, real I/O (os, io, net), time.Sleep, and blocking channel
+// operations (sends, receives, range-over-channel, and selects without a
+// default clause; a select with a default never blocks, which is exactly
+// the obs tap's offer pattern). Buffalo's device ledger serializes every
+// allocator on one mutex, so blocking inside a critical section stalls
+// every trainer goroutine — and taking the ledger lock around a call that
+// itself locks the ledger deadlocks outright.
 //
 // The check is interprocedural: a call under a held lock is also flagged
 // when any function reachable from it over synchronous call edges (static,
@@ -68,6 +72,11 @@ func walkLocked(p *Pass, stmts []ast.Stmt, held map[string]bool) {
 				continue
 			}
 			reportBlockingCalls(p, s, held)
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				p.Reportf(s.Arrow, "channel send on %s while holding %s", exprKey(s.Chan), heldList(held))
+			}
+			reportBlockingCalls(p, s.Value, held)
 		case *ast.DeferStmt:
 			if key, op, ok := lockOp(p, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
 				// Deferred unlock: the mutex stays held for the remainder
@@ -97,6 +106,9 @@ func walkLocked(p *Pass, stmts []ast.Stmt, held map[string]bool) {
 			}
 			walkLocked(p, s.Body.List, copyHeld(held))
 		case *ast.RangeStmt:
+			if len(held) > 0 && isChanExpr(p.Info, s.X) {
+				p.Reportf(s.For, "range over channel %s while holding %s", exprKey(s.X), heldList(held))
+			}
 			reportBlockingCalls(p, s.X, held)
 			walkLocked(p, s.Body.List, copyHeld(held))
 		case *ast.SwitchStmt:
@@ -107,6 +119,12 @@ func walkLocked(p *Pass, stmts []ast.Stmt, held map[string]bool) {
 		case *ast.TypeSwitchStmt:
 			walkLocked(p, s.Body.List, copyHeld(held))
 		case *ast.SelectStmt:
+			// A select with a default clause polls and moves on — the
+			// lock-cheap tap-offer shape. Without one, the goroutine parks
+			// on the channels with the lock held.
+			if len(held) > 0 && !selectHasDefault(s) {
+				p.Reportf(s.Select, "blocking select (no default) while holding %s", heldList(held))
+			}
 			walkLocked(p, s.Body.List, copyHeld(held))
 		case *ast.CaseClause:
 			walkLocked(p, s.Body, copyHeld(held))
@@ -161,6 +179,10 @@ func reportBlockingCalls(p *Pass, node ast.Node, held map[string]bool) {
 	ast.Inspect(node, func(n ast.Node) bool {
 		if _, isLit := n.(*ast.FuncLit); isLit {
 			return false
+		}
+		if u, isRecv := n.(*ast.UnaryExpr); isRecv && u.Op == token.ARROW {
+			p.Reportf(u.OpPos, "channel receive from %s while holding %s", exprKey(u.X), heldList(held))
+			return true
 		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -252,6 +274,28 @@ func blockingCallReason(info *types.Info, call *ast.CallExpr) string {
 		}
 	}
 	return ""
+}
+
+// selectHasDefault reports whether a select statement carries a default
+// clause, making it a non-blocking poll.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isChanExpr reports whether e has channel type (after unwrapping named
+// types), so ranging over it parks the goroutine between elements.
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
 }
 
 // heldList renders the held mutex set for a diagnostic.

@@ -105,17 +105,48 @@ func (s *runState) Blocking() *callgraph.Reach {
 	s.blockLocal = make(map[*callgraph.Node]blockSite)
 	for _, n := range g.Nodes {
 		n := n
+		// Comm statements of a polling select (one with a default clause)
+		// never park the goroutine; Inspect visits a select before its
+		// clauses, so the skip set is always populated in time.
+		skipComm := make(map[ast.Node]bool)
 		inspectOwnBody(n, func(node ast.Node) bool {
-			call, ok := node.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
 			if _, seen := s.blockLocal[n]; seen {
 				return false
 			}
-			if why := blockingCallReason(n.Pkg.Info, call); why != "" {
-				s.blockLocal[n] = blockSite{reason: why, pos: call.Pos()}
+			if skipComm[node] {
 				return false
+			}
+			switch v := node.(type) {
+			case *ast.CallExpr:
+				if why := blockingCallReason(n.Pkg.Info, v); why != "" {
+					s.blockLocal[n] = blockSite{reason: why, pos: v.Pos()}
+					return false
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(v) {
+					s.blockLocal[n] = blockSite{reason: "blocking select (no default)", pos: v.Select}
+					return false
+				}
+				for _, c := range v.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						skipComm[cc.Comm] = true
+					}
+				}
+			case *ast.SendStmt:
+				s.blockLocal[n] = blockSite{reason: "channel send", pos: v.Arrow}
+				return false
+			case *ast.UnaryExpr:
+				if v.Op == token.ARROW {
+					s.blockLocal[n] = blockSite{reason: "channel receive", pos: v.OpPos}
+					return false
+				}
+			case *ast.RangeStmt:
+				if t := n.Pkg.Info.TypeOf(v.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						s.blockLocal[n] = blockSite{reason: "range over channel", pos: v.For}
+						return false
+					}
+				}
 			}
 			return true
 		})

@@ -188,3 +188,34 @@ func Exempt(sb *strings.Builder) {
 	fmt.Fprintln(os.Stderr, "stderr printing is best-effort")
 	sb.WriteString("in-memory sinks never fail")
 }
+
+// ManifestDrop mimics a run-manifest writer that drops the encode error: a
+// truncated baseline file gates every later run against garbage.
+func ManifestDrop(w io.Writer, m interface{}) {
+	json.NewEncoder(w).Encode(m) // want:errcheck
+}
+
+// ManifestCloseDrop writes the manifest but ignores both the encode and the
+// flush-on-close error — the classic silently-short report file.
+func ManifestCloseDrop(path string, m interface{}) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	json.NewEncoder(f).Encode(m) // want:errcheck
+	f.Close()                    // want:errcheck
+}
+
+// ManifestPropagates is the reviewable writer shape — encode and close
+// errors both reach the caller: clean.
+func ManifestPropagates(path string, m interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(m); err != nil {
+		_ = f.Close() // the encode failure is the error worth reporting
+		return err
+	}
+	return f.Close()
+}

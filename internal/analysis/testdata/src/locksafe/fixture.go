@@ -291,3 +291,76 @@ func (r *reducer) GoodReduceShape(j int, ready time.Duration) time.Duration {
 	r.cluster.AllReduceAsync(size, ready)
 	return r.cluster.WaitReduce(ready)
 }
+
+// tap mimics the obs streaming tap: a bounded channel consumers drain, with
+// a mutex guarding the producer-side bookkeeping. Channel operations park
+// the goroutine just like a transfer does, so holding the lock across one
+// stalls every other producer.
+type tap struct {
+	mu      sync.Mutex
+	ch      chan int
+	dropped int
+}
+
+// BadSendUnderLock parks every producer on a slow consumer while the
+// bookkeeping lock is held.
+func (t *tap) BadSendUnderLock(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ch <- v // want:locksafe
+}
+
+// BadRecvUnderLock drains the stream inside the critical section.
+func (t *tap) BadRecvUnderLock() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return <-t.ch // want:locksafe
+}
+
+// BadBlockingSelectUnderLock parks on two channels with the lock held — no
+// default clause means this select is a wait, not a poll.
+func (t *tap) BadBlockingSelectUnderLock(stop chan struct{}) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select { // want:locksafe
+	case v := <-t.ch:
+		return v
+	case <-stop:
+		return 0
+	}
+}
+
+// BadRangeUnderLock holds the lock across an entire stream drain: the
+// producer side cannot make progress until the channel closes.
+func (t *tap) BadRangeUnderLock() (n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for range t.ch { // want:locksafe
+		n++
+	}
+	return n
+}
+
+// GoodOfferShape is the tap's offer discipline: a select with a default
+// clause never parks, so counting the drop under the lock is fine.
+func (t *tap) GoodOfferShape(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case t.ch <- v:
+	default:
+		t.dropped++
+	}
+}
+
+// publish is the helper hop the intraprocedural analyzer cannot see
+// through: a bare channel send one call away.
+func (t *tap) publish(v int) { t.ch <- v }
+
+// BadPublishUnderLock reaches the send through a helper — the call graph's
+// jurisdiction.
+func (t *tap) BadPublishUnderLock(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.publish(v) // want:locksafe-transitive
+}

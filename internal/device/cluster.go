@@ -170,6 +170,16 @@ func (c *Cluster) ExposedCommTime() time.Duration {
 	return c.exposedComm
 }
 
+// Stats snapshots every device's counters, cluster order. The reporting
+// layer's one-call view of the whole cluster.
+func (c *Cluster) Stats() []Stats {
+	out := make([]Stats, len(c.gpus))
+	for i, g := range c.gpus {
+		out[i] = g.Stats()
+	}
+	return out
+}
+
 // ResetPeaks drops every device's peak watermark to its current live bytes,
 // leaving all clocks — device and interconnect — untouched. This is the
 // per-iteration rebase a pipelined trainer needs: phases are computed as

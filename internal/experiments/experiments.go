@@ -120,11 +120,13 @@ type Options struct {
 	// minutes; the full mode includes papers-mini and more sweep points.
 	Quick bool
 	Seed  int64
-	// Obs optionally records every experiment's training runs. When the
-	// recorder carries a metrics registry, Run renders a per-experiment
-	// metrics summary after each table and resets the registry between
-	// experiments so summaries do not bleed into each other.
+	// Obs optionally records every experiment's training runs.
 	Obs *obs.Recorder
+	// MetricsSummary renders a per-experiment metrics summary after each
+	// table and resets the registry between experiments so summaries do not
+	// bleed into each other. Off, the registry accumulates across the whole
+	// sweep — what a run-manifest export wants.
+	MetricsSummary bool
 }
 
 // Runner is one experiment generator.
@@ -174,8 +176,10 @@ func Run(id string, opts Options, w io.Writer) error {
 			if err := t.Render(w); err != nil {
 				return fmt.Errorf("experiments: %s: rendering: %w", e.ID, err)
 			}
-			if err := renderMetrics(e.ID, opts.Obs, w); err != nil {
-				return fmt.Errorf("experiments: %s: metrics: %w", e.ID, err)
+			if opts.MetricsSummary {
+				if err := renderMetrics(e.ID, opts.Obs, w); err != nil {
+					return fmt.Errorf("experiments: %s: metrics: %w", e.ID, err)
+				}
 			}
 			if id == e.ID {
 				return nil

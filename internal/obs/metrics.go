@@ -1,9 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -121,11 +121,13 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1) at bucket
-// resolution: the boundary of the bucket the quantile falls in. When the
-// quantile lands in the unbounded overflow bucket, the overall mean is
-// returned as a best-effort indicator.
-func (h *Histogram) Quantile(q float64) int64 {
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the fixed bucket the quantile's rank falls in: the bucket's count
+// is assumed uniformly spread between its lower and upper boundary (the
+// first bucket's lower boundary is 0). A quantile landing in the unbounded
+// overflow bucket is clamped to the last finite boundary — the histogram
+// cannot resolve anything beyond it.
+func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
@@ -133,23 +135,66 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if n == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(n)))
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(n)
 	if target < 1 {
 		target = 1
 	}
 	var cum int64
 	for i := range h.counts {
-		cum += h.counts[i].Load()
-		if cum >= target {
-			if i < len(h.bounds) {
-				return h.bounds[i]
-			}
-			// Overflow bucket: no upper boundary; report the overall mean
-			// scaled up as a conservative indicator.
-			return h.sum.Load() / n
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
 		}
+		if float64(cum+c) >= target {
+			if i >= len(h.bounds) {
+				// Open-ended overflow bucket: clamp at the last boundary.
+				return float64(h.bounds[len(h.bounds)-1])
+			}
+			var lo int64
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (target - float64(cum)) / float64(c)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += c
 	}
-	return h.bounds[len(h.bounds)-1]
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
+// BucketCount is one bucket of a histogram snapshot. LE is the bucket's
+// inclusive upper boundary; the open-ended overflow bucket carries LE = -1.
+type BucketCount struct {
+	LE int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// Buckets snapshots the histogram's non-empty buckets in boundary order —
+// the full distribution a run manifest persists for cross-run comparison.
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	var out []BucketCount
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		out = append(out, BucketCount{LE: le, N: c})
+	}
+	return out
 }
 
 // Metrics is a named-instrument registry. Instruments are get-or-create and
@@ -259,13 +304,17 @@ func (m *Metrics) Reset() {
 
 // MetricValue is one row of a registry snapshot.
 type MetricValue struct {
-	Name  string
-	Type  string // "counter", "gauge", "histogram"
-	Value int64  // counter/gauge value; histogram observation count
-	Sum   int64  // histogram only
-	Mean  float64
-	P50   int64 // histogram bucket-resolution quantiles
-	P99   int64
+	Name  string  `json:"name"`
+	Type  string  `json:"type"` // "counter", "gauge", "histogram"
+	Value int64   `json:"value"`
+	Sum   int64   `json:"sum,omitempty"` // histogram only
+	Mean  float64 `json:"mean,omitempty"`
+	// Interpolated histogram quantiles (see Histogram.Quantile).
+	P50 float64 `json:"p50,omitempty"`
+	P90 float64 `json:"p90,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+	// Buckets is the histogram's full non-empty bucket distribution.
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Snapshot returns every instrument with a non-zero value, sorted by name.
@@ -292,12 +341,27 @@ func (m *Metrics) Snapshot() []MetricValue {
 		if n := h.Count(); n != 0 {
 			out = append(out, MetricValue{
 				Name: name, Type: "histogram", Value: n, Sum: h.Sum(),
-				Mean: h.Mean(), P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+				Mean: h.Mean(), P50: h.Quantile(0.50), P90: h.Quantile(0.90),
+				P99: h.Quantile(0.99), Buckets: h.Buckets(),
 			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// WriteJSONL writes the snapshot as one JSON object per line, sorted by
+// metric name — a byte-stable export for a given set of instrument values,
+// whatever order the instruments were registered in. Write and encode errors
+// propagate immediately.
+func (m *Metrics) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, v := range m.Snapshot() {
+		if err := enc.Encode(v); err != nil {
+			return fmt.Errorf("obs: writing metrics JSONL: %w", err)
+		}
+	}
+	return nil
 }
 
 // WriteSummary renders the snapshot as an aligned text table. Write errors
@@ -313,7 +377,7 @@ func (m *Metrics) WriteSummary(w io.Writer) error {
 		var val string
 		switch v.Type {
 		case "histogram":
-			val = fmt.Sprintf("n=%d sum=%d mean=%.1f p50<=%d p99<=%d", v.Value, v.Sum, v.Mean, v.P50, v.P99)
+			val = fmt.Sprintf("n=%d sum=%d mean=%.1f p50=%.0f p99=%.0f", v.Value, v.Sum, v.Mean, v.P50, v.P99)
 		default:
 			val = fmt.Sprintf("%d", v.Value)
 		}

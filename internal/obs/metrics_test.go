@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObsHistogramQuantile pins the interpolated quantiles on known
+// distributions: the estimator assumes each bucket's count is spread
+// uniformly between its boundaries.
+func TestObsHistogramQuantile(t *testing.T) {
+	t.Run("uniform-one-bucket", func(t *testing.T) {
+		m := NewMetrics()
+		h := m.Histogram("h", []int64{100, 200, 300})
+		// 100 observations all inside (100, 200]: quantiles interpolate
+		// linearly across that bucket.
+		for i := 0; i < 100; i++ {
+			h.Observe(150)
+		}
+		if got := h.Quantile(0.50); got != 150 {
+			t.Errorf("p50 = %v, want 150", got)
+		}
+		if got := h.Quantile(0.99); got != 199 {
+			t.Errorf("p99 = %v, want 199", got)
+		}
+		if got := h.Quantile(0.01); got != 101 {
+			t.Errorf("p1 = %v, want 101", got)
+		}
+	})
+	t.Run("split-buckets", func(t *testing.T) {
+		m := NewMetrics()
+		h := m.Histogram("h", []int64{100, 200, 300})
+		// 50 in [0,100], 30 in (100,200], 20 in (200,300].
+		for i := 0; i < 50; i++ {
+			h.Observe(10)
+		}
+		for i := 0; i < 30; i++ {
+			h.Observe(150)
+		}
+		for i := 0; i < 20; i++ {
+			h.Observe(250)
+		}
+		if got := h.Quantile(0.50); got != 100 {
+			t.Errorf("p50 = %v, want 100 (rank 50 is the whole first bucket)", got)
+		}
+		// Rank 99 is the 19th of 20 counts in (200, 300].
+		if got := h.Quantile(0.99); got != 295 {
+			t.Errorf("p99 = %v, want 295", got)
+		}
+		if got := h.Quantile(1); got != 300 {
+			t.Errorf("p100 = %v, want 300", got)
+		}
+	})
+	t.Run("overflow-clamps", func(t *testing.T) {
+		m := NewMetrics()
+		h := m.Histogram("h", []int64{100, 200})
+		h.Observe(50)
+		h.Observe(10_000) // beyond the last boundary
+		if got := h.Quantile(0.99); got != 200 {
+			t.Errorf("p99 = %v, want clamp at last boundary 200", got)
+		}
+	})
+	t.Run("edge-cases", func(t *testing.T) {
+		var nilH *Histogram
+		if got := nilH.Quantile(0.5); got != 0 {
+			t.Errorf("nil histogram p50 = %v", got)
+		}
+		m := NewMetrics()
+		h := m.Histogram("h", []int64{100})
+		if got := h.Quantile(0.5); got != 0 {
+			t.Errorf("empty histogram p50 = %v", got)
+		}
+		h.Observe(50)
+		// Out-of-range q is clamped, and a tiny q still targets rank 1.
+		if got, want := h.Quantile(-3), h.Quantile(0.0001); got != want {
+			t.Errorf("clamped q: %v vs %v", got, want)
+		}
+		if got, want := h.Quantile(7), h.Quantile(1); got != want {
+			t.Errorf("clamped q: %v vs %v", got, want)
+		}
+	})
+}
+
+func TestObsHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("h", []int64{100, 200})
+	h.Observe(50)
+	h.Observe(60)
+	h.Observe(999) // overflow
+	got := h.Buckets()
+	want := []BucketCount{{LE: 100, N: 2}, {LE: -1, N: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	var nilH *Histogram
+	if nilH.Buckets() != nil {
+		t.Error("nil histogram Buckets() != nil")
+	}
+}
+
+// TestObsSnapshotDeterministic pins the manifest-diff prerequisite: two
+// registries holding the same instrument values produce byte-identical
+// exports regardless of registration order.
+func TestObsSnapshotDeterministic(t *testing.T) {
+	fill := func(m *Metrics, names []string) {
+		for _, n := range names {
+			switch {
+			case strings.HasPrefix(n, "c/"):
+				m.Counter(n).Add(int64(len(n)))
+			case strings.HasPrefix(n, "g/"):
+				m.Gauge(n).Set(int64(len(n)))
+			default:
+				h := m.Histogram(n, ByteBuckets)
+				h.Observe(1 << 12)
+				h.Observe(1 << 20)
+			}
+		}
+	}
+	names := []string{"c/iters", "g/depth", "h/bytes", "c/hits", "h/lat", "g/k"}
+	a, b := NewMetrics(), NewMetrics()
+	fill(a, names)
+	rev := make([]string, len(names))
+	for i, n := range names {
+		rev[len(names)-1-i] = n
+	}
+	fill(b, rev)
+
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteJSONL(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSONL(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Fatalf("insertion order leaked into the export:\n--- a ---\n%s--- b ---\n%s", bufA.String(), bufB.String())
+	}
+	if !strings.Contains(bufA.String(), `"buckets"`) {
+		t.Fatalf("histogram rows missing bucket distribution:\n%s", bufA.String())
+	}
+}
+
+func TestObsMetricsWriteJSONLPropagatesErrors(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("c").Add(1)
+	if err := m.WriteJSONL(&failWriter{n: 4}); err == nil {
+		t.Error("WriteJSONL swallowed the write error")
+	}
+}
+
+// TestObsRingTraceExportAfterWrap pins that the exporters see the ring's
+// surviving window, oldest first with original sequence numbers, after the
+// buffer has wrapped.
+func TestObsRingTraceExportAfterWrap(t *testing.T) {
+	tr := NewRingTrace(4)
+	r := NewRecorder(tr, nil)
+	for i := 0; i < 11; i++ {
+		r.Span(KindForward, "g", "fwd", time.Duration(i)*time.Microsecond, int64(i), 0)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("exported %d lines after wrap, want 4:\n%s", len(lines), buf.String())
+	}
+	// Events 7..10 survive (seq 8..11), in order.
+	for i, line := range lines {
+		wantSeq := fmt.Sprintf(`"seq":%d,`, 8+i)
+		if !strings.Contains(line, wantSeq) {
+			t.Fatalf("line %d missing %s: %s", i, wantSeq, line)
+		}
+	}
+	var chrome bytes.Buffer
+	if err := tr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(chrome.String(), `"ph":"X"`); c != 4 {
+		t.Fatalf("chrome export has %d spans after wrap, want 4", c)
+	}
+}

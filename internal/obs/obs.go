@@ -15,7 +15,10 @@
 // and a benchmark pair in the repository root.
 package obs
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Kind classifies a trace event. Kinds mirror the operations the Buffalo
 // papers' figures attribute time and memory to, so a trace can answer "why
@@ -137,11 +140,17 @@ type Event struct {
 
 // Recorder bundles a trace sink and a metrics registry. Either may be nil
 // to record only the other; a nil *Recorder records nothing at all. The
-// struct is immutable after construction, so it is safe for concurrent use
-// by every goroutine of a training run.
+// sinks are immutable after construction and the tap slot is an atomic
+// pointer, so the recorder is safe for concurrent use by every goroutine of
+// a training run.
 type Recorder struct {
 	trace   *Trace
 	metrics *Metrics
+
+	// tap is the optional live-streaming subscriber (see stream.go). Nil
+	// when nobody is listening — the common case — so the hot path pays one
+	// atomic load to find out.
+	tap atomic.Pointer[Tap]
 
 	// Per-kind pre-registered instruments: the hot path (ledger charges,
 	// transfers) updates these with two atomic adds and no map lookups.
@@ -194,8 +203,16 @@ func (r *Recorder) Event(kind Kind, dev, name string, bytes, live, aux int64) {
 	if bytes != 0 {
 		r.bytes[kind].Observe(bytes)
 	}
+	t := r.tap.Load()
+	if r.trace == nil && t == nil {
+		return
+	}
+	ev := Event{Kind: kind, Name: name, Dev: dev, Bytes: bytes, Live: live, Aux: aux}
 	if r.trace != nil {
-		r.trace.record(Event{Kind: kind, Name: name, Dev: dev, Bytes: bytes, Live: live, Aux: aux})
+		r.trace.record(ev)
+	}
+	if t != nil {
+		t.offer(ev)
 	}
 }
 
@@ -212,7 +229,15 @@ func (r *Recorder) Span(kind Kind, dev, name string, dur time.Duration, bytes, a
 		r.bytes[kind].Observe(bytes)
 	}
 	r.durs[kind].Observe(int64(dur))
+	t := r.tap.Load()
+	if r.trace == nil && t == nil {
+		return
+	}
+	ev := Event{Kind: kind, Name: name, Dev: dev, Dur: dur, Bytes: bytes, Aux: aux}
 	if r.trace != nil {
-		r.trace.record(Event{Kind: kind, Name: name, Dev: dev, Dur: dur, Bytes: bytes, Aux: aux})
+		r.trace.record(ev)
+	}
+	if t != nil {
+		t.offer(ev)
 	}
 }

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchSnapshot mirrors the scripts/bench.sh BENCH_<date>.json layout.
+type benchSnapshot struct {
+	Date       string               `json:"date"`
+	Count      int                  `json:"count"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// MergeBenchJSON folds a scripts/bench.sh snapshot (BENCH_<date>.json) into
+// the manifest's Benchmarks map, overwriting same-named entries.
+func (m *Manifest) MergeBenchJSON(r io.Reader) error {
+	var snap benchSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("report: parsing bench snapshot: %w", err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("report: bench snapshot holds no benchmarks")
+	}
+	if m.Benchmarks == nil {
+		m.Benchmarks = make(map[string]Benchmark, len(snap.Benchmarks))
+	}
+	for name, b := range snap.Benchmarks {
+		m.Benchmarks[name] = b
+	}
+	return nil
+}
+
+// benchLine matches one `go test -bench -benchmem` result line:
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   2 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op\s+([\d.]+) allocs/op)?`)
+
+// MergeBenchText folds raw `go test -bench -benchmem` output into the
+// manifest's Benchmarks map, keeping the fastest ns/op sample per benchmark
+// (the floor estimator bench.sh uses: the minimum over samples is the run
+// least polluted by scheduler noise; allocation counts are deterministic).
+func (m *Manifest) MergeBenchText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	n := 0
+	for sc.Scan() {
+		match := benchLine.FindStringSubmatch(sc.Text())
+		if match == nil {
+			continue
+		}
+		name := strings.TrimPrefix(match[1], "Benchmark")
+		ns, err := strconv.ParseFloat(match[2], 64)
+		if err != nil {
+			continue
+		}
+		var allocs float64
+		if match[3] != "" {
+			allocs, _ = strconv.ParseFloat(match[3], 64)
+		}
+		if m.Benchmarks == nil {
+			m.Benchmarks = make(map[string]Benchmark)
+		}
+		if prev, ok := m.Benchmarks[name]; !ok || ns < prev.NsPerOp {
+			m.Benchmarks[name] = Benchmark{NsPerOp: ns, AllocsPerOp: allocs}
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("report: reading bench output: %w", err)
+	}
+	if n == 0 {
+		return fmt.Errorf("report: no benchmark result lines found (expected `go test -bench -benchmem` output)")
+	}
+	return nil
+}
+
+// MergeBenchFile dispatches on the file's first non-space byte: '{' parses
+// the bench.sh JSON snapshot, anything else the raw -bench text.
+func (m *Manifest) MergeBenchFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		return m.MergeBenchJSON(strings.NewReader(trimmed))
+	}
+	return m.MergeBenchText(strings.NewReader(trimmed))
+}

@@ -1,0 +1,387 @@
+// Package report defines the versioned run-manifest artifact: a JSON
+// snapshot of everything a training run knows about itself — configuration,
+// per-phase time breakdown, exposed/hidden overlap accounting, the memory
+// estimator's error distribution, per-device memory summaries, cache and
+// pipeline state, the full metrics registry, and (optionally) benchmark
+// measurements folded in from scripts/bench.sh.
+//
+// Manifests exist to outlive the process: the paper's argument is
+// quantitative (predicted-vs-actual peak memory, Fig 11 phase breakdowns,
+// exposed-vs-hidden transfer time), so its numbers must be comparable across
+// runs, not just printed once. Two manifests diff by flattened metric key
+// (Flatten), and Gate applies configurable regression thresholds against a
+// committed baseline — the make-check wiring that catches estimator drift or
+// hot-path allocation growth before it merges.
+//
+// Serialization is deterministic: struct fields emit in declaration order,
+// maps sort by key (encoding/json), metric rows arrive pre-sorted from
+// obs.Metrics.Snapshot, and everything else is sorted at build time. Two
+// manifests built from identical state are byte-identical except for their
+// stamps.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"buffalo/internal/obs"
+)
+
+// SchemaVersion is the manifest schema this package writes and the only one
+// it reads. Readers reject other versions outright: silently reinterpreting
+// a foreign schema would corrupt every diff downstream.
+const SchemaVersion = 1
+
+// Manifest is one run's persisted self-description.
+type Manifest struct {
+	Schema int `json:"schema"`
+	// Tool names the producer ("buffalo-train", "experiments", "bench").
+	Tool string `json:"tool,omitempty"`
+	// CreatedAt is an RFC3339 stamp; Stamps are excluded from diffs.
+	CreatedAt string `json:"created_at,omitempty"`
+	// Git is the producing commit (best effort; empty outside a checkout).
+	Git string `json:"git,omitempty"`
+
+	Config Config `json:"config"`
+	Run    Run    `json:"run"`
+
+	// PhasesNs is the Fig 11 component breakdown summed over the run's
+	// iterations, nanoseconds per phase. A map so diffs align by phase name
+	// and encoding/json keeps the key order deterministic.
+	PhasesNs map[string]int64 `json:"phases_ns,omitempty"`
+
+	Overlap   Overlap    `json:"overlap"`
+	Estimator *Estimator `json:"estimator,omitempty"`
+	Devices   []Device   `json:"devices,omitempty"`
+	Cache     *Cache     `json:"cache,omitempty"`
+	Pipeline  *Pipeline  `json:"pipeline,omitempty"`
+
+	// Metrics is the full registry snapshot (sorted by name, histograms with
+	// quantiles and bucket distributions).
+	Metrics []obs.MetricValue `json:"metrics,omitempty"`
+
+	// Benchmarks carries measured benchmark results (scripts/bench.sh or
+	// buffalo-report merge-bench), keyed by benchmark name.
+	Benchmarks map[string]Benchmark `json:"benchmarks,omitempty"`
+}
+
+// Config records the run's resolved configuration — enough to tell whether
+// two manifests are comparable at all.
+type Config struct {
+	System           string `json:"system,omitempty"`
+	Dataset          string `json:"dataset,omitempty"`
+	Arch             string `json:"arch,omitempty"`
+	Aggregator       string `json:"aggregator,omitempty"`
+	Layers           int    `json:"layers,omitempty"`
+	Hidden           int    `json:"hidden,omitempty"`
+	Fanouts          []int  `json:"fanouts,omitempty"`
+	BatchSize        int    `json:"batch_size,omitempty"`
+	MemBudgetBytes   int64  `json:"mem_budget_bytes,omitempty"`
+	MicroBatches     int    `json:"micro_batches,omitempty"`
+	GPUs             int    `json:"gpus,omitempty"`
+	Seed             int64  `json:"seed,omitempty"`
+	CommOverlap      bool   `json:"comm_overlap,omitempty"`
+	BucketBytes      int64  `json:"bucket_bytes,omitempty"`
+	Pipelined        bool   `json:"pipelined,omitempty"`
+	PrefetchDepth    int    `json:"prefetch_depth,omitempty"`
+	AdaptiveDepth    bool   `json:"adaptive_depth,omitempty"`
+	CacheBudgetBytes int64  `json:"cache_budget_bytes,omitempty"`
+	PlanAhead        int    `json:"plan_ahead,omitempty"`
+}
+
+// Run is the run's headline outcome.
+type Run struct {
+	Iterations int     `json:"iterations,omitempty"`
+	LossFirst  float64 `json:"loss_first,omitempty"`
+	LossLast   float64 `json:"loss_last,omitempty"`
+	// K is the last iteration's micro-batch count.
+	K int `json:"k,omitempty"`
+	// PeakBytes / PredictedPeakBytes are maxima across iterations.
+	PeakBytes          int64 `json:"peak_bytes,omitempty"`
+	PredictedPeakBytes int64 `json:"predicted_peak_bytes,omitempty"`
+	// CriticalPathNs sums IterationResult.CriticalPath over the run — the
+	// wall time the training loop experienced.
+	CriticalPathNs int64 `json:"critical_path_ns,omitempty"`
+	OOMs           int   `json:"ooms,omitempty"`
+}
+
+// Overlap is the exposed/hidden accounting summed over the run: how much
+// transfer, planning and communication time hid behind compute versus
+// stalling the loop.
+type Overlap struct {
+	HiddenTransferNs  int64 `json:"hidden_transfer_ns,omitempty"`
+	ExposedPlanningNs int64 `json:"exposed_planning_ns,omitempty"`
+	ExposedCommNs     int64 `json:"exposed_comm_ns,omitempty"`
+	HiddenCommNs      int64 `json:"hidden_comm_ns,omitempty"`
+}
+
+// Estimator is the memory estimator's predicted-vs-actual error
+// distribution (the estimate/error_pct histogram): Table III's live
+// counterpart, percentage points of |predicted - actual| / actual.
+type Estimator struct {
+	Count   int64             `json:"count"`
+	MeanPct float64           `json:"mean_pct"`
+	P50     float64           `json:"p50"`
+	P90     float64           `json:"p90"`
+	P99     float64           `json:"p99"`
+	Buckets []obs.BucketCount `json:"buckets,omitempty"`
+}
+
+// Device summarizes one simulated GPU: the ledger counters plus (when a
+// trace was recorded) the reconstructed timeline's high-water-mark set and
+// per-tag aggregates.
+type Device struct {
+	Name             string `json:"name"`
+	CapacityBytes    int64  `json:"capacity_bytes,omitempty"`
+	PeakBytes        int64  `json:"peak_bytes,omitempty"`
+	FinalLiveBytes   int64  `json:"final_live_bytes,omitempty"`
+	TransferredBytes int64  `json:"transferred_bytes,omitempty"`
+	TransferNs       int64  `json:"transfer_ns,omitempty"`
+	ComputeNs        int64  `json:"compute_ns,omitempty"`
+	StallNs          int64  `json:"stall_ns,omitempty"`
+	OOMs             int    `json:"ooms,omitempty"`
+	// PeakSet lists the allocations coexisting at the peak instant, replay
+	// order (obs.Timeline.PeakSet).
+	PeakSet []TagBytes `json:"peak_set,omitempty"`
+	// Tags is the per-tag live/peak aggregate, sorted by tag.
+	Tags []TagStat `json:"tags,omitempty"`
+}
+
+// TagBytes is one allocation of a device's peak set.
+type TagBytes struct {
+	Tag   string `json:"tag"`
+	Bytes int64  `json:"bytes"`
+}
+
+// TagStat is one allocation tag's ledger aggregate.
+type TagStat struct {
+	Tag    string `json:"tag"`
+	Allocs int64  `json:"allocs"`
+	Bytes  int64  `json:"bytes"`
+	Peak   int64  `json:"peak"`
+	Live   int64  `json:"live,omitempty"`
+}
+
+// Cache summarizes the feature cache(s).
+type Cache struct {
+	Entries   int           `json:"entries,omitempty"`
+	UsedBytes int64         `json:"used_bytes,omitempty"`
+	Hits      int64         `json:"hits"`
+	Misses    int64         `json:"misses"`
+	Evictions int64         `json:"evictions,omitempty"`
+	HitRate   float64       `json:"hit_rate"`
+	PerDevice []CacheDevice `json:"per_device,omitempty"`
+}
+
+// CacheDevice is one device's cache slice in a multi-GPU run.
+type CacheDevice struct {
+	Entries int   `json:"entries,omitempty"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+// Pipeline records the async loader's state.
+type Pipeline struct {
+	EffectiveDepth  int  `json:"effective_depth,omitempty"`
+	ConfiguredDepth int  `json:"configured_depth,omitempty"`
+	Adaptive        bool `json:"adaptive,omitempty"`
+	PlanAhead       int  `json:"plan_ahead,omitempty"`
+}
+
+// Benchmark is one measured benchmark (fastest-of-N ns/op plus the
+// deterministic allocation count).
+type Benchmark struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// New returns an empty manifest at the current schema version.
+func New(tool string) *Manifest {
+	return &Manifest{Schema: SchemaVersion, Tool: tool}
+}
+
+// EstimatorFromMetrics extracts the memory estimator's error distribution
+// from a registry's estimate/error_pct histogram (the instrument
+// internal/memest records predicted-vs-actual deviations into). Returns nil
+// when the registry is absent or the histogram never observed anything.
+func EstimatorFromMetrics(reg *obs.Metrics) *Estimator {
+	if reg == nil {
+		return nil
+	}
+	h := reg.Histogram("estimate/error_pct", obs.PercentBuckets)
+	if h.Count() == 0 {
+		return nil
+	}
+	return &Estimator{
+		Count:   h.Count(),
+		MeanPct: h.Mean(),
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+		Buckets: h.Buckets(),
+	}
+}
+
+// Write serializes the manifest as indented JSON. Output is deterministic
+// for a given manifest value.
+func Write(w io.Writer, m *Manifest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("report: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the manifest to path (0644, truncating).
+func WriteFile(path string, m *Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if err := Write(f, m); err != nil {
+		_ = f.Close() // the write failure is the error worth reporting
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("report: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Read parses a manifest, rejecting unknown schema versions.
+func Read(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("report: parsing manifest: %w", err)
+	}
+	if m.Schema != SchemaVersion {
+		return nil, fmt.Errorf("report: unsupported manifest schema %d (this build reads schema %d)", m.Schema, SchemaVersion)
+	}
+	return &m, nil
+}
+
+// ReadFile reads and parses the manifest at path.
+func ReadFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	defer func() { _ = f.Close() }() // read-only; nothing to flush
+	m, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return m, nil
+}
+
+// Flatten projects the manifest's comparable numbers onto stable string
+// keys — the alignment space Diff and Gate operate in. Stamps, config, and
+// raw bucket distributions are excluded; everything with a meaningful
+// magnitude is included.
+func (m *Manifest) Flatten() map[string]float64 {
+	out := make(map[string]float64, 64)
+	put := func(key string, v float64) {
+		if v != 0 {
+			out[key] = v
+		}
+	}
+	put("run/iterations", float64(m.Run.Iterations))
+	put("run/k", float64(m.Run.K))
+	put("run/peak_bytes", float64(m.Run.PeakBytes))
+	put("run/predicted_peak_bytes", float64(m.Run.PredictedPeakBytes))
+	put("run/critical_path_ns", float64(m.Run.CriticalPathNs))
+	put("run/ooms", float64(m.Run.OOMs))
+	for phase, ns := range m.PhasesNs {
+		put("phase/"+phase+"_ns", float64(ns))
+	}
+	put("overlap/hidden_transfer_ns", float64(m.Overlap.HiddenTransferNs))
+	put("overlap/exposed_planning_ns", float64(m.Overlap.ExposedPlanningNs))
+	put("overlap/exposed_comm_ns", float64(m.Overlap.ExposedCommNs))
+	put("overlap/hidden_comm_ns", float64(m.Overlap.HiddenCommNs))
+	if e := m.Estimator; e != nil {
+		put("estimator/error_pct/count", float64(e.Count))
+		put("estimator/error_pct/mean", e.MeanPct)
+		put("estimator/error_pct/p50", e.P50)
+		put("estimator/error_pct/p90", e.P90)
+		put("estimator/error_pct/p99", e.P99)
+	}
+	for _, d := range m.Devices {
+		put("device/"+d.Name+"/peak_bytes", float64(d.PeakBytes))
+		put("device/"+d.Name+"/transferred_bytes", float64(d.TransferredBytes))
+		put("device/"+d.Name+"/stall_ns", float64(d.StallNs))
+		put("device/"+d.Name+"/ooms", float64(d.OOMs))
+	}
+	if c := m.Cache; c != nil {
+		put("cache/hit_rate", c.HitRate)
+		put("cache/hits", float64(c.Hits))
+		put("cache/misses", float64(c.Misses))
+		put("cache/evictions", float64(c.Evictions))
+	}
+	if p := m.Pipeline; p != nil {
+		put("pipeline/effective_depth", float64(p.EffectiveDepth))
+	}
+	for _, mv := range m.Metrics {
+		put("metric/"+mv.Name, float64(mv.Value))
+		if mv.Type == "histogram" {
+			put("metric/"+mv.Name+"/mean", mv.Mean)
+			put("metric/"+mv.Name+"/p50", mv.P50)
+			put("metric/"+mv.Name+"/p99", mv.P99)
+		}
+	}
+	for name, b := range m.Benchmarks {
+		put("bench/"+name+"/ns_per_op", b.NsPerOp)
+		put("bench/"+name+"/allocs_per_op", b.AllocsPerOp)
+	}
+	return out
+}
+
+// Delta is one flattened key's base-vs-current comparison.
+type Delta struct {
+	Key  string
+	Base float64
+	Cur  float64
+	// HasBase/HasCur distinguish "value is zero" from "key absent".
+	HasBase bool
+	HasCur  bool
+}
+
+// PctChange is the relative change from base to current in percent;
+// +Inf when the key appeared (base 0/absent), 0 when both are absent.
+func (d Delta) PctChange() float64 {
+	if d.Base == 0 {
+		if d.Cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return 100 * (d.Cur - d.Base) / d.Base
+}
+
+// Diff aligns two manifests by flattened key and returns every key whose
+// value differs (or exists on only one side), sorted by key.
+func Diff(base, cur *Manifest) []Delta {
+	fb, fc := base.Flatten(), cur.Flatten()
+	keys := make(map[string]struct{}, len(fb)+len(fc))
+	for k := range fb {
+		keys[k] = struct{}{}
+	}
+	for k := range fc {
+		keys[k] = struct{}{}
+	}
+	out := make([]Delta, 0, len(keys))
+	for k := range keys {
+		b, hasB := fb[k]
+		c, hasC := fc[k]
+		if hasB && hasC && b == c {
+			continue
+		}
+		out = append(out, Delta{Key: k, Base: b, Cur: c, HasBase: hasB, HasCur: hasC})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

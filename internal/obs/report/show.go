@@ -1,0 +1,151 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteSummary renders the manifest's headline facts as text — the
+// buffalo-report show view. Write errors propagate via the sticky printer:
+// rendering stops at the first failure and returns it.
+func WriteSummary(w io.Writer, m *Manifest) error {
+	p := &printer{w: w}
+	p.printf("run manifest (schema %d) tool=%s", m.Schema, orDash(m.Tool))
+	if m.CreatedAt != "" {
+		p.printf(" created=%s", m.CreatedAt)
+	}
+	if m.Git != "" {
+		p.printf(" git=%s", m.Git)
+	}
+	p.printf("\n")
+
+	c := m.Config
+	if c.System != "" || c.Dataset != "" {
+		p.printf("config: system=%s dataset=%s arch=%s/%s layers=%d hidden=%d batch=%d budget=%s gpus=%d seed=%d\n",
+			orDash(c.System), orDash(c.Dataset), orDash(c.Arch), orDash(c.Aggregator),
+			c.Layers, c.Hidden, c.BatchSize, byteCount(c.MemBudgetBytes), c.GPUs, c.Seed)
+		if c.Pipelined {
+			p.printf("config: pipelined depth=%d adaptive=%v cache-budget=%s plan-ahead=%d\n",
+				c.PrefetchDepth, c.AdaptiveDepth, byteCount(c.CacheBudgetBytes), c.PlanAhead)
+		}
+		if c.CommOverlap {
+			p.printf("config: comm-overlap bucket=%s\n", byteCount(c.BucketBytes))
+		}
+	}
+
+	r := m.Run
+	if r.Iterations > 0 {
+		p.printf("run: %d iterations, loss %.4f -> %.4f, K=%d, peak=%s predicted=%s, critical-path=%v, ooms=%d\n",
+			r.Iterations, r.LossFirst, r.LossLast, r.K,
+			byteCount(r.PeakBytes), byteCount(r.PredictedPeakBytes),
+			time.Duration(r.CriticalPathNs), r.OOMs)
+	}
+
+	if len(m.PhasesNs) > 0 {
+		var total int64
+		for _, ns := range m.PhasesNs {
+			total += ns
+		}
+		names := make([]string, 0, len(m.PhasesNs))
+		for name := range m.PhasesNs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		p.printf("phases (total %v):\n", time.Duration(total))
+		for _, name := range names {
+			ns := m.PhasesNs[name]
+			if ns == 0 {
+				continue
+			}
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(ns) / float64(total)
+			}
+			p.printf("  %-18s %12v  %5.1f%%\n", name, time.Duration(ns), pct)
+		}
+	}
+
+	o := m.Overlap
+	if o.HiddenTransferNs+o.ExposedPlanningNs+o.ExposedCommNs+o.HiddenCommNs > 0 {
+		p.printf("overlap: hidden-transfer=%v exposed-planning=%v exposed-comm=%v hidden-comm=%v\n",
+			time.Duration(o.HiddenTransferNs), time.Duration(o.ExposedPlanningNs),
+			time.Duration(o.ExposedCommNs), time.Duration(o.HiddenCommNs))
+	}
+
+	if e := m.Estimator; e != nil && e.Count > 0 {
+		p.printf("estimator error: n=%d mean=%.2f%% p50=%.2f%% p90=%.2f%% p99=%.2f%%\n",
+			e.Count, e.MeanPct, e.P50, e.P90, e.P99)
+	}
+
+	for _, d := range m.Devices {
+		p.printf("device %s: peak=%s/%s final-live=%s transferred=%s transfer=%v compute=%v stall=%v ooms=%d\n",
+			d.Name, byteCount(d.PeakBytes), byteCount(d.CapacityBytes), byteCount(d.FinalLiveBytes),
+			byteCount(d.TransferredBytes), time.Duration(d.TransferNs), time.Duration(d.ComputeNs),
+			time.Duration(d.StallNs), d.OOMs)
+		for _, a := range d.PeakSet {
+			p.printf("  at peak: %-28s %s\n", a.Tag, byteCount(a.Bytes))
+		}
+	}
+
+	if c := m.Cache; c != nil {
+		p.printf("cache: %.1f%% hit rate (%d hits / %d misses), %d entries, %s used, %d evictions\n",
+			100*c.HitRate, c.Hits, c.Misses, c.Entries, byteCount(c.UsedBytes), c.Evictions)
+	}
+	if pl := m.Pipeline; pl != nil {
+		p.printf("pipeline: depth=%d/%d adaptive=%v plan-ahead=%d\n",
+			pl.EffectiveDepth, pl.ConfiguredDepth, pl.Adaptive, pl.PlanAhead)
+	}
+
+	if len(m.Benchmarks) > 0 {
+		names := make([]string, 0, len(m.Benchmarks))
+		for name := range m.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		p.printf("benchmarks:\n")
+		for _, name := range names {
+			b := m.Benchmarks[name]
+			p.printf("  %-40s %12.0f ns/op %8.0f allocs/op\n", name, b.NsPerOp, b.AllocsPerOp)
+		}
+	}
+	if len(m.Metrics) > 0 {
+		p.printf("metrics: %d instruments recorded (see the manifest JSON for the full snapshot)\n", len(m.Metrics))
+	}
+	return p.err
+}
+
+// printer remembers the first write error and drops everything after it.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// byteCount renders a byte total with a binary-unit suffix.
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -118,3 +118,8 @@ func (q *Queue[T]) Close() {
 
 // Len reports the current backlog.
 func (q *Queue[T]) Len() int { return len(q.ch) }
+
+// Cap reports the queue's capacity — the bound the producer is paced
+// against. Reporting layers pair it with Len for a depth/capacity view of
+// each stage hand-off.
+func (q *Queue[T]) Cap() int { return cap(q.ch) }

@@ -116,6 +116,11 @@ func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
 	return dp.eng.executeIteration(it, seqStager{e: dp.eng}, false)
 }
 
+// Stats snapshots every replica device's counters, cluster order.
+func (dp *DataParallel) Stats() []device.Stats {
+	return dp.Cluster.Stats()
+}
+
 // EffectiveDepth reports the loader's current prefetch-depth limit (0 for
 // the sequential configuration).
 func (dp *DataParallel) EffectiveDepth() int {

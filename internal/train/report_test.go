@@ -1,0 +1,149 @@
+package train
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"buffalo/internal/obs"
+	"buffalo/internal/obs/report"
+)
+
+// TestRunReportManifestSession drives a real observed run through the
+// RunReport accumulator and checks the manifest carries what the run knew:
+// config, phases, the estimator's error distribution, and the device's
+// reconstructed peak set — then round-trips it through the serializer.
+func TestRunReportManifestSession(t *testing.T) {
+	ds := loadData(t, "cora")
+	rec := obs.NewRecorder(obs.NewTrace(), obs.NewMetrics())
+	cfg := baseConfig(ds, Buffalo)
+	cfg.Obs = rec
+	s, err := NewSession(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rr := NewRunReport("test", "cora", cfg, 1)
+	var wantCritical int64
+	for i := 0; i < 2; i++ {
+		res, err := s.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr.Record(res)
+		wantCritical += int64(res.CriticalPath())
+	}
+	rr.CaptureSession(s)
+	m := rr.Build(rec)
+
+	if m.Schema != report.SchemaVersion || m.Tool != "test" {
+		t.Fatalf("header: schema=%d tool=%q", m.Schema, m.Tool)
+	}
+	if m.Config.System != "buffalo" || m.Config.Dataset != "cora" ||
+		m.Config.BatchSize != cfg.BatchSize || m.Config.MemBudgetBytes != cfg.MemBudget {
+		t.Fatalf("config: %+v", m.Config)
+	}
+	if m.Run.Iterations != 2 || m.Run.CriticalPathNs != wantCritical {
+		t.Fatalf("run: %+v (want 2 iterations, critical %d)", m.Run, wantCritical)
+	}
+	if m.Run.PeakBytes <= 0 || m.Run.PredictedPeakBytes <= 0 {
+		t.Fatalf("peaks not captured: %+v", m.Run)
+	}
+	for _, phase := range []string{"scheduling", "block_gen", "data_loading", "gpu_compute"} {
+		if m.PhasesNs[phase] <= 0 {
+			t.Errorf("phase %s missing from %v", phase, m.PhasesNs)
+		}
+	}
+	if m.Estimator == nil || m.Estimator.Count < 2 {
+		t.Fatalf("estimator distribution missing: %+v", m.Estimator)
+	}
+	if len(m.Devices) != 1 {
+		t.Fatalf("devices: %+v", m.Devices)
+	}
+	d := m.Devices[0]
+	if d.Name != "buffalo" || d.PeakBytes <= 0 || d.TransferredBytes <= 0 {
+		t.Fatalf("device counters: %+v", d)
+	}
+	// The trace was attached, so the timeline-derived peak set must be
+	// present and sum to the device peak.
+	var peakSum int64
+	for _, a := range d.PeakSet {
+		peakSum += a.Bytes
+	}
+	if peakSum != d.PeakBytes {
+		t.Fatalf("peak set sums to %d, device peak %d (%+v)", peakSum, d.PeakBytes, d.PeakSet)
+	}
+	if len(d.Tags) == 0 {
+		t.Fatal("per-tag aggregates missing")
+	}
+	if len(m.Metrics) == 0 {
+		t.Fatal("metrics snapshot missing")
+	}
+
+	var buf bytes.Buffer
+	if err := report.Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := report.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("manifest round trip changed the run report")
+	}
+
+	// Two manifests built from the same accumulated state gate clean under
+	// every deterministic threshold.
+	m2 := rr.Build(rec)
+	if vs := report.Gate(m, m2, report.Thresholds{EstimatorErrorDriftPP: 0.01, AllocsPct: 0.1, CacheHitRateDropPP: 0.1}); len(vs) != 0 {
+		t.Fatalf("same-state manifests gated: %+v", vs)
+	}
+	if ds := report.Diff(m, m2); len(ds) != 0 {
+		t.Fatalf("same-state manifests diff: %+v", ds)
+	}
+}
+
+// TestRunReportManifestPipelined checks the pipelined capture path: loader
+// depth, cache state and the overlap accounting reach the manifest.
+func TestRunReportManifestPipelined(t *testing.T) {
+	ds := loadData(t, "cora")
+	cfg := baseConfig(ds, Buffalo)
+	pcfg := PipelineConfig{Depth: 2, CacheBudget: 8 << 20}
+	p, err := NewPipelinedSession(ds, cfg, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+
+	rr := NewRunReport("test", "cora", cfg, 1)
+	rr.SetPipeline(pcfg)
+	for i := 0; i < 3; i++ {
+		res, err := p.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr.Record(res)
+	}
+	rr.CapturePipelined(p)
+	m := rr.Build(nil)
+
+	if !m.Config.Pipelined || m.Config.PrefetchDepth != 2 || m.Config.CacheBudgetBytes != 8<<20 {
+		t.Fatalf("pipeline config: %+v", m.Config)
+	}
+	if m.Pipeline == nil || m.Pipeline.EffectiveDepth < 1 {
+		t.Fatalf("pipeline state: %+v", m.Pipeline)
+	}
+	if m.Cache == nil || m.Cache.Hits+m.Cache.Misses == 0 {
+		t.Fatalf("cache state: %+v", m.Cache)
+	}
+	if m.Estimator != nil || len(m.Metrics) != 0 {
+		t.Fatalf("nil recorder produced metrics: est=%+v metrics=%d", m.Estimator, len(m.Metrics))
+	}
+	if len(m.Devices) != 1 || m.Devices[0].PeakBytes <= 0 {
+		t.Fatalf("devices: %+v", m.Devices)
+	}
+	if len(m.Devices[0].PeakSet) != 0 {
+		t.Fatal("peak set present without a trace")
+	}
+}

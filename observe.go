@@ -2,8 +2,11 @@ package buffalo
 
 import (
 	"io"
+	"time"
 
 	"buffalo/internal/obs"
+	"buffalo/internal/obs/report"
+	"buffalo/internal/train"
 )
 
 // Observability facade: re-exports of internal/obs so library users can
@@ -48,6 +51,64 @@ func NewMetrics() *Metrics { return obs.NewMetrics() }
 // memory timeline. The replayed peak equals the device's Peak() exactly.
 func ReconstructTimeline(events []TraceEvent, device string) *Timeline {
 	return obs.Reconstruct(events, device)
+}
+
+// Tap is a live, bounded subscription to a recorder's event stream: events
+// are offered with a non-blocking send and dropped (counted) when the
+// subscriber lags, so the training hot path never waits on a consumer.
+// Subscribe/Unsubscribe live on Recorder.
+type Tap = obs.Tap
+
+// Meter is a live terminal readout fed by a recorder tap: per-device
+// live/peak memory, iteration rate and phase mix on one self-rewriting
+// status line (the buffalo-train/experiments -live flag).
+type Meter = obs.Meter
+
+// NewMeter subscribes a meter to the recorder and starts its render loop
+// (nil when the recorder is disabled); call Stop to detach.
+func NewMeter(r *Recorder, w io.Writer, interval time.Duration) *Meter {
+	return obs.NewMeter(r, w, interval)
+}
+
+// RunManifest is the versioned run-manifest artifact (internal/obs/report):
+// config, phase breakdown, estimator error distribution, device memory
+// summaries, cache/pipeline state and the metrics snapshot, serialized as
+// deterministic JSON. Produced by RunReport.Build, consumed by the
+// buffalo-report CLI (show / diff / gate).
+type RunManifest = report.Manifest
+
+// RunReport accumulates per-iteration results into a RunManifest; see
+// buffalo-train -report for the canonical wiring.
+type RunReport = train.RunReport
+
+// NewRunReport starts a run report for one training run of cfg over gpus
+// devices on the named dataset.
+func NewRunReport(tool, dataset string, cfg TrainConfig, gpus int) *RunReport {
+	return train.NewRunReport(tool, dataset, cfg, gpus)
+}
+
+// WriteRunManifest writes a manifest to path as indented JSON.
+func WriteRunManifest(path string, m *RunManifest) error {
+	return report.WriteFile(path, m)
+}
+
+// ReadRunManifest reads and validates the manifest at path, rejecting
+// foreign schema versions.
+func ReadRunManifest(path string) (*RunManifest, error) {
+	return report.ReadFile(path)
+}
+
+// BuildMetricsManifest assembles a manifest from a recorder's metrics
+// registry alone — no per-run config or device state — which is what a
+// multi-run sweep like cmd/experiments can honestly report: the accumulated
+// metrics snapshot plus the estimator's error distribution across every run.
+func BuildMetricsManifest(tool string, rec *Recorder) *RunManifest {
+	m := report.New(tool)
+	if reg := rec.Metrics(); reg != nil {
+		m.Metrics = reg.Snapshot()
+		m.Estimator = report.EstimatorFromMetrics(reg)
+	}
+	return m
 }
 
 // WriteFolded writes a trace's spans in collapsed-stack ("folded") format —

@@ -15,10 +15,17 @@
 # allocs/op moves, the site counts say whether the hot path itself gained
 # or lost allocation sites, or whether only the per-iteration mix shifted.
 #
+# The snapshot is also folded into a run manifest (MANIFEST_<date>.json by
+# default) via `buffalo-report merge-bench`, so a bench run can be compared
+# and gated against any other manifest with `buffalo-report diff` / `gate`
+# — including the training manifests buffalo-train -report writes.
+#
 # Usage: scripts/bench.sh [bench-regex]
-#   bench-regex   passed to -bench (default: . — the full suite)
-#   COUNT=<n>     samples per benchmark (default: 5)
-#   OUT=<path>    output file (default: BENCH_$(date +%F).json in the root)
+#   bench-regex     passed to -bench (default: . — the full suite)
+#   COUNT=<n>       samples per benchmark (default: 5)
+#   OUT=<path>      output file (default: BENCH_$(date +%F).json in the root)
+#   MANIFEST=<path> manifest output (default: MANIFEST_<date>.json; set to
+#                   an empty string to skip the manifest)
 #
 # The raw `go test -bench` output is echoed to stderr as it streams, so a
 # long run shows progress; only the JSON lands in the output file.
@@ -72,3 +79,8 @@ awk '
 ' > "$out"
 
 echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks, best of $count)" >&2
+
+manifest="${MANIFEST-MANIFEST_$(date +%F).json}"
+if [[ -n "$manifest" ]]; then
+    go run ./cmd/buffalo-report merge-bench -bench "$out" -out "$manifest" >&2
+fi

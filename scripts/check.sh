@@ -12,17 +12,24 @@
 #                      until it is optimized away, justified with a
 #                      //buffalo:vet-ignore, or deliberately re-baselined
 #                      with -baseline-write
-#   4. obs race gate   the observability tests (recorder, ledger events,
-#                      timeline reconstruction) under the race detector —
-#                      a fast, focused pass so trace/ledger coherence
-#                      regressions surface before the full suite
-#   5. pipeline gate   the async-loader tests (bounded queues, fan-out
+#   4. report gate     a small deterministic cora run plus one
+#                      allocation-deterministic benchmark, serialized as a
+#                      run manifest and gated by buffalo-report against the
+#                      committed baseline (scripts/report_baseline.json):
+#                      estimator-error drift and allocs/op growth fail here
+#                      before they can creep into the paper's artifacts
+#   5. obs race gate   the observability tests (recorder, ledger events,
+#                      timeline reconstruction, streaming tap/meter) under
+#                      the race detector — a fast, focused pass so
+#                      trace/ledger coherence regressions surface before
+#                      the full suite
+#   6. pipeline gate   the async-loader tests (bounded queues, fan-out
 #                      lanes, prefetch shutdown/cancellation, feature
 #                      cache, multi-GPU pipelined loading) under race
-#   6. scaleout gate   the N-GPU scale-out tests (plan-ahead planner pool,
+#   7. scaleout gate   the N-GPU scale-out tests (plan-ahead planner pool,
 #                      reorder buffer, comm-engine clock, bucketed
 #                      overlapped reduce) under race
-#   7. go test -race   the full test suite under the race detector
+#   8. go test -race   the full test suite under the race detector
 #
 # Run from anywhere; the script cds to the repository root. Fails fast on
 # the first broken gate.
@@ -43,6 +50,29 @@ go vet ./...
 echo "== buffalo-vet =="
 go run ./cmd/buffalo-vet -stale-ignores -timing \
     -baseline scripts/vet_hotalloc_baseline.json ./...
+
+echo "== report gate =="
+# The run's schedule, memory estimator and the sequential hot loop's
+# allocation count are all seeded and machine-independent, so any drift
+# against the committed baseline manifest is a real regression — in
+# internal/memest (estimator error) or on the training hot path (allocs/op).
+# Wall-clock metrics ride along in the manifest but are deliberately not
+# gated here. Re-baseline a justified change with:
+#   go run ./cmd/buffalo-train -dataset cora -iters 3 -seed 7 -report scripts/report_baseline.json
+#   go test -run xxx -bench BenchmarkRunIteration_ObsDisabled -benchtime 20x -benchmem . > /tmp/bench.txt
+#   go run ./cmd/buffalo-report merge-bench -bench /tmp/bench.txt \
+#       -manifest scripts/report_baseline.json -out scripts/report_baseline.json
+reportdir=$(mktemp -d)
+trap 'rm -rf "$reportdir"' EXIT
+go run ./cmd/buffalo-train -dataset cora -iters 3 -seed 7 \
+    -report "$reportdir/current.json" >/dev/null
+go test -run xxx -bench 'BenchmarkRunIteration_ObsDisabled' -benchtime 20x \
+    -benchmem . > "$reportdir/bench.txt"
+go run ./cmd/buffalo-report merge-bench -bench "$reportdir/bench.txt" \
+    -manifest "$reportdir/current.json" -out "$reportdir/current.json" >/dev/null
+go run ./cmd/buffalo-report gate \
+    -baseline scripts/report_baseline.json -current "$reportdir/current.json" \
+    -est-drift-pp 1 -allocs-pct 5
 
 echo "== observability race gate =="
 # The recorder is fed from under the GPU ledger mutex and from concurrent
