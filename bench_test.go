@@ -7,6 +7,7 @@ package buffalo
 // regeneration of each artifact is `go run ./cmd/experiments -run <id>`.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,11 +17,13 @@ import (
 	"buffalo/internal/datagen"
 	"buffalo/internal/device"
 	"buffalo/internal/gnn"
+	"buffalo/internal/graph"
 	"buffalo/internal/memest"
 	"buffalo/internal/obs"
 	"buffalo/internal/partition"
 	"buffalo/internal/sampling"
 	"buffalo/internal/schedule"
+	"buffalo/internal/serve"
 	"buffalo/internal/train"
 )
 
@@ -507,6 +510,42 @@ func BenchmarkRunIteration_PipelinedTap(b *testing.B) {
 	b.StopTimer()
 	rec.Unsubscribe(tap)
 	close(stop)
+}
+
+// BenchmarkServeRequest: the end-to-end online-serving request path —
+// intake channel → batcher seal + admission charge → executor running the
+// forward-only inference session → fan-out — at batch size 1, so ns/op is
+// the uncoalesced per-request floor that the micro-batching rows of the
+// serving experiment (`-run serving`) amortize across coalesced requests.
+func BenchmarkServeRequest(b *testing.B) {
+	st := fixtures(b)
+	sess, err := train.NewInferenceSession(st.cora, train.Config{
+		System: train.Buffalo,
+		Model: gnn.Config{Arch: gnn.SAGE, Aggregator: gnn.Mean, Layers: 2,
+			InDim: st.cora.FeatDim(), Hidden: 16, OutDim: st.cora.NumClasses, Seed: 1},
+		Fanouts:   []int{5, 5},
+		BatchSize: 256,
+		MemBudget: device.GB,
+		Seed:      7,
+		Obs:       obs.NewRecorder(nil, obs.NewMetrics()),
+	}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	srv, err := serve.NewServer(sess, serve.Config{BatchSize: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	nodes := st.cora.Graph.NumNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Infer(ctx, graph.NodeID(i%nodes)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkBettyREG: REG construction, the dominant Betty phase Fig 11

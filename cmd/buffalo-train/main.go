@@ -39,9 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
 	"strings"
-	"time"
 
 	"buffalo"
 )
@@ -174,7 +172,7 @@ func main() {
 	}
 	var meter *buffalo.Meter
 	if *live {
-		meter = buffalo.NewMeter(rec, os.Stderr, 0)
+		meter = buffalo.NewLiveMeter(rec)
 	}
 	defer meter.Stop()
 	exitOOM := func(format string, args ...any) {
@@ -297,10 +295,7 @@ func writeManifest(rr *buffalo.RunReport, rec *buffalo.Recorder, path string) {
 		return
 	}
 	m := rr.Build(rec)
-	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
-	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
-		m.Git = strings.TrimSpace(string(out))
-	}
+	buffalo.StampManifest(m)
 	if err := buffalo.WriteRunManifest(path, m); err != nil {
 		fail(err)
 	}

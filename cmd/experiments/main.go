@@ -18,9 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
-	"strings"
-	"time"
 
 	"buffalo"
 )
@@ -60,7 +57,7 @@ func main() {
 	}
 	var meter *buffalo.Meter
 	if *live {
-		meter = buffalo.NewMeter(rec, os.Stderr, 0)
+		meter = buffalo.NewLiveMeter(rec)
 	}
 	opts := buffalo.ExperimentOptions{Quick: *quick, Seed: *seed, Obs: rec, MetricsSummary: *metrics}
 	err := buffalo.RunExperiments(*run, opts, os.Stdout)
@@ -71,10 +68,7 @@ func main() {
 	}
 	if *reportPath != "" {
 		m := buffalo.BuildMetricsManifest("experiments", rec)
-		m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
-		if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
-			m.Git = strings.TrimSpace(string(out))
-		}
+		buffalo.StampManifest(m)
 		if err := buffalo.WriteRunManifest(*reportPath, m); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"buffalo/internal/device"
 )
 
 // Drops discards the error of a call that can fail.
@@ -218,4 +220,33 @@ func ManifestPropagates(path string, m interface{}) error {
 		return err
 	}
 	return f.Close()
+}
+
+// admission mimics the serving admission controller charging batch
+// reservations to the device ledger.
+type admission struct {
+	gpu *device.GPU
+}
+
+// BadReserveDrop charges a reservation as a bare statement: the OOM signal —
+// the one admission control exists to observe — is silently discarded, and
+// the returned allocation leaks unreleasable.
+func (a *admission) BadReserveDrop(n int64) {
+	a.gpu.Alloc("serve/admission", n) // want:errcheck
+}
+
+// BadWarmupDrop fires the calibration warm-up on a goroutine and drops its
+// error: a failed warm-up leaves the admission charge at its zero value.
+func (a *admission) BadWarmupDrop(warm func() error) {
+	go warm() // want:errcheck
+}
+
+// ReservePropagates is the reviewable admission shape: a refused reservation
+// reports false and the allocation's release travels with the batch.
+func (a *admission) ReservePropagates(n int64) (func(), bool) {
+	al, err := a.gpu.Alloc("serve/admission", n)
+	if err != nil {
+		return nil, false
+	}
+	return al.Free, true
 }

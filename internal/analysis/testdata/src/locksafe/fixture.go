@@ -364,3 +364,73 @@ func (t *tap) BadPublishUnderLock(v int) {
 	defer t.mu.Unlock()
 	t.publish(v) // want:locksafe-transitive
 }
+
+// batcher mimics the serving front-end: a coalescing goroutine assembling
+// requests from an intake channel into batches, with a mutex guarding the
+// batch bookkeeping. The discipline under test: channel waits (intake
+// receive, executor-queue send, the MaxWait timer select) must happen
+// outside the critical section — a send to the bounded executor queue under
+// the lock would stall every concurrent Infer on a full queue.
+type batcher struct {
+	mu    sync.Mutex
+	batch []int
+	reqs  chan int
+	execQ chan []int
+}
+
+// BadSendUnderLock hands a sealed batch to the bounded executor queue while
+// still holding the batch lock: when the queue is full, every producer
+// blocks on this mutex for as long as the executor is busy.
+func (b *batcher) BadSendUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sealed := b.batch
+	b.batch = nil
+	b.execQ <- sealed // want:locksafe
+}
+
+// BadIntakeRecvUnderLock pulls the next request off the intake channel
+// inside the critical section — an idle server parks here holding the lock.
+func (b *batcher) BadIntakeRecvUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batch = append(b.batch, <-b.reqs) // want:locksafe
+}
+
+// BadTimerSelectUnderLock runs the MaxWait coalescing select — intake
+// arrival vs window expiry — with the lock held: the select blocks up to
+// the full window.
+func (b *batcher) BadTimerSelectUnderLock(timer *time.Timer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want:locksafe
+	case v := <-b.reqs:
+		b.batch = append(b.batch, v)
+	case <-timer.C:
+		b.batch = nil
+	}
+}
+
+// GoodShedPoll offers a sealed batch with a non-blocking send — a select
+// with a default never parks, so holding the bookkeeping lock across it is
+// fine (this is the shed-on-full admission shape).
+func (b *batcher) GoodShedPoll(sealed []int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.execQ <- sealed:
+		return true
+	default:
+		return false
+	}
+}
+
+// GoodSealOutsideLock is the batcher discipline: the lock covers only the
+// swap of the assembling batch; the blocking handoff happens after unlock.
+func (b *batcher) GoodSealOutsideLock() {
+	b.mu.Lock()
+	sealed := b.batch
+	b.batch = nil
+	b.mu.Unlock()
+	b.execQ <- sealed
+}

@@ -161,6 +161,7 @@ func Registry() []struct {
 		{"pipeline", PipelineOverlap},
 		{"multigpu-pipeline", MultiGPUPipeline},
 		{"scaleout", Scaleout},
+		{"serving", Serving},
 		{"ablation", Ablations},
 	}
 }

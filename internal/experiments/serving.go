@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"buffalo/internal/gnn"
+	"buffalo/internal/obs"
+	"buffalo/internal/serve"
+	"buffalo/internal/train"
+)
+
+// Serving measures the online-inference layer (beyond-paper: the forward-only
+// serving counterpart of Buffalo's bucketized training): micro-batching
+// against a latency SLO, admission-controlled overload behaviour, and the
+// feature cache under skewed request popularity.
+//
+// Closed-loop rows pit batch-1 (the no-batching baseline every serving
+// system starts from) against full coalescing at a client population large
+// enough to fill batches: throughput climbs because a coalesced batch
+// deduplicates the seeds' shared neighborhoods (one gather/compute per
+// distinct node, the serving mirror of training's block reuse) and amortizes
+// per-call planning, while p99 stays bounded by the window. Open-loop rows
+// sweep MaxWait at a fixed arrival rate — the regime where the window is a
+// real knob: wider windows grow the average batch (rate x window) and trade
+// p50 for efficiency. Cache rows compare uniform and Zipf request traffic at
+// the same cache budget. The overload row shrinks the device budget until
+// admission control must refuse work: the healthy outcome is shed requests
+// and zero execution errors — the ledger never OOMs, it says no at the door.
+//
+// Every row runs its own recorder and server: latency quantiles come from
+// per-row histograms, and a fresh server means one row's backlog cannot
+// poison the next row's queue-wait numbers.
+func Serving(opts Options) (*Table, error) {
+	name := "ogbn-arxiv"
+	clients, perClient := 64, 40
+	if opts.Quick {
+		name = "cora"
+		clients, perClient = 32, 15
+	}
+	ds, err := load(name, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p := quickProfile(name, opts)
+	t := &Table{
+		ID:         "serving",
+		Title:      fmt.Sprintf("Online serving: micro-batching, admission control and cache skew (%s)", name),
+		PaperClaim: "beyond-paper: coalescing strictly beats batch-1 throughput at bounded p99; overload sheds instead of OOMing",
+		Headers: []string{"config", "offered", "done", "shed", "req/s",
+			"avg-batch", "p50", "p99", "cache-hit"},
+	}
+
+	cfg := train.Config{System: train.Buffalo,
+		Model: sageConfig(ds, gnn.Mean, 2, p.hidden), Fanouts: p.fanouts,
+		BatchSize: p.batch, MemBudget: p.budget, Seed: opts.Seed}
+
+	type row struct {
+		label  string
+		scfg   serve.Config
+		budget int64 // device budget override (0 = profile budget)
+		cache  int64 // feature-cache budget
+		skew   float64
+		open   float64 // open-loop arrival rate (0 = closed loop)
+	}
+	batchWindow := 32
+	total := clients * perClient
+	rate := 2000.0
+	rows := []row{
+		// The batch-1 queue is deepened so the baseline's bottleneck is its
+		// serial executor, not the (BatchSize-scaled) intake buffer.
+		{label: "closed batch-1 (no coalescing)", scfg: serve.Config{BatchSize: 1, MaxWait: time.Microsecond, QueueLimit: 2 * clients}},
+		{label: "closed batch-32 wait-1ms", scfg: serve.Config{BatchSize: batchWindow, MaxWait: time.Millisecond}},
+		{label: "open 2k/s wait-200µs", scfg: serve.Config{BatchSize: batchWindow, MaxWait: 200 * time.Microsecond}, open: rate},
+		{label: "open 2k/s wait-1ms", scfg: serve.Config{BatchSize: batchWindow, MaxWait: time.Millisecond}, open: rate},
+		{label: "open 2k/s wait-4ms", scfg: serve.Config{BatchSize: batchWindow, MaxWait: 4 * time.Millisecond}, open: rate},
+		{label: "cache uniform", scfg: serve.Config{BatchSize: batchWindow, MaxWait: time.Millisecond}, cache: p.budget / 8},
+		{label: "cache zipf-1.2", scfg: serve.Config{BatchSize: batchWindow, MaxWait: time.Millisecond}, cache: p.budget / 8, skew: 1.2},
+		// Overload: a budget sized for roughly one executing batch plus the
+		// admission margin, hammered by an open-loop burst far past the
+		// executor's capacity. Shedding — at the intake door and at the
+		// ledger's admission gate — is the pass condition; an execution error
+		// would mean admission let an allocation through that the ledger had
+		// to fault.
+		{label: "overload (1/16 budget)", scfg: serve.Config{BatchSize: 8, MaxWait: 200 * time.Microsecond, QueueLimit: 1},
+			budget: p.budget / 16, open: 20000},
+	}
+
+	// Jitter-proofing (same spirit as scaleout): every row runs three
+	// independent trials — fresh recorder, session and server each time, so a
+	// warm cache or a backlog cannot leak between trials — and reports the
+	// median trial by throughput. Host-scheduler noise on sub-100ms runs is
+	// larger than the effects under measurement; the median survives one
+	// descheduled trial, an average would not.
+	const trials = 3
+	type trial struct {
+		lr serve.LoadResult
+		st serve.Stats
+	}
+	for _, r := range rows {
+		var ts []trial
+		for i := 0; i < trials; i++ {
+			rcfg := cfg
+			rcfg.Obs = obs.NewRecorder(nil, obs.NewMetrics())
+			if r.budget > 0 {
+				rcfg.MemBudget = r.budget
+			}
+			sess, err := train.NewInferenceSession(ds, rcfg, r.cache)
+			if err != nil {
+				return nil, fmt.Errorf("serving %q: %w", r.label, err)
+			}
+			srv, err := serve.NewServer(sess, r.scfg)
+			if err != nil {
+				sess.Close()
+				return nil, fmt.Errorf("serving %q: %w", r.label, err)
+			}
+			var pf serve.PickerFactory
+			if r.skew > 0 {
+				pf = serve.ZipfPicker(ds.Graph.NumNodes(), r.skew)
+			} else {
+				pf = serve.UniformPicker(ds.Graph.NumNodes())
+			}
+			var lr serve.LoadResult
+			if r.open > 0 {
+				lr = serve.OpenLoop(srv, r.open, total, pf, opts.Seed+int64(i))
+			} else {
+				lr = serve.ClosedLoop(srv, clients, perClient, pf, opts.Seed+int64(i))
+			}
+			st := srv.Stats()
+			srv.Close()
+			sess.Close()
+			if lr.Errors > 0 || st.ExecErrors > 0 {
+				return nil, fmt.Errorf("serving %q: %d client / %d exec errors (admission must shed, not fail)",
+					r.label, lr.Errors, st.ExecErrors)
+			}
+			ts = append(ts, trial{lr, st})
+		}
+		sort.Slice(ts, func(a, b int) bool { return ts[a].st.ThroughputRPS < ts[b].st.ThroughputRPS })
+		lr, st := ts[trials/2].lr, ts[trials/2].st
+		hit := "-"
+		if c := st.Cache; c.Hits+c.Misses > 0 {
+			hit = fmt.Sprintf("%.0f%%", 100*float64(c.Hits)/float64(c.Hits+c.Misses))
+		}
+		t.AddRow(r.label, lr.Offered, lr.Completed, lr.Shed,
+			fmt.Sprintf("%.0f", st.ThroughputRPS),
+			fmt.Sprintf("%.1f", st.AvgBatchSize),
+			st.LatencyP50.Round(10*time.Microsecond),
+			st.LatencyP99.Round(10*time.Microsecond), hit)
+	}
+	t.Notes = append(t.Notes,
+		"closed loop: fixed client population, offered load self-limits; open loop: fixed arrival rate",
+		"open-loop req/s tracks the offered rate; the window knob moves avg-batch and p50, not throughput",
+		"overload row: shed>0 with zero errors = admission control refused work the ledger could not hold")
+	return t, nil
+}

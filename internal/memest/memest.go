@@ -148,6 +148,15 @@ func ProfileBatch(b *sampling.Batch, clusteringCoef float64) Profile {
 type Estimator struct {
 	Model ModelSpec
 	Prof  Profile
+	// ForwardOnly switches the model to the inference regime: with no
+	// backward pass, a layer's activations are dead once the next layer has
+	// consumed them, so the peak is not the sum of every layer's footprint
+	// but the largest adjacent pair along the computation order (input
+	// features + first layer, then each layer + its successor). The serving
+	// path's executor frees activations on the same schedule, so predicted
+	// and actual peaks stay comparable. Off (the default), the estimator
+	// prices training: every layer resident simultaneously for backward.
+	ForwardOnly bool
 }
 
 // New builds an estimator after validating the spec.
@@ -209,6 +218,21 @@ func (e *Estimator) aggNodeBytes(layer int, d float64) float64 {
 	return fixed + perDeg*d
 }
 
+// forwardWindow streams the forward-only peak: the largest sum of two
+// adjacent terms along the layer walk. Adjacent-pair peaks are
+// direction-agnostic, so the estimators can feed terms in hop order (outputs
+// inward) even though execution runs inputs outward; the input-feature term
+// is simply fed last. Zero-valued (no allocation, no state beyond two
+// floats), so it rides inside the scheduler's greedy loop for free.
+type forwardWindow struct{ prev, peak float64 }
+
+func (w *forwardWindow) add(term float64) {
+	if s := w.prev + term; s > w.peak {
+		w.peak = s
+	}
+	w.prev = term
+}
+
 // BucketMem is the paper's BucketMemEstimator: the predicted device memory
 // of a micro-batch built from a single output-layer bucket with the given
 // volume (output nodes) and sampled degree, treated in isolation — frontier
@@ -223,20 +247,28 @@ func (e *Estimator) BucketMem(volume, degree int) int64 {
 	L := e.Model.Layers
 	frontier := float64(volume)
 	var total float64
+	var win forwardWindow
 	for h := 0; h < L; h++ {
 		layer := L - 1 - h // hop 0 is processed by the output layer
 		d := float64(degree)
 		if h > 0 {
 			d = e.Prof.AvgDeg[h]
 		}
-		total += frontier * e.aggNodeBytes(layer, d)
+		term := frontier * e.aggNodeBytes(layer, d)
+		total += term
+		win.add(term)
 		frontier *= 1 + d
 		if limit := e.Prof.Frontier[h+1]; limit > 0 && frontier > limit {
 			frontier = limit // cannot exceed the parent batch's frontier
 		}
 	}
 	// Input features for the innermost frontier.
-	total += frontier * float64(e.Model.InDim) * floatBytes
+	feat := frontier * float64(e.Model.InDim) * floatBytes
+	total += feat
+	win.add(feat)
+	if e.ForwardOnly {
+		return int64(win.peak)
+	}
 	return int64(total)
 }
 
@@ -249,22 +281,27 @@ func (e *Estimator) BucketMem(volume, degree int) int64 {
 func (e *Estimator) frontierBytes(volumes, degrees []int, inputNodes int, hop1DegSum float64) int64 {
 	L := e.Model.Layers
 	var total float64
+	var win forwardWindow
 	outputs := 0.0
 	// Hop 0: exact per-bucket costs and the measured distinct inputs.
+	hop0 := 0.0
 	for i, v := range volumes {
-		total += float64(v) * e.aggNodeBytes(L-1, float64(degrees[i]))
+		hop0 += float64(v) * e.aggNodeBytes(L-1, float64(degrees[i]))
 		outputs += float64(v)
 	}
+	total += hop0
+	win.add(hop0)
 	frontier := outputs + float64(inputNodes)
 	for h := 1; h < L; h++ {
 		layer := L - 1 - h
 		var draws float64
+		var term float64
 		if h == 1 {
 			// Hop 1 is priced exactly from the measured frontier degree sum
 			// (bucket groups are degree-homogeneous; batch averages
 			// misprice them).
 			fixed, perDeg := e.aggNodeCoeffs(layer)
-			total += frontier*fixed + hop1DegSum*perDeg
+			term = frontier*fixed + hop1DegSum*perDeg
 			draws = frontier + hop1DegSum
 		} else {
 			// Deeper hops fall back to the batch-profile model: effective
@@ -280,9 +317,11 @@ func (e *Estimator) frontierBytes(volumes, degrees []int, inputNodes int, hop1De
 				}
 				d = f*e.Prof.AvgDeg[h] + (1-f)*e.Prof.NbrDeg[h]
 			}
-			total += frontier * e.aggNodeBytes(layer, d)
+			term = frontier * e.aggNodeBytes(layer, d)
 			draws = frontier * (1 + d)
 		}
+		total += term
+		win.add(term)
 		pool := e.Prof.Frontier[h+1]
 		if pool > 0 && draws > 0 {
 			// Clustering makes neighbor draws collide beyond the uniform
@@ -295,7 +334,12 @@ func (e *Estimator) frontierBytes(volumes, degrees []int, inputNodes int, hop1De
 			frontier = draws
 		}
 	}
-	total += frontier * float64(e.Model.InDim) * floatBytes
+	feat := frontier * float64(e.Model.InDim) * floatBytes
+	total += feat
+	win.add(feat)
+	if e.ForwardOnly {
+		return int64(win.peak)
+	}
 	return int64(total)
 }
 

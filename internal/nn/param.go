@@ -110,6 +110,17 @@ func (ps *ParamSet) GradBytes() int64 {
 	return b
 }
 
+// ValueBytes reports the parameter values' footprint alone: the fixed
+// device-resident state of a forward-only (inference) session, which holds
+// no gradient buffers and no optimizer moments.
+func (ps *ParamSet) ValueBytes() int64 {
+	var b int64
+	for _, p := range ps.params {
+		b += p.Value.Bytes()
+	}
+	return b
+}
+
 // GradBucket is one size-bounded slice of a ParamSet's gradients: the unit a
 // bucketed all-reduce launches as soon as backward has produced every
 // gradient in it. Indices index into Params() and stay in backward order

@@ -30,6 +30,16 @@ var (
 	// PercentBuckets is for relative errors (the memory estimator's
 	// predicted-vs-actual deviation, in percent).
 	PercentBuckets = []int64{1, 2, 5, 10, 15, 25, 50, 100}
+	// LatencyBuckets resolves serving SLO quantiles, in nanoseconds: decade
+	// buckets are too coarse to read a p99 off, so the serving range
+	// (100µs..10s) gets 1-2-5 steps per decade.
+	LatencyBuckets = []int64{
+		int64(100 * time.Microsecond), int64(200 * time.Microsecond), int64(500 * time.Microsecond),
+		int64(time.Millisecond), int64(2 * time.Millisecond), int64(5 * time.Millisecond),
+		int64(10 * time.Millisecond), int64(20 * time.Millisecond), int64(50 * time.Millisecond),
+		int64(100 * time.Millisecond), int64(200 * time.Millisecond), int64(500 * time.Millisecond),
+		int64(time.Second), int64(2 * time.Second), int64(5 * time.Second), int64(10 * time.Second),
+	}
 )
 
 // Counter is a monotonically increasing atomic counter. All methods are

@@ -59,6 +59,7 @@ type Manifest struct {
 	Devices   []Device   `json:"devices,omitempty"`
 	Cache     *Cache     `json:"cache,omitempty"`
 	Pipeline  *Pipeline  `json:"pipeline,omitempty"`
+	Serving   *Serving   `json:"serving,omitempty"`
 
 	// Metrics is the full registry snapshot (sorted by name, histograms with
 	// quantiles and bucket distributions).
@@ -182,6 +183,29 @@ type CacheDevice struct {
 	Entries int   `json:"entries,omitempty"`
 	Hits    int64 `json:"hits"`
 	Misses  int64 `json:"misses"`
+}
+
+// Serving is the online-inference section (cmd/buffalo-serve): request
+// lifecycle counters, batching effectiveness, and the SLO distribution —
+// p50/p90/p99 latency, queue wait, and throughput.
+type Serving struct {
+	Requests   int64 `json:"requests,omitempty"`
+	Responses  int64 `json:"responses,omitempty"`
+	Shed       int64 `json:"shed,omitempty"`
+	Canceled   int64 `json:"canceled,omitempty"`
+	Batches    int64 `json:"batches,omitempty"`
+	ExecErrors int64 `json:"exec_errors,omitempty"`
+	// BatchSize / MaxWaitNs are the resolved coalescing policy.
+	BatchSize    int     `json:"batch_size,omitempty"`
+	MaxWaitNs    int64   `json:"max_wait_ns,omitempty"`
+	AvgBatchSize float64 `json:"avg_batch_size,omitempty"`
+	// ThroughputRPS is completed responses per wall second.
+	ThroughputRPS  float64 `json:"throughput_rps,omitempty"`
+	LatencyP50Ns   int64   `json:"latency_p50_ns,omitempty"`
+	LatencyP90Ns   int64   `json:"latency_p90_ns,omitempty"`
+	LatencyP99Ns   int64   `json:"latency_p99_ns,omitempty"`
+	QueueWaitP50Ns int64   `json:"queue_wait_p50_ns,omitempty"`
+	QueueWaitP99Ns int64   `json:"queue_wait_p99_ns,omitempty"`
 }
 
 // Pipeline records the async loader's state.
@@ -324,6 +348,21 @@ func (m *Manifest) Flatten() map[string]float64 {
 	}
 	if p := m.Pipeline; p != nil {
 		put("pipeline/effective_depth", float64(p.EffectiveDepth))
+	}
+	if s := m.Serving; s != nil {
+		put("serving/requests", float64(s.Requests))
+		put("serving/responses", float64(s.Responses))
+		put("serving/shed", float64(s.Shed))
+		put("serving/canceled", float64(s.Canceled))
+		put("serving/batches", float64(s.Batches))
+		put("serving/exec_errors", float64(s.ExecErrors))
+		put("serving/avg_batch_size", s.AvgBatchSize)
+		put("serving/throughput_rps", s.ThroughputRPS)
+		put("serving/latency_p50_ns", float64(s.LatencyP50Ns))
+		put("serving/latency_p90_ns", float64(s.LatencyP90Ns))
+		put("serving/latency_p99_ns", float64(s.LatencyP99Ns))
+		put("serving/queue_wait_p50_ns", float64(s.QueueWaitP50Ns))
+		put("serving/queue_wait_p99_ns", float64(s.QueueWaitP99Ns))
 	}
 	for _, mv := range m.Metrics {
 		put("metric/"+mv.Name, float64(mv.Value))

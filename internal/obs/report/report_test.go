@@ -41,6 +41,12 @@ func sampleManifest() *Manifest {
 	}}
 	m.Cache = &Cache{Entries: 100, UsedBytes: 1 << 20, Hits: 900, Misses: 100, HitRate: 0.9}
 	m.Pipeline = &Pipeline{EffectiveDepth: 2, ConfiguredDepth: 2}
+	m.Serving = &Serving{
+		Requests: 1000, Responses: 980, Shed: 15, Canceled: 5, Batches: 40,
+		ExecErrors: 2, BatchSize: 32, MaxWaitNs: 2_000_000, AvgBatchSize: 24.5,
+		ThroughputRPS: 8500, LatencyP50Ns: 900_000, LatencyP90Ns: 2_500_000,
+		LatencyP99Ns: 6_000_000, QueueWaitP50Ns: 400_000, QueueWaitP99Ns: 3_000_000,
+	}
 	m.Metrics = []obs.MetricValue{
 		{Name: "alloc/count", Type: "counter", Value: 42},
 		{Name: "forward/duration_ns", Type: "histogram", Value: 12, Sum: 360, Mean: 30, P50: 28, P90: 40, P99: 44},
@@ -312,6 +318,52 @@ func TestReportWriteSummary(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportServingFlatten pins the serving section's flatten contract: every
+// SLO and lifecycle key a gate can reference is present, the policy knobs
+// (batch_size, max_wait_ns) are deliberately config-shaped and NOT flattened,
+// and a manifest without a serving section emits no serving/ keys at all.
+func TestReportServingFlatten(t *testing.T) {
+	m := sampleManifest()
+	flat := m.Flatten()
+	want := map[string]float64{
+		"serving/requests":          1000,
+		"serving/responses":         980,
+		"serving/shed":              15,
+		"serving/canceled":          5,
+		"serving/batches":           40,
+		"serving/exec_errors":       2,
+		"serving/avg_batch_size":    24.5,
+		"serving/throughput_rps":    8500,
+		"serving/latency_p50_ns":    900_000,
+		"serving/latency_p90_ns":    2_500_000,
+		"serving/latency_p99_ns":    6_000_000,
+		"serving/queue_wait_p50_ns": 400_000,
+		"serving/queue_wait_p99_ns": 3_000_000,
+	}
+	for k, v := range want {
+		got, ok := flat[k]
+		if !ok {
+			t.Errorf("flatten missing %q", k)
+			continue
+		}
+		if got != v {
+			t.Errorf("flatten[%q] = %v, want %v", k, got, v)
+		}
+	}
+	for _, k := range []string{"serving/batch_size", "serving/max_wait_ns"} {
+		if _, ok := flat[k]; ok {
+			t.Errorf("policy knob %q leaked into flatten; gates must not diff config", k)
+		}
+	}
+
+	m.Serving = nil
+	for k := range m.Flatten() {
+		if strings.HasPrefix(k, "serving/") {
+			t.Errorf("manifest without serving section flattened %q", k)
 		}
 	}
 }

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"buffalo/internal/graph"
+)
+
+// Picker chooses the node of the next generated request. Pickers returned
+// by NewPicker are not safe for concurrent use; the generators create one
+// per client goroutine via a PickerFactory.
+type Picker func() graph.NodeID
+
+// PickerFactory builds an independent Picker per client from a seed.
+type PickerFactory func(seed int64) Picker
+
+// UniformPicker draws nodes uniformly from [0, n).
+func UniformPicker(n int) PickerFactory {
+	return func(seed int64) Picker {
+		rng := rand.New(rand.NewSource(seed))
+		return func() graph.NodeID {
+			return graph.NodeID(rng.Intn(n))
+		}
+	}
+}
+
+// ZipfPicker draws nodes Zipf-distributed over [0, n) with exponent skew
+// (> 1; larger = more concentrated). Skewed request traffic is where the
+// degree-aware feature cache earns its budget: a small hot set of nodes
+// (and their sampled neighborhoods) covers most requests.
+func ZipfPicker(n int, skew float64) PickerFactory {
+	if skew <= 1 {
+		skew = 1.01
+	}
+	return func(seed int64) Picker {
+		rng := rand.New(rand.NewSource(seed))
+		z := rand.NewZipf(rng, skew, 1, uint64(n-1))
+		return func() graph.NodeID {
+			return graph.NodeID(z.Uint64())
+		}
+	}
+}
+
+// LoadResult summarizes one generator run from the client side. The
+// server-side view (batch sizes, SLO quantiles) is Server.Stats.
+type LoadResult struct {
+	Offered   int64 // requests issued
+	Completed int64 // answered with a prediction
+	Shed      int64 // refused with ErrOverloaded
+	Errors    int64 // any other failure
+	Elapsed   time.Duration
+}
+
+// ClosedLoop drives the server with clients synchronous workers issuing
+// perClient requests each: every client waits for its response before the
+// next request, so offered load self-limits to the server's capacity — the
+// arrival model of a fixed user population.
+func ClosedLoop(srv *Server, clients, perClient int, pf PickerFactory, seed int64) LoadResult {
+	var res LoadResult
+	var completed, shed, errs atomic.Int64
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			pick := pf(seed + int64(c))
+			for i := 0; i < perClient; i++ {
+				_, err := srv.Infer(context.Background(), pick())
+				switch {
+				case err == nil:
+					completed.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					shed.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Offered = int64(clients) * int64(perClient)
+	res.Completed = completed.Load()
+	res.Shed = shed.Load()
+	res.Errors = errs.Load()
+	res.Elapsed = time.Since(t0)
+	return res
+}
+
+// OpenLoop issues total requests at a fixed rate (requests/second)
+// regardless of completions — the arrival model of independent external
+// traffic, which keeps offering load when the server falls behind. Each
+// request runs in its own goroutine; all are joined before returning.
+func OpenLoop(srv *Server, rate float64, total int, pf PickerFactory, seed int64) LoadResult {
+	if rate <= 0 {
+		rate = 1
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	var completed, shed, errs atomic.Int64
+	pick := pf(seed)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	next := time.Now()
+	for i := 0; i < total; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		node := pick()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := srv.Infer(context.Background(), node)
+			switch {
+			case err == nil:
+				completed.Add(1)
+			case errors.Is(err, ErrOverloaded):
+				shed.Add(1)
+			default:
+				errs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return LoadResult{
+		Offered:   int64(total),
+		Completed: completed.Load(),
+		Shed:      shed.Load(),
+		Errors:    errs.Load(),
+		Elapsed:   time.Since(t0),
+	}
+}

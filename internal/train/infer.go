@@ -1,0 +1,326 @@
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"buffalo/internal/block"
+	"buffalo/internal/datagen"
+	"buffalo/internal/device"
+	"buffalo/internal/gnn"
+	"buffalo/internal/graph"
+	"buffalo/internal/memest"
+	"buffalo/internal/obs"
+	"buffalo/internal/pipeline"
+	"buffalo/internal/sampling"
+	"buffalo/internal/schedule"
+	"buffalo/internal/tensor"
+)
+
+// InferenceSession is the forward-only counterpart of Session: the same
+// sample → estimate → K-search → block-gen → execute spine, run in the
+// cheaper inference regime. Two things shrink on the ledger relative to
+// training: the fixed footprint holds parameter values only (no gradient
+// buffers, no Adam moments — a third of the training residency), and the
+// estimator runs ForwardOnly, pricing each micro-batch at its largest
+// adjacent layer pair instead of the whole activation stack, because the
+// executor frees a layer's activations as soon as the next layer has
+// consumed them. Both effects widen the activation budget the K-search sees,
+// so the same device serves strictly larger request batches per micro-batch
+// than it could train.
+//
+// An optional degree-aware feature cache (the pipeline's FeatureCache)
+// absorbs H2D traffic under skewed request distributions; its budget is
+// charged to the ledger up front so the planner sees the reduced headroom.
+//
+// An InferenceSession is not safe for concurrent use — the serving layer
+// (internal/serve) owns one per executor goroutine.
+type InferenceSession struct {
+	Cfg   Config
+	Data  *datagen.Dataset
+	Model *gnn.Model
+	GPU   *device.GPU
+
+	eng         *engine
+	fixedAlloc  *device.Allocation // parameter values only
+	cache       *pipeline.FeatureCache
+	cacheAlloc  *device.Allocation
+	cacheBudget int64
+}
+
+// NewInferenceSession builds a forward-only session on a simulated GPU named
+// "serve". cacheBudget device bytes (0 = no cache) are reserved for the
+// degree-aware feature cache. The model's parameter values are charged up
+// front; construction fails with an OOM error if they do not fit.
+func NewInferenceSession(ds *datagen.Dataset, cfg Config, cacheBudget int64) (*InferenceSession, error) {
+	if err := validateFor(ds, cfg); err != nil {
+		return nil, err
+	}
+	model, err := gnn.New(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	gpu := device.NewGPU("serve", cfg.MemBudget, device.WithRecorder(cfg.Obs))
+	alloc, err := gpu.Alloc("serve/model", model.Params.ValueBytes())
+	if err != nil {
+		return nil, fmt.Errorf("train: model does not fit the device: %w", err)
+	}
+	eng := newEngine(ds, cfg, []replica{{gpu: gpu, model: model}}, nil)
+	s := &InferenceSession{
+		Cfg: cfg, Data: ds, Model: model, GPU: gpu,
+		eng:        eng,
+		fixedAlloc: alloc,
+	}
+	if cacheBudget > 0 {
+		cacheAlloc, err := gpu.Alloc("serve/feature-cache", cacheBudget)
+		if err != nil {
+			alloc.Free()
+			return nil, fmt.Errorf("train: feature cache does not fit the device: %w", err)
+		}
+		s.cacheAlloc = cacheAlloc
+		s.cache = pipeline.NewFeatureCache(cacheBudget, eng.rowBytes, cfg.Obs.Metrics())
+		s.cacheBudget = cacheBudget
+	}
+	return s, nil
+}
+
+// Close releases the session's fixed device allocations.
+func (s *InferenceSession) Close() {
+	if s.cacheAlloc != nil {
+		s.cacheAlloc.Free()
+		s.cacheAlloc = nil
+	}
+	if s.fixedAlloc != nil {
+		s.fixedAlloc.Free()
+		s.fixedAlloc = nil
+	}
+}
+
+// CacheBudget reports the device bytes reserved for the feature cache.
+func (s *InferenceSession) CacheBudget() int64 { return s.cacheBudget }
+
+// CacheStats reports the feature cache's counters (zero-valued without a
+// cache).
+func (s *InferenceSession) CacheStats() pipeline.CacheStats {
+	if s.cache == nil {
+		return pipeline.CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// InferBreakdown is the per-phase wall time of one Infer call, the serving
+// analogue of Phases: host-side assembly (sample + plan + block gen +
+// gather), then the simulated device clocks (H2D stalls, scaled compute).
+type InferBreakdown struct {
+	Sample   time.Duration
+	Plan     time.Duration
+	BlockGen time.Duration
+	Gather   time.Duration
+	H2D      time.Duration
+	Compute  time.Duration
+}
+
+// Assembly is the host-side share of the breakdown: everything that happens
+// before the device sees bytes.
+func (b InferBreakdown) Assembly() time.Duration {
+	return b.Sample + b.Plan + b.BlockGen + b.Gather
+}
+
+// InferResult reports one coalesced inference batch.
+type InferResult struct {
+	// Classes is the predicted class per requested node (logits argmax).
+	Classes map[graph.NodeID]int32
+	// K is the number of micro-batches the K-search split the batch into.
+	K int
+	// Peak / PredictedPeak mirror IterationResult: actual ledger high-water
+	// mark vs the scheduler's ForwardOnly estimate on the resident base.
+	Peak          int64
+	PredictedPeak int64
+	// CacheHits/CacheMisses count this batch's feature-cache outcomes.
+	CacheHits   int64
+	CacheMisses int64
+	Breakdown   InferBreakdown
+}
+
+// Infer runs forward-only inference for the given request nodes: one sampled
+// batch seeded by the requests, split by the ForwardOnly K-search against
+// the live activation budget, executed micro-batch by micro-batch with
+// activations freed as each layer's consumer finishes. Duplicate nodes are
+// collapsed (Classes carries one entry per distinct node). Records the same
+// span kinds as a training iteration — including KindIteration, so the -live
+// meter's batch rate and phase mix work unchanged — plus the estimator's
+// predicted-vs-actual error.
+//
+//buffalo:hot-root serve-request
+func (s *InferenceSession) Infer(nodes []graph.NodeID) (*InferResult, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("train: Infer needs at least one node")
+	}
+	seeds := dedupNodes(nodes)
+	t0 := time.Now()
+	s.GPU.ResetPeak()
+	pre := s.cache != nil
+	var preHits, preMisses int64
+	if pre {
+		st := s.cache.Stats()
+		preHits, preMisses = st.Hits, st.Misses
+	}
+	res := &InferResult{Classes: make(map[graph.NodeID]int32, len(seeds))}
+
+	tS := time.Now()
+	b, err := sampling.SampleBatch(s.Data.Graph, seeds, s.Cfg.Fanouts, s.eng.rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Breakdown.Sample = time.Since(tS)
+	s.Cfg.Obs.Span(obs.KindSample, "", "serve", res.Breakdown.Sample,
+		int64(len(seeds)), int64(len(s.Cfg.Fanouts)))
+
+	est, err := s.eng.estimator(b)
+	if err != nil {
+		return nil, err
+	}
+	est.ForwardOnly = true
+	tP := time.Now()
+	plan, err := schedule.Schedule(b, est, schedule.Options{
+		MemLimit: s.eng.activationBudget() * 9 / 10,
+		Obs:      s.Cfg.Obs,
+	})
+	res.Breakdown.Plan = time.Since(tP)
+	if err != nil {
+		return nil, err
+	}
+	res.K = len(plan.Groups)
+	res.PredictedPeak = plan.MaxEstimate() + s.eng.residentBase()
+	s.Cfg.Obs.Span(obs.KindPlan, "", "serve", res.Breakdown.Plan,
+		plan.MaxEstimate(), int64(plan.K))
+
+	for _, g := range plan.Groups {
+		tB := time.Now()
+		mb, err := block.GenerateTraced(b, g.Nodes(), s.Cfg.Obs)
+		dt := time.Since(tB)
+		res.Breakdown.BlockGen += dt
+		if err != nil {
+			return nil, err
+		}
+		s.Cfg.Obs.Span(obs.KindBlockGen, "", "fast", dt, mb.NumNodes(), int64(len(g.Nodes())))
+		if err := s.executeInfer(mb, res); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Peak = s.GPU.Stats().Peak
+	if pre {
+		st := s.cache.Stats()
+		res.CacheHits, res.CacheMisses = st.Hits-preHits, st.Misses-preMisses
+	}
+	if s.Cfg.Obs.Enabled() {
+		s.Cfg.Obs.Span(obs.KindIteration, s.GPU.Name(), "serve",
+			time.Since(t0), res.Peak, int64(res.K))
+		memest.RecordEstimate(s.Cfg.Obs, s.GPU.Name(), res.PredictedPeak, res.Peak)
+	}
+	return res, nil
+}
+
+// executeInfer stages and computes one forward-only micro-batch: gather
+// (through the cache when present — hits are already device-resident under
+// the cache reservation and pay no H2D), charge, forward with the
+// early-free schedule the ForwardOnly estimator prices (a layer's
+// activations are released once the next layer has consumed them, the
+// features once layer 0 has), then argmax the logits into res.Classes.
+func (s *InferenceSession) executeInfer(mb *block.MicroBatch, res *InferResult) error {
+	inDim := s.Cfg.Model.InDim
+	inputs := mb.InputNodes()
+	tG := time.Now()
+	feats := tensor.New(len(inputs), inDim)
+	var missBytes int64
+	for i, v := range inputs {
+		copy(feats.Row(i), s.Data.FeatureRow(v)[:inDim])
+		if s.cache != nil && s.cache.Lookup(v) {
+			continue
+		}
+		missBytes += s.eng.rowBytes
+		if s.cache != nil {
+			s.cache.Admit(v, s.Data.Graph.Degree(v))
+		}
+	}
+	res.Breakdown.Gather += time.Since(tG)
+
+	var featAlloc *device.Allocation
+	if missBytes > 0 {
+		a, err := s.GPU.Alloc("serve/features", missBytes)
+		if err != nil {
+			return fmt.Errorf("train: staging features: %w", err)
+		}
+		featAlloc = a
+		res.Breakdown.H2D += s.GPU.TransferH2D(missBytes)
+	}
+	layerAllocs := make([]*device.Allocation, len(s.Model.Layers))
+	free := func(a **device.Allocation) {
+		if *a != nil {
+			(**a).Free()
+			*a = nil
+		}
+	}
+	defer func() {
+		for i := range layerAllocs {
+			free(&layerAllocs[i])
+		}
+		free(&featAlloc)
+	}()
+
+	tFwd := time.Now()
+	fwd, err := s.Model.ForwardWithHook(mb, feats, func(layer int, planned int64) error {
+		// Release what this layer no longer needs before charging it: the
+		// input features once layer 0 has run, layer l-2's activations once
+		// layer l-1 has. Freeing first keeps the ledger's peak equal to the
+		// adjacent-pair window the ForwardOnly estimator predicted.
+		if layer >= 1 {
+			free(&featAlloc)
+		}
+		if layer >= 2 {
+			free(&layerAllocs[layer-2])
+		}
+		a, err := s.GPU.Alloc(fmt.Sprintf("serve/activations/layer%d", layer), planned)
+		if err != nil {
+			return err
+		}
+		layerAllocs[layer] = a
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("train: inference forward: %w", err)
+	}
+	res.Breakdown.Compute += s.eng.addCompute(0, time.Since(tFwd), obs.KindForward)
+	for i, v := range mb.Outputs {
+		res.Classes[v] = argmaxRow(fwd.Logits.Row(i))
+	}
+	return nil
+}
+
+// argmaxRow returns the index of the row's largest value.
+func argmaxRow(row []float32) int32 {
+	best := int32(0)
+	for j := 1; j < len(row); j++ {
+		if row[j] > row[best] {
+			best = int32(j)
+		}
+	}
+	return best
+}
+
+// dedupNodes collapses duplicate request nodes, preserving first-seen order
+// (SampleBatch requires distinct seeds; concurrent users may ask for the
+// same node).
+func dedupNodes(nodes []graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]struct{}, len(nodes))
+	out := make([]graph.NodeID, 0, len(nodes))
+	for _, v := range nodes {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

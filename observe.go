@@ -2,6 +2,9 @@ package buffalo
 
 import (
 	"io"
+	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"buffalo/internal/obs"
@@ -70,6 +73,13 @@ func NewMeter(r *Recorder, w io.Writer, interval time.Duration) *Meter {
 	return obs.NewMeter(r, w, interval)
 }
 
+// NewLiveMeter is the canonical -live wiring shared by the CLIs: a meter on
+// stderr at the default refresh interval. Nil-safe like NewMeter — a disabled
+// recorder yields a nil meter whose Stop is a no-op.
+func NewLiveMeter(r *Recorder) *Meter {
+	return obs.NewMeter(r, os.Stderr, 0)
+}
+
 // RunManifest is the versioned run-manifest artifact (internal/obs/report):
 // config, phase breakdown, estimator error distribution, device memory
 // summaries, cache/pipeline state and the metrics snapshot, serialized as
@@ -85,6 +95,18 @@ type RunReport = train.RunReport
 // devices on the named dataset.
 func NewRunReport(tool, dataset string, cfg TrainConfig, gpus int) *RunReport {
 	return train.NewRunReport(tool, dataset, cfg, gpus)
+}
+
+// StampManifest sets a manifest's provenance fields: the creation time (UTC,
+// RFC3339) and the repository's short git revision. The revision is
+// best-effort — a tarball checkout still gets a stamped manifest, just
+// without git provenance. Shared by every manifest-writing CLI so the fields
+// stay byte-compatible across tools.
+func StampManifest(m *RunManifest) {
+	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		m.Git = strings.TrimSpace(string(out))
+	}
 }
 
 // WriteRunManifest writes a manifest to path as indented JSON.

@@ -2,7 +2,8 @@
 # Bench-regression harness for the Buffalo reproduction.
 #
 # Runs the root benchmark suite (one benchmark per paper artifact plus the
-# training-iteration variants, see bench_test.go) with -benchmem and -count
+# training-iteration variants and the online-serving request path
+# BenchmarkServeRequest, see bench_test.go) with -benchmem and -count
 # samples, and writes BENCH_<date>.json mapping each benchmark to its
 # fastest ns/op and its allocs/op. The fastest-of-N sample is the floor
 # estimator: on a shared host the minimum is the run least polluted by

@@ -29,7 +29,10 @@
 #   7. scaleout gate   the N-GPU scale-out tests (plan-ahead planner pool,
 #                      reorder buffer, comm-engine clock, bucketed
 #                      overlapped reduce) under race
-#   8. go test -race   the full test suite under the race detector
+#   8. serving gate    the online-inference tests (micro-batching batcher,
+#                      admission control against the ledger, shutdown
+#                      drain, forward-only session) under race
+#   9. go test -race   the full test suite under the race detector
 #
 # Run from anywhere; the script cds to the repository root. Fails fast on
 # the first broken gate.
@@ -102,6 +105,16 @@ echo "== scaleout race gate =="
 go test -race -count=1 -run 'TestReorder' ./internal/pipeline/
 go test -race -count=1 -run 'TestRingReduce|TestAllReduceAsync|TestWaitReduce|TestCommClock' ./internal/device/
 go test -race -count=1 -run 'TestCommOverlap|TestPlanAhead' ./internal/train/
+
+echo "== serving race gate =="
+# The serving layer runs concurrent Infer callers against two goroutines —
+# the coalescing batcher and the executing consumer — over the intake and
+# execution channels, with the admission controller charging reservations
+# to the same ledger the executor allocates from. Batch seal/shed/drain and
+# the forward-only session's ledger hygiene must stay race-clean on their
+# own before the slow full-suite pass.
+go test -race -count=1 ./internal/serve/
+go test -race -count=1 -run 'TestInfer|TestForwardOnly' ./internal/train/
 
 echo "== go test -race =="
 # Race instrumentation slows the heavy suites several-fold and packages

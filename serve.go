@@ -1,0 +1,96 @@
+package buffalo
+
+import (
+	"buffalo/internal/serve"
+	"buffalo/internal/train"
+)
+
+// Serving facade: re-exports of internal/serve and the forward-only
+// inference session (internal/train) behind it. A serving stack is built in
+// two steps — an InferenceSession owning the device and model, then a
+// Server coalescing concurrent requests over it:
+//
+//	sess, _ := buffalo.NewInferenceSession(ds, cfg, 4*buffalo.MB)
+//	defer sess.Close()
+//	srv, _ := buffalo.NewServer(sess, buffalo.ServeConfig{BatchSize: 32})
+//	defer srv.Close()
+//	pred, _ := srv.Infer(ctx, node)
+
+// InferenceSession is a forward-only session over the bucketized execution
+// spine: no gradients or optimizer state on the ledger, and the memory
+// estimator prices each micro-batch at its peak adjacent layer pair (the
+// executor frees activations as soon as their consumer has run).
+type InferenceSession = train.InferenceSession
+
+// InferResult reports one coalesced inference batch (classes, micro-batch
+// split, peak vs predicted memory, cache outcomes, phase breakdown).
+type InferResult = train.InferResult
+
+// InferBreakdown is the per-phase wall time of one inference batch.
+type InferBreakdown = train.InferBreakdown
+
+// NewInferenceSession builds a forward-only session on a simulated GPU with
+// cfg.MemBudget capacity; cacheBudget bytes (0 = none) are reserved for a
+// degree-aware feature cache.
+func NewInferenceSession(ds *Dataset, cfg TrainConfig, cacheBudget int64) (*InferenceSession, error) {
+	return train.NewInferenceSession(ds, cfg, cacheBudget)
+}
+
+// Server is the online inference front-end: micro-batching under a
+// BatchSize/MaxWait policy, ledger-backed admission control that sheds load
+// instead of OOMing, and SLO latency/throughput instrumentation.
+type Server = serve.Server
+
+// ServeConfig tunes the server's batching and admission policy.
+type ServeConfig = serve.Config
+
+// Prediction is one answered serving request.
+type Prediction = serve.Prediction
+
+// ServeStats is the server's lifecycle summary: counters, batch sizes,
+// throughput and latency quantiles.
+type ServeStats = serve.Stats
+
+// Serving backpressure sentinels: ErrOverloaded is retryable shedding,
+// ErrServerClosed is terminal.
+var (
+	ErrOverloaded   = serve.ErrOverloaded
+	ErrServerClosed = serve.ErrClosed
+)
+
+// NewServer starts a server's batcher and executor goroutines over the
+// session. The session must not be used directly while the server owns it.
+func NewServer(sess *InferenceSession, cfg ServeConfig) (*Server, error) {
+	return serve.NewServer(sess, cfg)
+}
+
+// Load-generator re-exports, for serving benchmarks and the cmd/buffalo-serve
+// -bench mode.
+
+// LoadResult is one load-generator run's client-side summary.
+type LoadResult = serve.LoadResult
+
+// NodePicker draws the node of the next generated request.
+type NodePicker = serve.Picker
+
+// NodePickerFactory builds an independent picker per client goroutine.
+type NodePickerFactory = serve.PickerFactory
+
+// UniformPicker draws request nodes uniformly from [0, n).
+func UniformPicker(n int) NodePickerFactory { return serve.UniformPicker(n) }
+
+// ZipfPicker draws request nodes Zipf-distributed over [0, n) with the given
+// skew exponent — the regime where the feature cache earns its budget.
+func ZipfPicker(n int, skew float64) NodePickerFactory { return serve.ZipfPicker(n, skew) }
+
+// ServeClosedLoop drives the server with a fixed population of synchronous
+// clients (offered load self-limits to capacity).
+func ServeClosedLoop(srv *Server, clients, perClient int, pf NodePickerFactory, seed int64) LoadResult {
+	return serve.ClosedLoop(srv, clients, perClient, pf, seed)
+}
+
+// ServeOpenLoop issues requests at a fixed arrival rate regardless of
+// completions (offered load persists when the server falls behind).
+func ServeOpenLoop(srv *Server, rate float64, total int, pf NodePickerFactory, seed int64) LoadResult {
+	return serve.OpenLoop(srv, rate, total, pf, seed)
+}
