@@ -144,8 +144,11 @@ func gate(args []string) error {
 	if th.CacheHitRateDropPP != 0 {
 		eff.CacheHitRateDropPP = th.CacheHitRateDropPP
 	}
+	if th.ShardingPaddingPct != 0 {
+		eff.ShardingPaddingPct = th.ShardingPaddingPct
+	}
 	if eff == (report.Thresholds{}) {
-		return fmt.Errorf("gate: no thresholds given (pass -thresholds or at least one of -est-drift-pp, -critical-path-pct, -allocs-pct, -cache-drop-pp)")
+		return fmt.Errorf("gate: no thresholds given (pass -thresholds or at least one of -est-drift-pp, -critical-path-pct, -allocs-pct, -cache-drop-pp, -sharding-padding-pct)")
 	}
 	base, err := report.ReadFile(*basePath)
 	if err != nil {
@@ -194,13 +197,14 @@ func mergeBench(args []string) error {
 	return nil
 }
 
-// thresholdFlags registers the four gate knobs on fs and returns the
-// threshold set they fill in after Parse.
+// thresholdFlags registers the gate knobs on fs and returns the threshold
+// set they fill in after Parse.
 func thresholdFlags(fs *flag.FlagSet) *report.Thresholds {
 	th := &report.Thresholds{}
 	fs.Float64Var(&th.EstimatorErrorDriftPP, "est-drift-pp", 0, "max estimator error drift (mean or p99) in percentage points")
 	fs.Float64Var(&th.CriticalPathPct, "critical-path-pct", 0, "max per-iteration critical-path growth in percent")
 	fs.Float64Var(&th.AllocsPct, "allocs-pct", 0, "max allocs/op growth in percent (growth from a zero baseline always fails)")
 	fs.Float64Var(&th.CacheHitRateDropPP, "cache-drop-pp", 0, "max cache hit-rate drop in percentage points")
+	fs.Float64Var(&th.ShardingPaddingPct, "sharding-padding-pct", 0, "max flat-buffer bucket padding as a percent of the parameter bytes (absolute, judged on the current manifest)")
 	return th
 }

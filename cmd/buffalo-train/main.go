@@ -33,6 +33,14 @@
 // reorder buffer (plans still arrive in sampling order); -comm-overlap
 // switches the gradient all-reduce to size-bounded buckets (-bucket-kb)
 // launched during the backward tail, reporting the exposed/hidden comm split.
+//
+// Sharded gradients: -reduce-scatter replaces each bucket's all-reduce with a
+// reduce-scatter, steps the optimizer per shard, and all-gathers the updated
+// values (losses stay bit-identical to the all-reduce path); -zero1
+// additionally shards the resident gradient buffer and Adam moments 1/n per
+// replica (ZeRO stage 1), shrinking each device's fixed footprint by
+// ~(n-1)/n of the optimizer+gradient bytes. Both compose with -comm-overlap
+// and show up in the -report manifest's sharding section.
 package main
 
 import (
@@ -64,6 +72,8 @@ func main() {
 	planAhead := flag.Int("plan-ahead", 0, "planner-pool width: concurrent planner workers behind a reorder buffer (0/1 = single planner; implies -pipeline)")
 	commOverlap := flag.Bool("comm-overlap", false, "bucketed overlapped all-reduce: launch gradient buckets during the backward tail (multi-GPU)")
 	bucketKB := flag.Int64("bucket-kb", 0, "gradient bucket size in KB for -comm-overlap (0 = 32KB default)")
+	reduceScatter := flag.Bool("reduce-scatter", false, "shard the gradient combine: reduce-scatter buckets, step the optimizer per shard, all-gather values (multi-GPU; bit-identical losses)")
+	zero1 := flag.Bool("zero1", false, "ZeRO-1 optimizer sharding: -reduce-scatter plus 1/n-resident gradients and Adam moments per replica")
 	seed := flag.Int64("seed", 7, "seed")
 	tracePath := flag.String("trace", "", "write an execution trace to this file")
 	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome|jsonl|folded")
@@ -112,14 +122,16 @@ func main() {
 			Layers: *layers, InDim: ds.FeatDim(), Hidden: *hidden,
 			OutDim: ds.NumClasses, Seed: 1,
 		},
-		Fanouts:      fo,
-		BatchSize:    *batch,
-		MemBudget:    *budgetMB * buffalo.MB,
-		MicroBatches: *micro,
-		Seed:         *seed,
-		CommOverlap:  *commOverlap,
-		BucketBytes:  *bucketKB << 10,
-		Obs:          rec,
+		Fanouts:       fo,
+		BatchSize:     *batch,
+		MemBudget:     *budgetMB * buffalo.MB,
+		MicroBatches:  *micro,
+		Seed:          *seed,
+		CommOverlap:   *commOverlap,
+		BucketBytes:   *bucketKB << 10,
+		ReduceScatter: *reduceScatter,
+		ZeRO1:         *zero1,
+		Obs:           rec,
 	}
 	switch *system {
 	case "dgl":

@@ -254,6 +254,15 @@ func blockingCallReason(info *types.Info, call *ast.CallExpr) string {
 		// replica's bucket launches.
 		return "simulated collective Cluster.AllReduceAsync"
 	}
+	if isDeviceMethod(fn, "Cluster", "ReduceScatterAsync") {
+		// Same comm-engine booking as AllReduceAsync: the sharded combine
+		// launches one reduce-scatter per bucket, and a mutex held across
+		// the launches serializes every replica's bucket stream.
+		return "simulated collective Cluster.ReduceScatterAsync"
+	}
+	if isDeviceMethod(fn, "Cluster", "AllGatherAsync") {
+		return "simulated collective Cluster.AllGatherAsync"
+	}
 	if isDeviceMethod(fn, "Cluster", "WaitReduce") {
 		return "simulated stall Cluster.WaitReduce"
 	}

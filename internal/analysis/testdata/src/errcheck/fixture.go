@@ -250,3 +250,31 @@ func (a *admission) ReservePropagates(n int64) (func(), bool) {
 	}
 	return al.Free, true
 }
+
+// flatParams mimics nn.ParamSet.Flatten: building the contiguous buffer
+// fails on a degenerate bucket size or shard count, and the sharded
+// optimizer cannot run without it.
+type flatParams struct{}
+
+func (f *flatParams) Flatten(bucketBytes int64, shards int) (*flatParams, error) {
+	if bucketBytes <= 0 || shards < 1 {
+		return nil, io.ErrClosedPipe
+	}
+	return f, nil
+}
+
+// ShardSetupDrop flattens the parameters without checking the error: the
+// engine proceeds to reduce-scatter a buffer that was never built.
+func ShardSetupDrop(f *flatParams) {
+	f.Flatten(1<<20, 4) // want:errcheck
+}
+
+// ShardSetupPropagates is the reviewable sharded-engine shape — a failed
+// flatten aborts construction before any collective is launched: clean.
+func ShardSetupPropagates(f *flatParams) (*flatParams, error) {
+	fb, err := f.Flatten(1<<20, 4)
+	if err != nil {
+		return nil, err
+	}
+	return fb, nil
+}

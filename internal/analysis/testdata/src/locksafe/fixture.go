@@ -292,6 +292,36 @@ func (r *reducer) GoodReduceShape(j int, ready time.Duration) time.Duration {
 	return r.cluster.WaitReduce(ready)
 }
 
+// BadReduceScatterUnderLock launches the sharded collective inside the
+// critical section — the ZeRO-1 combine's per-bucket reduce-scatter books
+// interconnect time exactly like an all-reduce launch.
+func (r *reducer) BadReduceScatterUnderLock(j int, ready time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cluster.ReduceScatterAsync(r.buckets[j], ready) // want:locksafe
+}
+
+// BadAllGatherUnderLock books the value all-gather that closes a ZeRO-1
+// iteration while holding the shard-bookkeeping lock.
+func (r *reducer) BadAllGatherUnderLock(size int64, ready time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cluster.AllGatherAsync(size, ready) // want:locksafe
+}
+
+// GoodShardedCombineShape is the sharded combine's discipline, mirroring
+// GoodReduceShape: snapshot shard state under the lock, then launch the
+// reduce-scatter, wait, and launch the closing all-gather lock-free.
+func (r *reducer) GoodShardedCombineShape(j int, valueBytes int64, ready time.Duration) time.Duration {
+	r.mu.Lock()
+	size := r.buckets[j]
+	r.mu.Unlock()
+	r.cluster.ReduceScatterAsync(size, ready)
+	stall := r.cluster.WaitReduce(ready)
+	r.cluster.AllGatherAsync(valueBytes, ready+stall)
+	return stall
+}
+
 // tap mimics the obs streaming tap: a bounded channel consumers drain, with
 // a mutex guarding the producer-side bookkeeping. Channel operations park
 // the goroutine just like a transfer does, so holding the lock across one

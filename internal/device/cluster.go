@@ -43,7 +43,14 @@ type Cluster struct {
 	exposedComm time.Duration
 	// bucketSeq numbers the async reduces of the current window for traces.
 	bucketSeq int64
-	rec       *obs.Recorder
+	// Per-collective breakdown of commTime: how much interconnect busy time
+	// each collective family contributed (all-reduce time is commTime minus
+	// the two below), for the manifest's sharding section.
+	rsTime  time.Duration
+	agTime  time.Duration
+	rsCount int64
+	agCount int64
+	rec     *obs.Recorder
 }
 
 // NewCluster builds n identical GPUs named base-0..base-(n-1).
@@ -67,22 +74,45 @@ func (c *Cluster) Size() int { return len(c.gpus) }
 // GPU returns device i.
 func (c *Cluster) GPU(i int) *GPU { return c.gpus[i] }
 
-// RingReduceDuration is the one place the ring all-reduce cost model lives:
-// a ring over n devices moves each of the n chunks (size/n bytes) through
-// 2(n-1) exchange steps — n-1 reduce-scatter hops plus n-1 all-gather hops —
-// over the slowest link, paying the per-message latency once per step. Every
-// reduce this cluster models, synchronous or bucketed, is priced here, so
-// volume-accounting fixes cannot drift between paths. Single-GPU clusters
-// reduce nothing and take no time.
-func (c *Cluster) RingReduceDuration(size int64) time.Duration {
+// halfRingDuration is the one place the ring collective cost model lives:
+// n-1 exchange steps each moving one size/n chunk over the slowest link,
+// paying the per-message latency once per step — i.e. (n-1)/n·size of wire
+// volume plus (n-1) latencies. A ring reduce-scatter and a ring all-gather
+// each cost exactly this; a full all-reduce is the two back to back. Every
+// collective this cluster models is priced here, so volume-accounting fixes
+// cannot drift between paths. Single-GPU clusters move nothing.
+func (c *Cluster) halfRingDuration(size int64) time.Duration {
 	n := len(c.gpus)
 	if n < 2 {
 		return 0
 	}
-	steps := 2 * (n - 1)
+	steps := n - 1
 	chunk := float64(size) / float64(n)
 	return time.Duration(float64(steps)*(chunk/c.linkBandwidth)*float64(time.Second)) +
 		time.Duration(steps)*c.linkLatency
+}
+
+// ReduceScatterDuration prices a ring reduce-scatter of size bytes: each
+// replica ends holding the fully reduced 1/n shard, for (n-1)/n·size moved
+// plus n-1 latencies (see halfRingDuration).
+func (c *Cluster) ReduceScatterDuration(size int64) time.Duration {
+	return c.halfRingDuration(size)
+}
+
+// AllGatherDuration prices a ring all-gather of size bytes (total gathered
+// payload): identical wire cost to the reduce-scatter half.
+func (c *Cluster) AllGatherDuration(size int64) time.Duration {
+	return c.halfRingDuration(size)
+}
+
+// RingReduceDuration prices a full ring all-reduce: a reduce-scatter half
+// followed by an all-gather half. Composing the two halves here — rather
+// than repeating the 2(n-1)-step formula — guarantees
+// ReduceScatterDuration(s) + AllGatherDuration(s) == RingReduceDuration(s)
+// exactly, so the sharded path's comm accounting can be compared to the
+// all-reduce path's without rounding slop.
+func (c *Cluster) RingReduceDuration(size int64) time.Duration {
+	return c.halfRingDuration(size) + c.halfRingDuration(size)
 }
 
 // AllReduce models a synchronous ring all-reduce of size bytes across the
@@ -130,6 +160,63 @@ func (c *Cluster) AllReduceAsync(size int64, ready time.Duration) time.Duration 
 	return done
 }
 
+// bookAsync places one collective of duration d on the comm engine after
+// both the engine is free and the payload is ready, and returns the
+// completion position plus the window launch index. Callers hold no lock.
+func (c *Cluster) bookAsync(d, ready time.Duration) (done time.Duration, seq int64) {
+	c.mu.Lock()
+	start := c.commFront
+	if ready > start {
+		start = ready
+	}
+	c.commFront = start + d
+	c.commTime += d
+	done = c.commFront
+	seq = c.bucketSeq
+	c.bucketSeq++
+	c.mu.Unlock()
+	return done, seq
+}
+
+// ReduceScatterAsync launches one gradient bucket's ring reduce-scatter on
+// the comm engine: like AllReduceAsync it starts once the interconnect is
+// free and the bucket's gradients are ready, but it moves only the
+// reduce-scatter half of the ring — each replica ends holding the fully
+// reduced 1/n shard of the bucket, at half the all-reduce's wire time. The
+// full duration accrues on the comm clock; WaitReduce decides how much was
+// hidden. Single-GPU clusters return ready unchanged at no cost.
+func (c *Cluster) ReduceScatterAsync(size int64, ready time.Duration) time.Duration {
+	d := c.ReduceScatterDuration(size)
+	if d == 0 {
+		return ready
+	}
+	done, seq := c.bookAsync(d, ready)
+	c.mu.Lock()
+	c.rsTime += d
+	c.rsCount++
+	c.mu.Unlock()
+	c.rec.Span(obs.KindReduceScatter, "", "reducescatter", d, size, seq)
+	return done
+}
+
+// AllGatherAsync launches a ring all-gather of size bytes (the total
+// gathered payload — e.g. the flat parameter buffer after each replica
+// stepped its own shard) on the comm engine, starting once the interconnect
+// is free and the shards are ready. Accounting mirrors ReduceScatterAsync.
+func (c *Cluster) AllGatherAsync(size int64, ready time.Duration) time.Duration {
+	d := c.AllGatherDuration(size)
+	if d == 0 {
+		return ready
+	}
+	done, seq := c.bookAsync(d, ready)
+	c.mu.Lock()
+	c.agTime += d
+	c.agCount++
+	c.mu.Unlock()
+	c.rec.Span(obs.KindAllGather, "", "allgather", d, size, seq)
+	return done
+}
+
 // WaitReduce ends the current iteration's reduce window: the training step
 // has reached position at on the iteration timeline (its slowest replica's
 // compute tail) and must wait for the comm engine's outstanding reduces. The
@@ -170,6 +257,28 @@ func (c *Cluster) ExposedCommTime() time.Duration {
 	return c.exposedComm
 }
 
+// CollectiveBreakdown splits the comm clock by collective family.
+type CollectiveBreakdown struct {
+	ReduceScatterTime  time.Duration
+	AllGatherTime      time.Duration
+	ReduceScatterCount int64
+	AllGatherCount     int64
+}
+
+// Collectives reports the sharded-collective share of CommTime: how much
+// interconnect busy time reduce-scatters and all-gathers contributed, and
+// how many of each launched. CommTime minus both is the all-reduce share.
+func (c *Cluster) Collectives() CollectiveBreakdown {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CollectiveBreakdown{
+		ReduceScatterTime:  c.rsTime,
+		AllGatherTime:      c.agTime,
+		ReduceScatterCount: c.rsCount,
+		AllGatherCount:     c.agCount,
+	}
+}
+
 // Stats snapshots every device's counters, cluster order. The reporting
 // layer's one-call view of the whole cluster.
 func (c *Cluster) Stats() []Stats {
@@ -198,14 +307,24 @@ func (c *Cluster) ResetPeaks() {
 // pipelined callers should rely on ResetPeaks plus clock deltas instead.
 func (c *Cluster) ResetClocks() {
 	c.mu.Lock()
-	c.commTime = 0
-	c.exposedComm = 0
-	c.commFront = 0
-	c.bucketSeq = 0
+	c.zeroCommClocksLocked()
 	c.mu.Unlock()
 	for _, g := range c.gpus {
 		g.ResetClocks()
 	}
+}
+
+// zeroCommClocksLocked clears every interconnect clock and counter; callers
+// hold mu.
+func (c *Cluster) zeroCommClocksLocked() {
+	c.commTime = 0
+	c.exposedComm = 0
+	c.commFront = 0
+	c.bucketSeq = 0
+	c.rsTime = 0
+	c.agTime = 0
+	c.rsCount = 0
+	c.agCount = 0
 }
 
 // Reset zeroes the interconnect clocks and atomically resets every device's
@@ -213,10 +332,7 @@ func (c *Cluster) ResetClocks() {
 // not run while async transfers are pending on any device.
 func (c *Cluster) Reset() {
 	c.mu.Lock()
-	c.commTime = 0
-	c.exposedComm = 0
-	c.commFront = 0
-	c.bucketSeq = 0
+	c.zeroCommClocksLocked()
 	c.mu.Unlock()
 	for _, g := range c.gpus {
 		g.Reset()

@@ -35,6 +35,84 @@ func TestRingReduceDurationPinned(t *testing.T) {
 	}
 }
 
+// TestShardedCollectivesPinned pins the sharded-collective cost model: a
+// ring reduce-scatter and a ring all-gather each cost (n-1) steps of one
+// size/n chunk plus the per-step latency — (n-1)/n·size of wire volume —
+// and the two back to back equal RingReduceDuration EXACTLY, by
+// construction, for every cluster size and payload. The sharded path's comm
+// accounting is therefore directly comparable to the all-reduce path's.
+func TestShardedCollectivesPinned(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		c, err := NewCluster("gpu", n, GB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, size := range []int64{1, 4096, 1 << 20, 123456789} {
+			steps := n - 1
+			chunk := float64(size) / float64(n)
+			want := time.Duration(float64(steps)*(chunk/10e9)*float64(time.Second)) +
+				time.Duration(steps)*25*time.Microsecond
+			if got := c.ReduceScatterDuration(size); got != want {
+				t.Fatalf("n=%d: ReduceScatterDuration(%d) = %v, want %v", n, size, got, want)
+			}
+			if got := c.AllGatherDuration(size); got != want {
+				t.Fatalf("n=%d: AllGatherDuration(%d) = %v, want %v", n, size, got, want)
+			}
+			rs, ag, ar := c.ReduceScatterDuration(size), c.AllGatherDuration(size), c.RingReduceDuration(size)
+			if rs+ag != ar {
+				t.Fatalf("n=%d size=%d: RS %v + AG %v != all-reduce %v", n, size, rs, ag, ar)
+			}
+		}
+	}
+}
+
+// TestShardedCollectivesAsync drives one ZeRO-style window: two bucket
+// reduce-scatters launched behind compute, then one all-gather of the
+// updated parameters. The collectives book on the same comm engine as
+// AllReduceAsync (serializing on the one interconnect), the breakdown
+// counters split busy time by family, and WaitReduce accounts stalls the
+// same way.
+func TestShardedCollectivesAsync(t *testing.T) {
+	c, err := NewCluster("gpu", 2, GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(4 << 20)
+	d := c.ReduceScatterDuration(size)
+	if d <= 0 {
+		t.Fatal("want a positive collective duration")
+	}
+	// Both buckets ready at the origin: they queue back to back.
+	if done := c.ReduceScatterAsync(size, 0); done != d {
+		t.Fatalf("RS bucket 0 completion = %v, want %v", done, d)
+	}
+	if done := c.ReduceScatterAsync(size, 0); done != 2*d {
+		t.Fatalf("RS bucket 1 completion = %v, want %v", done, 2*d)
+	}
+	// Shards stepped by 3d; the all-gather starts then (engine free since 2d).
+	if done := c.AllGatherAsync(size, 3*d); done != 4*d {
+		t.Fatalf("AG completion = %v, want %v", done, 4*d)
+	}
+	if stall := c.WaitReduce(3 * d); stall != d {
+		t.Fatalf("exposed stall = %v, want %v (only the all-gather tail)", stall, d)
+	}
+	if busy := c.CommTime(); busy != 3*d {
+		t.Fatalf("comm busy = %v, want %v", busy, 3*d)
+	}
+	bd := c.Collectives()
+	if bd.ReduceScatterTime != 2*d || bd.AllGatherTime != d {
+		t.Fatalf("breakdown times RS %v AG %v, want %v and %v", bd.ReduceScatterTime, bd.AllGatherTime, 2*d, d)
+	}
+	if bd.ReduceScatterCount != 2 || bd.AllGatherCount != 1 {
+		t.Fatalf("breakdown counts RS %d AG %d, want 2 and 1", bd.ReduceScatterCount, bd.AllGatherCount)
+	}
+	// Reset clears the breakdown with the rest of the comm clocks.
+	c.ResetClocks()
+	if bd := c.Collectives(); bd.ReduceScatterTime != 0 || bd.AllGatherCount != 0 {
+		t.Fatalf("breakdown not cleared by ResetClocks: %+v", bd)
+	}
+}
+
 // TestRingReduceSingleGPU: a single-device cluster has nothing to reduce.
 func TestRingReduceSingleGPU(t *testing.T) {
 	c, err := NewCluster("gpu", 1, GB)
@@ -49,6 +127,12 @@ func TestRingReduceSingleGPU(t *testing.T) {
 	}
 	if done := c.AllReduceAsync(1<<20, 5*time.Millisecond); done != 5*time.Millisecond {
 		t.Fatalf("single-GPU AllReduceAsync must pass ready through, got %v", done)
+	}
+	if done := c.ReduceScatterAsync(1<<20, 5*time.Millisecond); done != 5*time.Millisecond {
+		t.Fatalf("single-GPU ReduceScatterAsync must pass ready through, got %v", done)
+	}
+	if done := c.AllGatherAsync(1<<20, 5*time.Millisecond); done != 5*time.Millisecond {
+		t.Fatalf("single-GPU AllGatherAsync must pass ready through, got %v", done)
 	}
 	if stall := c.WaitReduce(time.Millisecond); stall != 0 {
 		t.Fatalf("single-GPU WaitReduce stall = %v, want 0", stall)

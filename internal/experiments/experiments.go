@@ -161,6 +161,7 @@ func Registry() []struct {
 		{"pipeline", PipelineOverlap},
 		{"multigpu-pipeline", MultiGPUPipeline},
 		{"scaleout", Scaleout},
+		{"zero", ZeRO},
 		{"serving", Serving},
 		{"ablation", Ablations},
 	}
@@ -302,6 +303,15 @@ func quickDatasets(opts Options) []string {
 
 func mb(bytes int64) string {
 	return fmt.Sprintf("%.1fMB", float64(bytes)/float64(device.MB))
+}
+
+// kb renders small footprints (parameter shards, quick-mode ledgers) with
+// enough resolution that a fraction-of-a-megabyte drop doesn't round away.
+func kb(bytes int64) string {
+	if bytes >= device.MB {
+		return mb(bytes)
+	}
+	return fmt.Sprintf("%.1fKB", float64(bytes)/1024)
 }
 
 // sampleFor draws one deterministic batch for a dataset profile.

@@ -36,7 +36,7 @@ func TestRunUnknownID(t *testing.T) {
 func TestRegistryCoversPaperArtifacts(t *testing.T) {
 	want := []string{"table2", "fig1", "fig2", "fig4", "fig5", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-		"table3", "table4", "multigpu", "ablation"}
+		"table3", "table4", "multigpu", "zero", "ablation"}
 	got := map[string]bool{}
 	for _, e := range Registry() {
 		got[e.ID] = true
@@ -130,6 +130,40 @@ func TestFig13ResolvesOOMs(t *testing.T) {
 	}
 	if !sawOOM {
 		t.Fatal("expected at least one DGL OOM in the wall configs")
+	}
+}
+
+// TestZeROBitIdenticalAndMemoryDrop runs the zero experiment, which asserts
+// bit-identical losses between the all-reduce and ZeRO-1 combines internally
+// (it returns an error on any divergence), then checks the table's shape:
+// baseline/zero-1 row pairs per replica count and a memory-drop note per pair.
+func TestZeROBitIdenticalAndMemoryDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	if raceEnabled {
+		t.Skip("single-goroutine numerical workload; runs race-free in tier-1")
+	}
+	tb, err := ZeRO(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode sweeps {1, 2, 4}: one single-GPU row plus a pair per
+	// multi-replica count.
+	if len(tb.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5: %+v", len(tb.Rows), tb.Rows)
+	}
+	var pairs int
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "losses bit-identical") {
+			pairs++
+			if !strings.Contains(n, "drops") {
+				t.Errorf("pair note missing the memory drop: %s", n)
+			}
+		}
+	}
+	if pairs != 2 {
+		t.Fatalf("got %d per-pair notes, want 2: %v", pairs, tb.Notes)
 	}
 }
 

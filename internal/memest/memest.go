@@ -437,3 +437,21 @@ func (e *Estimator) BatchMem(b *sampling.Batch) (int64, error) {
 	g := &bucket.Group{Buckets: bk.Buckets}
 	return e.GroupMem(b, g)
 }
+
+// TrainFixedBytes is the fixed device-resident footprint of one replicated
+// training replica: parameter values, gradient buffers, and Adam's two
+// moment tensors — each the parameter values' size, so 2x the combined
+// params+grads footprint the caller passes (ParamSet.Bytes).
+func TrainFixedBytes(paramAndGradBytes int64) int64 { return 2 * paramAndGradBytes }
+
+// ZeRO1FixedBytes is the fixed footprint of one ZeRO-1 replica: parameter
+// values stay fully replicated (every replica runs the whole forward and
+// backward pass), but the resident gradient buffer and both Adam moments
+// cover only the replica's 1/n shard of the flat buffer — reduce-scatter
+// streams gradient buckets through and leaves each replica holding just its
+// reduced shard, and the shard optimizer never materializes moments outside
+// its range. The drop versus TrainFixedBytes is 3·(valueBytes - shardBytes):
+// ~(n-1)/n of the optimizer+gradient bytes.
+func ZeRO1FixedBytes(valueBytes, shardBytes int64) int64 {
+	return valueBytes + 3*shardBytes
+}

@@ -12,6 +12,7 @@
 package nn
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -52,10 +53,25 @@ func (p *Param) Bytes() int64 { return p.Value.Bytes() + p.Grad.Bytes() }
 // never reduced).
 func (p *Param) GradBytes() int64 { return p.Grad.Bytes() }
 
+// Sentinel errors for the per-iteration bulk operations below. They flag the
+// same programming error — combining sets built from different models — so
+// they carry no per-call detail, and the hot path pays no fmt boxing for
+// checks that never fire in a correctly wired trainer.
+var (
+	errParamCountMismatch = errors.New("nn: parameter count mismatch (sets built from different models)")
+	errParamShapeMismatch = errors.New("nn: parameter shape mismatch (sets built from different models)")
+	errBucketIndexRange   = errors.New("nn: gradient bucket index out of the parameter set's range")
+)
+
 // ParamSet is an ordered collection of parameters, the unit optimizers and
-// gradient bookkeeping operate on.
+// gradient bookkeeping operate on. After Flatten the set's storage lives in
+// one FlatBuffer and the bulk operations below (ZeroGrad, CopyValuesFrom,
+// AddGradsFrom, AddGradsFromBucket) run as single contiguous sweeps instead
+// of per-parameter loops; the numerics are bit-identical either way because
+// every one of them is elementwise.
 type ParamSet struct {
 	params []*Param
+	flat   *FlatBuffer
 }
 
 // Add registers params; duplicate names are rejected to catch wiring bugs.
@@ -84,6 +100,10 @@ func (ps *ParamSet) Params() []*Param { return ps.params }
 
 // ZeroGrad clears every gradient accumulator.
 func (ps *ParamSet) ZeroGrad() {
+	if ps.flat != nil {
+		ps.flat.ZeroGrad()
+		return
+	}
 	for _, p := range ps.params {
 		p.Grad.Zero()
 	}
@@ -125,9 +145,16 @@ func (ps *ParamSet) ValueBytes() int64 {
 // bucketed all-reduce launches as soon as backward has produced every
 // gradient in it. Indices index into Params() and stay in backward order
 // within and across buckets.
+//
+// For a flattened set the bucket is additionally a pure slice of the flat
+// gradient buffer: [Off, Off+Len) elements, Len padded to a multiple of the
+// shard count so reduce-scatter splits it evenly. Off/Len are zero for
+// buckets built over unflattened storage.
 type GradBucket struct {
 	Indices []int
 	Bytes   int64 // summed gradient payload of the bucket
+	Off     int   // element offset into the flat grad buffer (flat sets only)
+	Len     int   // padded element length in the flat grad buffer (flat sets only)
 }
 
 // GradBuckets partitions the set's gradients into buckets of at most
@@ -141,6 +168,12 @@ type GradBucket struct {
 func (ps *ParamSet) GradBuckets(maxBytes int64) []GradBucket {
 	if len(ps.params) == 0 {
 		return nil
+	}
+	if ps.flat != nil {
+		// A flattened set's bucketization is fixed at Flatten time (the
+		// physical layout IS the bucket index); callers get those buckets —
+		// pure slices of the flat buffer — regardless of maxBytes.
+		return ps.flat.Buckets()
 	}
 	if maxBytes <= 0 {
 		b := GradBucket{Indices: make([]int, 0, len(ps.params))}
@@ -173,11 +206,14 @@ func (ps *ParamSet) GradBuckets(maxBytes int64) []GradBucket {
 // identical to the sequential combine.
 func (ps *ParamSet) AddGradsFromBucket(src *ParamSet, b GradBucket) error {
 	if len(ps.params) != len(src.params) {
-		return fmt.Errorf("nn: param count mismatch %d vs %d", len(ps.params), len(src.params))
+		return errParamCountMismatch
+	}
+	if ps.flat != nil && src.flat != nil && b.Len > 0 {
+		return ps.flat.AccumulateGradBucket(src.flat, b)
 	}
 	for _, i := range b.Indices {
 		if i < 0 || i >= len(ps.params) {
-			return fmt.Errorf("nn: bucket index %d out of range (%d params)", i, len(ps.params))
+			return errBucketIndexRange
 		}
 		ps.params[i].Grad.AddInPlace(src.params[i].Grad)
 	}
@@ -188,12 +224,15 @@ func (ps *ParamSet) AddGradsFromBucket(src *ParamSet, b GradBucket) error {
 // the data-parallel trainer to replicate a model onto several devices.
 func (ps *ParamSet) CopyValuesFrom(src *ParamSet) error {
 	if len(ps.params) != len(src.params) {
-		return fmt.Errorf("nn: param count mismatch %d vs %d", len(ps.params), len(src.params))
+		return errParamCountMismatch
+	}
+	if ps.flat != nil && src.flat != nil {
+		return ps.flat.CopyValuesFrom(src.flat)
 	}
 	for i, p := range ps.params {
 		s := src.params[i]
 		if p.Value.Rows != s.Value.Rows || p.Value.Cols != s.Value.Cols {
-			return fmt.Errorf("nn: param %q shape mismatch", p.Name)
+			return errParamShapeMismatch
 		}
 		p.Value.CopyFrom(s.Value)
 	}
@@ -204,7 +243,10 @@ func (ps *ParamSet) CopyValuesFrom(src *ParamSet) error {
 // data-parallel trainer).
 func (ps *ParamSet) AddGradsFrom(src *ParamSet) error {
 	if len(ps.params) != len(src.params) {
-		return fmt.Errorf("nn: param count mismatch %d vs %d", len(ps.params), len(src.params))
+		return errParamCountMismatch
+	}
+	if ps.flat != nil && src.flat != nil {
+		return ps.flat.AccumulateGrads(src.flat)
 	}
 	for i, p := range ps.params {
 		p.Grad.AddInPlace(src.params[i].Grad)

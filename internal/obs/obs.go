@@ -87,32 +87,42 @@ const (
 	// KindMark is a generic instant annotation (scheduler split decisions,
 	// experiment boundaries).
 	KindMark
+	// KindReduceScatter is one gradient bucket's asynchronous ring
+	// reduce-scatter (the first half of a sharded collective): Bytes is the
+	// bucket's gradient payload, Aux its launch index within the window.
+	KindReduceScatter
+	// KindAllGather is an asynchronous ring all-gather broadcasting each
+	// replica's updated parameter shard (the second half of a sharded
+	// collective): Bytes is the gathered payload, Aux the launch index.
+	KindAllGather
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	KindAlloc:        "alloc",
-	KindFree:         "free",
-	KindOOM:          "oom",
-	KindTransferH2D:  "h2d",
-	KindCompute:      "compute",
-	KindAllReduce:    "allreduce",
-	KindBucketReduce: "bucketreduce",
-	KindSample:       "sample",
-	KindPlan:         "plan",
-	KindEstimate:     "estimate",
-	KindBlockGen:     "blockgen",
-	KindFanout:       "fanout",
-	KindMicroBatch:   "microbatch",
-	KindForward:      "forward",
-	KindBackward:     "backward",
-	KindOptStep:      "optstep",
-	KindIteration:    "iteration",
-	KindPrefetch:     "prefetch",
-	KindStall:        "stall",
-	KindDispatch:     "dispatch",
-	KindMark:         "mark",
+	KindAlloc:         "alloc",
+	KindFree:          "free",
+	KindOOM:           "oom",
+	KindTransferH2D:   "h2d",
+	KindCompute:       "compute",
+	KindAllReduce:     "allreduce",
+	KindBucketReduce:  "bucketreduce",
+	KindSample:        "sample",
+	KindPlan:          "plan",
+	KindEstimate:      "estimate",
+	KindBlockGen:      "blockgen",
+	KindFanout:        "fanout",
+	KindMicroBatch:    "microbatch",
+	KindForward:       "forward",
+	KindBackward:      "backward",
+	KindOptStep:       "optstep",
+	KindIteration:     "iteration",
+	KindPrefetch:      "prefetch",
+	KindStall:         "stall",
+	KindDispatch:      "dispatch",
+	KindMark:          "mark",
+	KindReduceScatter: "reducescatter",
+	KindAllGather:     "allgather",
 }
 
 // String returns the kind's trace category name.

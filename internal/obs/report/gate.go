@@ -29,6 +29,13 @@ type Thresholds struct {
 	// more than this many percentage points (rates in [0,1]; the threshold
 	// is in points of that rate ×100, matching how the rate is displayed).
 	CacheHitRateDropPP float64 `json:"cache_hit_rate_drop_pp,omitempty"`
+	// ShardingPaddingPct fails when the current manifest's sharding section
+	// carries shard-alignment padding above this percent of the parameter
+	// bytes. Padding is deterministic (a function of the model shape, bucket
+	// size and replica count), so any growth means the bucketizer's layout
+	// regressed; the gate is absolute — it fires with or without a sharding
+	// section in the baseline.
+	ShardingPaddingPct float64 `json:"sharding_padding_pct,omitempty"`
 }
 
 // ReadThresholds parses a thresholds JSON object. Unknown fields are
@@ -149,6 +156,20 @@ func Gate(baseline, current *Manifest, th Thresholds) []Violation {
 				Message: fmt.Sprintf(
 					"feature-cache hit rate dropped -%.1fpp (baseline %.1f%% -> current %.1f%%), over the %.1fpp threshold: check the degree-aware admission policy and cache budget",
 					drop, 100*baseline.Cache.HitRate, 100*current.Cache.HitRate, th.CacheHitRateDropPP),
+			})
+		}
+	}
+
+	if th.ShardingPaddingPct > 0 && current.Sharding != nil && current.Sharding.ParamBytes > 0 {
+		sh := current.Sharding
+		pct := 100 * float64(sh.PaddingBytes) / float64(sh.ParamBytes)
+		if pct > th.ShardingPaddingPct {
+			out = append(out, Violation{
+				Metric: "sharding/padding_bytes", Baseline: 0, Current: float64(sh.PaddingBytes),
+				Threshold: th.ShardingPaddingPct,
+				Message: fmt.Sprintf(
+					"shard-alignment padding is %.2f%% of the parameter bytes (%dB over %dB), over the %.2f%% threshold: the flat buffer's bucket layout wastes space — check nn.Flatten's close/pad rule against the bucket size and replica count",
+					pct, sh.PaddingBytes, sh.ParamBytes, th.ShardingPaddingPct),
 			})
 		}
 	}

@@ -60,6 +60,7 @@ type Manifest struct {
 	Cache     *Cache     `json:"cache,omitempty"`
 	Pipeline  *Pipeline  `json:"pipeline,omitempty"`
 	Serving   *Serving   `json:"serving,omitempty"`
+	Sharding  *Sharding  `json:"sharding,omitempty"`
 
 	// Metrics is the full registry snapshot (sorted by name, histograms with
 	// quantiles and bucket distributions).
@@ -87,6 +88,8 @@ type Config struct {
 	Seed             int64  `json:"seed,omitempty"`
 	CommOverlap      bool   `json:"comm_overlap,omitempty"`
 	BucketBytes      int64  `json:"bucket_bytes,omitempty"`
+	ReduceScatter    bool   `json:"reduce_scatter,omitempty"`
+	ZeRO1            bool   `json:"zero1,omitempty"`
 	Pipelined        bool   `json:"pipelined,omitempty"`
 	PrefetchDepth    int    `json:"prefetch_depth,omitempty"`
 	AdaptiveDepth    bool   `json:"adaptive_depth,omitempty"`
@@ -206,6 +209,36 @@ type Serving struct {
 	LatencyP99Ns   int64   `json:"latency_p99_ns,omitempty"`
 	QueueWaitP50Ns int64   `json:"queue_wait_p50_ns,omitempty"`
 	QueueWaitP99Ns int64   `json:"queue_wait_p99_ns,omitempty"`
+}
+
+// Sharding is the sharded-gradient section: the ZeRO-1 / reduce-scatter
+// configuration's per-replica byte ledger and the collective breakdown the
+// cluster accumulated over the run. ParamBytes is the fully-replicated value
+// buffer; GradShardBytes / OptimShardBytes are what one replica actually
+// holds resident under ZeRO-1 (1/n of the padded flat buffer, and two Adam
+// moments over that shard); DroppedBytes is the per-replica fixed-footprint
+// reduction versus unsharded training — asymptotically (n-1)/n of the
+// optimizer+gradient bytes.
+type Sharding struct {
+	Replicas      int  `json:"replicas"`
+	ZeRO1         bool `json:"zero1,omitempty"`
+	ReduceScatter bool `json:"reduce_scatter,omitempty"`
+	// Buckets is the flat buffer's bucket count — one reduce-scatter per
+	// bucket per iteration.
+	Buckets         int   `json:"buckets,omitempty"`
+	ParamBytes      int64 `json:"param_bytes,omitempty"`
+	GradShardBytes  int64 `json:"grad_shard_bytes,omitempty"`
+	OptimShardBytes int64 `json:"optim_shard_bytes,omitempty"`
+	DroppedBytes    int64 `json:"dropped_bytes,omitempty"`
+	// PaddingBytes is the shard-alignment padding carried by the flat buffer
+	// (tail of each bucket, strictly less than one element row per bucket).
+	PaddingBytes int64 `json:"padding_bytes,omitempty"`
+	// The collective breakdown: busy time and launch counts per kind, summed
+	// over the run (device.CollectiveBreakdown).
+	ReduceScatterNs    int64 `json:"reduce_scatter_ns,omitempty"`
+	ReduceScatterCount int64 `json:"reduce_scatter_count,omitempty"`
+	AllGatherNs        int64 `json:"all_gather_ns,omitempty"`
+	AllGatherCount     int64 `json:"all_gather_count,omitempty"`
 }
 
 // Pipeline records the async loader's state.
@@ -363,6 +396,19 @@ func (m *Manifest) Flatten() map[string]float64 {
 		put("serving/latency_p99_ns", float64(s.LatencyP99Ns))
 		put("serving/queue_wait_p50_ns", float64(s.QueueWaitP50Ns))
 		put("serving/queue_wait_p99_ns", float64(s.QueueWaitP99Ns))
+	}
+	if sh := m.Sharding; sh != nil {
+		put("sharding/replicas", float64(sh.Replicas))
+		put("sharding/buckets", float64(sh.Buckets))
+		put("sharding/param_bytes", float64(sh.ParamBytes))
+		put("sharding/grad_shard_bytes", float64(sh.GradShardBytes))
+		put("sharding/optim_shard_bytes", float64(sh.OptimShardBytes))
+		put("sharding/dropped_bytes", float64(sh.DroppedBytes))
+		put("sharding/padding_bytes", float64(sh.PaddingBytes))
+		put("sharding/reduce_scatter_ns", float64(sh.ReduceScatterNs))
+		put("sharding/reduce_scatter_count", float64(sh.ReduceScatterCount))
+		put("sharding/all_gather_ns", float64(sh.AllGatherNs))
+		put("sharding/all_gather_count", float64(sh.AllGatherCount))
 	}
 	for _, mv := range m.Metrics {
 		put("metric/"+mv.Name, float64(mv.Value))

@@ -47,6 +47,13 @@ func sampleManifest() *Manifest {
 		ThroughputRPS: 8500, LatencyP50Ns: 900_000, LatencyP90Ns: 2_500_000,
 		LatencyP99Ns: 6_000_000, QueueWaitP50Ns: 400_000, QueueWaitP99Ns: 3_000_000,
 	}
+	m.Sharding = &Sharding{
+		Replicas: 4, ZeRO1: true, ReduceScatter: true, Buckets: 3,
+		ParamBytes: 4 << 20, GradShardBytes: 1 << 20, OptimShardBytes: 2 << 20,
+		DroppedBytes: 9 << 20, PaddingBytes: 48,
+		ReduceScatterNs: 600_000, ReduceScatterCount: 9,
+		AllGatherNs: 200_000, AllGatherCount: 3,
+	}
 	m.Metrics = []obs.MetricValue{
 		{Name: "alloc/count", Type: "counter", Value: 42},
 		{Name: "forward/duration_ns", Type: "histogram", Value: 12, Sum: 360, Mean: 30, P50: 28, P90: 40, P99: 44},
@@ -315,10 +322,88 @@ func TestReportWriteSummary(t *testing.T) {
 	for _, want := range []string{
 		"schema 1", "buffalo-train", "cora", "3 iterations", "gpu_compute",
 		"estimator error", "p99=5.00%", "cache: 90.0% hit rate", "RunIteration_Pipelined",
+		"sharding: zero-1 over 4 replicas",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestReportShardingFlatten pins the sharding section's flatten contract:
+// every byte-ledger and collective key a gate or diff can reference is
+// present, the boolean mode flags are config-shaped and NOT flattened, and a
+// manifest without a sharding section emits no sharding/ keys at all.
+func TestReportShardingFlatten(t *testing.T) {
+	m := sampleManifest()
+	flat := m.Flatten()
+	want := map[string]float64{
+		"sharding/replicas":             4,
+		"sharding/buckets":              3,
+		"sharding/param_bytes":          4 << 20,
+		"sharding/grad_shard_bytes":     1 << 20,
+		"sharding/optim_shard_bytes":    2 << 20,
+		"sharding/dropped_bytes":        9 << 20,
+		"sharding/padding_bytes":        48,
+		"sharding/reduce_scatter_ns":    600_000,
+		"sharding/reduce_scatter_count": 9,
+		"sharding/all_gather_ns":        200_000,
+		"sharding/all_gather_count":     3,
+	}
+	for k, v := range want {
+		got, ok := flat[k]
+		if !ok {
+			t.Errorf("flatten missing %q", k)
+			continue
+		}
+		if got != v {
+			t.Errorf("flatten[%q] = %v, want %v", k, got, v)
+		}
+	}
+	m.Sharding = nil
+	for k := range m.Flatten() {
+		if strings.HasPrefix(k, "sharding/") {
+			t.Errorf("manifest without sharding section flattened %q", k)
+		}
+	}
+}
+
+// TestReportGateShardingPadding pins the padding gate: marginal padding
+// passes, bloated padding fails with an actionable message, a zero threshold
+// and a missing section both disable the gate.
+func TestReportGateShardingPadding(t *testing.T) {
+	base, cur := sampleManifest(), sampleManifest()
+	th := Thresholds{ShardingPaddingPct: 1}
+	if vs := Gate(base, cur, th); len(vs) != 0 {
+		t.Fatalf("marginal padding gated: %+v", vs)
+	}
+	cur.Sharding.PaddingBytes = cur.Sharding.ParamBytes / 10 // 10% over a 1% threshold
+	vs := Gate(base, cur, th)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1: %+v", len(vs), vs)
+	}
+	v := vs[0]
+	if v.Metric != "sharding/padding_bytes" {
+		t.Errorf("metric = %q", v.Metric)
+	}
+	for _, want := range []string{"padding", "10.00%", "1.00%", "Flatten"} {
+		if !strings.Contains(v.Message, want) {
+			t.Errorf("message missing %q: %s", want, v.Message)
+		}
+	}
+	// The gate is absolute: it fires even when the baseline has no sharding
+	// section (a run newly switched to ZeRO-1 still must not waste space).
+	base.Sharding = nil
+	if vs := Gate(base, cur, th); len(vs) != 1 {
+		t.Fatalf("sharding-less baseline disabled the gate: %+v", vs)
+	}
+	// Zero threshold / missing current section disable it.
+	if vs := Gate(base, cur, Thresholds{}); len(vs) != 0 {
+		t.Fatalf("zero threshold still gated: %+v", vs)
+	}
+	cur.Sharding = nil
+	if vs := Gate(base, cur, th); len(vs) != 0 {
+		t.Fatalf("sharding-less current gated: %+v", vs)
 	}
 }
 

@@ -97,6 +97,19 @@ func WriteSummary(w io.Writer, m *Manifest) error {
 		p.printf("pipeline: depth=%d/%d adaptive=%v plan-ahead=%d\n",
 			pl.EffectiveDepth, pl.ConfiguredDepth, pl.Adaptive, pl.PlanAhead)
 	}
+	if sh := m.Sharding; sh != nil {
+		mode := "reduce-scatter"
+		if sh.ZeRO1 {
+			mode = "zero-1"
+		}
+		p.printf("sharding: %s over %d replicas, %d buckets, params=%s grad-shard=%s optim-shard=%s dropped=%s padding=%s\n",
+			mode, sh.Replicas, sh.Buckets, byteCount(sh.ParamBytes),
+			byteCount(sh.GradShardBytes), byteCount(sh.OptimShardBytes),
+			byteCount(sh.DroppedBytes), byteCount(sh.PaddingBytes))
+		p.printf("sharding: reduce-scatter %v over %d launches, all-gather %v over %d launches\n",
+			time.Duration(sh.ReduceScatterNs), sh.ReduceScatterCount,
+			time.Duration(sh.AllGatherNs), sh.AllGatherCount)
+	}
 
 	if len(m.Benchmarks) > 0 {
 		names := make([]string, 0, len(m.Benchmarks))

@@ -40,13 +40,38 @@ type replica struct {
 type engine struct {
 	cfg      Config
 	data     *datagen.Dataset
-	opt      nn.Optimizer
 	rng      *rand.Rand
 	clusterC float64
 	rowBytes int64
 
+	// opt is the full-range flat Adam the non-sharded paths step (also the
+	// optimizer single-GPU sessions expose); nil when ZeRO-style sharding is
+	// on and shardOpts replaces it. Held concrete so the hot path calls
+	// StepFlat directly instead of fanning out through the Optimizer
+	// interface.
+	opt *nn.Adam
+	// shardOpts is the ZeRO-1 optimizer: one Adam per replica, each owning
+	// one contiguous 1/n shard of the flat buffer and holding moment state
+	// for it alone. All step replica 0's buffer — the authoritative one the
+	// reduce-scatter leaves fully combined — and real replicas run their
+	// shard concurrently, so the step's wall cost is the slowest shard.
+	shardOpts []*nn.Adam
+	// flat0 is replica 0's flat parameter buffer: every Param.Value/Grad of
+	// every replica is a zero-copy view into its replica's buffer (see
+	// nn.ParamSet.Flatten in newEngine), and the combine/step path operates
+	// on these contiguous buffers directly.
+	flat0 *nn.FlatBuffer
+
 	replicas []replica
 	cluster  *device.Cluster // nil for single-GPU sessions
+
+	// Per-iteration scratch owned by the single consumer goroutine that runs
+	// executeIteration: hoisted out of the hot loop so steady-state
+	// iterations allocate nothing for it.
+	preStats []device.Stats
+	compute  []time.Duration
+	bwdLast  []time.Duration
+	labels   []int32
 
 	// budgetOverride freezes the activation budget at pipeline construction:
 	// a background planner must not read the live ledger while the consumer's
@@ -71,21 +96,58 @@ type engine struct {
 
 // newEngine wires the shared spine over a set of replicas. cluster is nil
 // for single-GPU sessions and owns the interconnect otherwise.
-func newEngine(ds *datagen.Dataset, cfg Config, replicas []replica, cluster *device.Cluster) *engine {
+//
+// Every replica's parameter storage is flattened here: one contiguous value
+// buffer and one contiguous grad buffer per replica, with the original
+// Param tensors rebound as zero-copy views (nn.ParamSet.Flatten), so bulk
+// gradient work runs as flat-slice sweeps. The bucket index is built with
+// the session's bucket bound; the shard count is the replica count when the
+// sharded collectives are on (so every bucket splits evenly across
+// replicas) and 1 otherwise (no padding — layouts, footprints and ledger
+// charges match the per-tensor storage exactly).
+func newEngine(ds *datagen.Dataset, cfg Config, replicas []replica, cluster *device.Cluster) (*engine, error) {
 	lr := cfg.LearningRate
 	if lr == 0 {
 		lr = 0.01
 	}
-	return &engine{
+	n := len(replicas)
+	shards := 1
+	if cfg.shardedComm() && n > 1 {
+		shards = n
+	}
+	var flat0 *nn.FlatBuffer
+	for i, r := range replicas {
+		fb, err := r.model.Params.Flatten(cfg.bucketBytes(), shards)
+		if err != nil {
+			return nil, fmt.Errorf("train: flattening replica %d: %w", i, err)
+		}
+		if i == 0 {
+			flat0 = fb
+		}
+	}
+	e := &engine{
 		cfg:      cfg,
 		data:     ds,
-		opt:      nn.NewAdam(lr),
+		flat0:    flat0,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		clusterC: ds.Graph.ApproxClusteringCoefficient(cfg.Seed, 2000),
 		rowBytes: memest.SpecFromConfig(cfg.Model).FeatureRowBytes(),
 		replicas: replicas,
 		cluster:  cluster,
+		preStats: make([]device.Stats, n),
+		compute:  make([]time.Duration, n),
+		bwdLast:  make([]time.Duration, n),
 	}
+	if shards > 1 {
+		e.shardOpts = make([]*nn.Adam, n)
+		for r := range e.shardOpts {
+			lo, hi := flat0.ShardRange(r)
+			e.shardOpts[r] = nn.NewAdamShard(lr, lo, hi)
+		}
+	} else {
+		e.opt = nn.NewAdamShard(lr, 0, flat0.TotalElems())
+	}
+	return e, nil
 }
 
 // gpu0 is the reference device: budgets and resident footprints are measured
@@ -372,6 +434,16 @@ func (e *engine) buildMicroBatch(b *sampling.Batch, outputs []graph.NodeID, res 
 	return mb, err
 }
 
+// labelScratch returns an n-length label buffer reused across micro-batches;
+// only the consumer goroutine running executeIteration touches it, and every
+// entry is overwritten before use.
+func (e *engine) labelScratch(n int) []int32 {
+	if cap(e.labels) < n {
+		e.labels = make([]int32, n)
+	}
+	return e.labels[:n]
+}
+
 // gatherFeatures assembles the host-side input-feature tensor of one
 // micro-batch (the staging buffer a real loader would pin for the H2D copy).
 func (e *engine) gatherFeatures(mb *block.MicroBatch) *tensor.Matrix {
@@ -427,7 +499,7 @@ func (e *engine) computeMicroBatch(dev int, b *sampling.Batch, mb *block.MicroBa
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("train: forward: %w", err)
 	}
-	labels := make([]int32, len(mb.Outputs))
+	labels := e.labelScratch(len(mb.Outputs))
 	for i, v := range mb.Outputs {
 		labels[i] = e.data.Labels[v]
 	}
@@ -470,7 +542,7 @@ func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGP
 	// Rebase only the peak watermarks: the device clocks stay cumulative and
 	// per-iteration phases are computed as before/after deltas. A clock reset
 	// here would corrupt a pipelined stager's in-flight async transfers.
-	pre := make([]device.Stats, n)
+	pre := e.preStats
 	for i, r := range e.replicas {
 		r.gpu.ResetPeak()
 		pre[i] = r.gpu.Stats()
@@ -485,8 +557,11 @@ func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGP
 		r.model.Params.ZeroGrad()
 	}
 
-	perCompute := make([]time.Duration, n)
-	lastBwd := make([]time.Duration, n)
+	perCompute := e.compute
+	lastBwd := e.bwdLast
+	for i := 0; i < n; i++ {
+		perCompute[i], lastBwd[i] = 0, 0
+	}
 	var lossSum float32
 	var correct, counted int
 	for i := range it.mbs {
@@ -513,16 +588,24 @@ func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGP
 			time.Since(tMB), bytes, int64(i))
 	}
 
-	// Combine gradients into replica 0 before the step: the simulated ring
-	// all-reduce charges the interconnect for what real NCCL would move.
-	if n > 1 {
-		if err := e.reduceGradients(res, perCompute, lastBwd); err != nil {
+	// Combine gradients and step. Multi-GPU with sharded collectives: the
+	// reduce-scatter → per-shard step → all-gather sequence (ZeRO-1's data
+	// path). Otherwise: combine into replica 0 (ring all-reduce when n > 1)
+	// and step the full flat buffer there.
+	if n > 1 && e.cfg.shardedComm() {
+		if err := e.shardedCombine(res, perCompute, lastBwd); err != nil {
 			return nil, err
 		}
+	} else {
+		if n > 1 {
+			if err := e.reduceGradients(res, perCompute, lastBwd); err != nil {
+				return nil, err
+			}
+		}
+		tStep := time.Now()
+		e.opt.StepFlat(e.flat0)
+		perCompute[0] += e.addCompute(0, time.Since(tStep), obs.KindOptStep)
 	}
-	tStep := time.Now()
-	e.opt.Step(main.Params)
-	perCompute[0] += e.addCompute(0, time.Since(tStep), obs.KindOptStep)
 
 	res.K = len(it.mbs)
 	res.Loss = lossSum
@@ -536,7 +619,7 @@ func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGP
 		}
 	}
 	res.Phases.GPUCompute += maxCompute
-	res.PerGPUCompute = perCompute
+	res.PerGPUCompute = append([]time.Duration(nil), perCompute...)
 	var peak int64
 	var loading time.Duration
 	for i, r := range e.replicas {
@@ -637,6 +720,81 @@ func (e *engine) reduceGradients(res *MultiGPUResult, perCompute, lastBwd []time
 	res.Phases.Communication += busy
 	res.ExposedComm += exposed
 	res.HiddenComm += busy - exposed
+	return nil
+}
+
+// shardedCombine is the ZeRO-style gradient combine: per-bucket ring
+// reduce-scatters, a per-shard optimizer step on every replica concurrently,
+// and one ring all-gather of the updated parameter values.
+//
+// Numerically it performs exactly the all-reduce path's work: the same
+// bucket-by-bucket accumulation into replica 0 with the same fixed replica
+// order (1..n-1), then a full Adam step — executed as n shard steps that
+// tile the flat buffer, which is elementwise-identical to one full-range
+// step (see nn.Adam.StepFlat). Losses therefore stay bit-identical to both
+// the monolithic and the bucketed all-reduce paths.
+//
+// The timing model differs: each bucket's reduce-scatter costs half the
+// all-reduce ring (the (n-1)/n·size + (n-1)·latency half), launched either
+// at the bucket's backward ready time (CommOverlap) or after the slowest
+// replica's compute tail (the monolithic comparison). The optimizer step is
+// sharded n ways, so its wall cost is the slowest shard rather than the
+// whole buffer. The closing all-gather — one launch over the full parameter
+// values — necessarily runs after the shard steps with no compute left to
+// hide behind, so it is fully exposed: the honest floor of the model, since
+// the engine does not overlap collectives across iteration boundaries.
+func (e *engine) shardedCombine(res *MultiGPUResult, perCompute, lastBwd []time.Duration) error {
+	main := e.replicas[0].model
+	n := len(e.replicas)
+	buckets := e.gradBuckets()
+	m := len(buckets)
+	var maxCompute time.Duration
+	for _, c := range perCompute {
+		if c > maxCompute {
+			maxCompute = c
+		}
+	}
+	var busy time.Duration
+	for j, b := range buckets {
+		for i := 1; i < n; i++ {
+			if err := main.Params.AddGradsFromBucket(e.replicas[i].model.Params, b); err != nil {
+				return err
+			}
+		}
+		ready := maxCompute
+		if e.cfg.CommOverlap {
+			ready = bucketReady(j, m, perCompute, lastBwd)
+		}
+		e.cluster.ReduceScatterAsync(b.Bytes, ready)
+		busy += e.cluster.ReduceScatterDuration(b.Bytes)
+	}
+	rsExposed := e.cluster.WaitReduce(maxCompute)
+
+	// Every replica steps its own shard of replica 0's fully combined
+	// buffer; devices run concurrently, so the step extends the iteration by
+	// the slowest shard (the per-replica clocks each record their own).
+	var maxStep time.Duration
+	for r, o := range e.shardOpts {
+		t0 := time.Now()
+		o.StepFlat(e.flat0)
+		d := e.addCompute(r, time.Since(t0), obs.KindOptStep)
+		perCompute[r] += d
+		if d > maxStep {
+			maxStep = d
+		}
+	}
+
+	// One all-gather broadcasts the updated values (each replica owns 1/n
+	// and collects the rest); priced on the value payload, positioned after
+	// the reduce-scatter window and the slowest shard step.
+	gatherReady := maxCompute + rsExposed + maxStep
+	vb := main.Params.ValueBytes()
+	e.cluster.AllGatherAsync(vb, gatherReady)
+	agExposed := e.cluster.WaitReduce(gatherReady)
+	busy += e.cluster.AllGatherDuration(vb)
+	res.Phases.Communication += busy
+	res.ExposedComm += rsExposed + agExposed
+	res.HiddenComm += busy - rsExposed - agExposed
 	return nil
 }
 

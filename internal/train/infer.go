@@ -65,7 +65,11 @@ func NewInferenceSession(ds *datagen.Dataset, cfg Config, cacheBudget int64) (*I
 	if err != nil {
 		return nil, fmt.Errorf("train: model does not fit the device: %w", err)
 	}
-	eng := newEngine(ds, cfg, []replica{{gpu: gpu, model: model}}, nil)
+	eng, err := newEngine(ds, cfg, []replica{{gpu: gpu, model: model}}, nil)
+	if err != nil {
+		alloc.Free()
+		return nil, err
+	}
 	s := &InferenceSession{
 		Cfg: cfg, Data: ds, Model: model, GPU: gpu,
 		eng:        eng,

@@ -7,6 +7,7 @@ import (
 	"buffalo/internal/datagen"
 	"buffalo/internal/device"
 	"buffalo/internal/gnn"
+	"buffalo/internal/memest"
 	"buffalo/internal/pipeline"
 )
 
@@ -73,20 +74,50 @@ func newDataParallel(ds *datagen.Dataset, cfg Config, gpus int, pcfg *PipelineCo
 	for i := 0; i < gpus; i++ {
 		m, err := gnn.New(cfg.Model)
 		if err != nil {
-			dp.freeFixed()
 			return nil, err
 		}
+		replicas = append(replicas, replica{gpu: cluster.GPU(i), model: m})
+	}
+	// The engine flattens every replica's parameter storage (and builds the
+	// shard layout when the sharded collectives are on), so the fixed
+	// footprints are charged after it exists: ZeRO-1 charges need the flat
+	// buffer's shard size.
+	eng, err := newEngine(ds, cfg, replicas, cluster)
+	if err != nil {
+		return nil, err
+	}
+	dp.eng = eng
+	for i, r := range replicas {
+		if cfg.ZeRO1 && gpus > 1 {
+			// ZeRO-1 splits the replica's fixed footprint on the ledger:
+			// parameter values stay fully replicated, while the resident
+			// gradient buffer and both Adam moments shrink to the replica's
+			// 1/n shard — the memory timeline shows the sharded tag next to
+			// the replicated model.
+			vals, err := r.gpu.Alloc("model", r.model.Params.ValueBytes())
+			if err != nil {
+				dp.freeFixed()
+				return nil, fmt.Errorf("train: replica %d does not fit: %w", i, err)
+			}
+			dp.fixed = append(dp.fixed, vals)
+			shard := eng.flat0.ShardBytes()
+			zb := memest.ZeRO1FixedBytes(r.model.Params.ValueBytes(), shard) - r.model.Params.ValueBytes()
+			sh, err := r.gpu.Alloc("zero1/grads+optstate", zb)
+			if err != nil {
+				dp.freeFixed()
+				return nil, fmt.Errorf("train: replica %d does not fit: %w", i, err)
+			}
+			dp.fixed = append(dp.fixed, sh)
+			continue
+		}
 		// Fixed footprint per replica: parameters + gradients + Adam moments.
-		fixed := 2 * m.Params.Bytes()
-		a, err := cluster.GPU(i).Alloc("model+optimizer", fixed)
+		a, err := r.gpu.Alloc("model+optimizer", memest.TrainFixedBytes(r.model.Params.Bytes()))
 		if err != nil {
 			dp.freeFixed()
 			return nil, fmt.Errorf("train: replica %d does not fit: %w", i, err)
 		}
 		dp.fixed = append(dp.fixed, a)
-		replicas = append(replicas, replica{gpu: cluster.GPU(i), model: m})
 	}
-	dp.eng = newEngine(ds, cfg, replicas, cluster)
 	if pcfg != nil {
 		ld, err := newLoader(dp.eng, *pcfg)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"buffalo/internal/device"
+	"buffalo/internal/memest"
 	"buffalo/internal/obs"
 	"buffalo/internal/obs/report"
 	"buffalo/internal/pipeline"
@@ -36,6 +37,7 @@ type RunReport struct {
 	pcfg     *PipelineConfig
 	effDepth int
 	cache    *report.Cache
+	sharding *report.Sharding
 	devices  []device.Stats
 }
 
@@ -123,6 +125,45 @@ func (r *RunReport) CaptureDataParallel(dp *DataParallel) {
 	r.devices = append(r.devices, dp.Stats()...)
 	r.effDepth = dp.EffectiveDepth()
 	r.cache = cacheReport(dp.CacheStats(), dp.CacheHitRate(), dp.PerDeviceCacheStats())
+	r.sharding = shardingReport(dp)
+}
+
+// shardingReport builds the manifest's sharding section from a data-parallel
+// run: the flat buffer's shard geometry, the per-replica byte ledger, and the
+// cluster's collective breakdown. Nil when the run is unsharded (single
+// replica, or neither ReduceScatter nor ZeRO1 set) — the section's absence is
+// the signal that the all-reduce combine ran.
+func shardingReport(dp *DataParallel) *report.Sharding {
+	n := len(dp.eng.replicas)
+	if n < 2 || !dp.Cfg.UsesShardedComm() {
+		return nil
+	}
+	fb := dp.eng.flat0
+	params := dp.eng.replicas[0].model.Params
+	shard := fb.ShardBytes()
+	bd := dp.Cluster.Collectives()
+	sh := &report.Sharding{
+		Replicas:           n,
+		ZeRO1:              dp.Cfg.ZeRO1,
+		ReduceScatter:      true, // ZeRO1 implies the sharded collectives
+		Buckets:            len(fb.Buckets()),
+		ParamBytes:         params.ValueBytes(),
+		GradShardBytes:     shard,
+		OptimShardBytes:    2 * shard,
+		PaddingBytes:       int64(fb.PaddingElems()) * 4,
+		ReduceScatterNs:    int64(bd.ReduceScatterTime),
+		ReduceScatterCount: bd.ReduceScatterCount,
+		AllGatherNs:        int64(bd.AllGatherTime),
+		AllGatherCount:     bd.AllGatherCount,
+	}
+	if dp.Cfg.ZeRO1 {
+		// The per-replica fixed-footprint drop the ledger shows: unsharded
+		// training holds params+grads+two moments (4V); ZeRO-1 holds the
+		// values plus three shard-sized buffers.
+		sh.DroppedBytes = memest.TrainFixedBytes(params.Bytes()) -
+			memest.ZeRO1FixedBytes(params.ValueBytes(), shard)
+	}
+	return sh
 }
 
 // cacheReport converts pipeline cache stats into the manifest form; a cache
@@ -163,6 +204,8 @@ func (r *RunReport) Build(rec *obs.Recorder) *report.Manifest {
 		GPUs:           r.gpus,
 		Seed:           r.cfg.Seed,
 		CommOverlap:    r.cfg.CommOverlap,
+		ReduceScatter:  r.cfg.ReduceScatter,
+		ZeRO1:          r.cfg.ZeRO1,
 	}
 	if r.cfg.CommOverlap {
 		m.Config.BucketBytes = r.cfg.EffectiveBucketBytes()
@@ -198,6 +241,7 @@ func (r *RunReport) Build(rec *obs.Recorder) *report.Manifest {
 		HiddenCommNs:      int64(r.hiddenComm),
 	}
 	m.Cache = r.cache
+	m.Sharding = r.sharding
 
 	// Timeline reconstruction needs the run's complete ledger stream: a
 	// ring trace that wrapped has lost early allocations, and a peak set

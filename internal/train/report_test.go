@@ -104,6 +104,110 @@ func TestRunReportManifestSession(t *testing.T) {
 	}
 }
 
+// TestRunReportManifestSharding checks the data-parallel capture path under
+// ZeRO-1: the sharding section reaches the manifest with numbers consistent
+// with the engine's flat buffer and the cluster's collective breakdown, the
+// flattened sharding/ keys survive a serialize/diff round trip, and an
+// unsharded run emits no section at all.
+func TestRunReportManifestSharding(t *testing.T) {
+	ds := loadData(t, "cora")
+	cfg := baseConfig(ds, Buffalo)
+	cfg.MicroBatches = 4
+	cfg.ZeRO1 = true
+	cfg.CommOverlap = true
+	const gpus, iters = 4, 2
+	dp, err := NewDataParallel(ds, cfg, gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Close()
+
+	rr := NewRunReport("test", "cora", cfg, gpus)
+	for i := 0; i < iters; i++ {
+		res, err := dp.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr.Record(&res.IterationResult)
+	}
+	rr.CaptureDataParallel(dp)
+	m := rr.Build(nil)
+
+	if !m.Config.ZeRO1 {
+		t.Fatalf("config flags: %+v", m.Config)
+	}
+	sh := m.Sharding
+	if sh == nil {
+		t.Fatal("sharding section missing from a ZeRO-1 run")
+	}
+	fb := dp.eng.flat0
+	params := dp.eng.replicas[0].model.Params
+	if sh.Replicas != gpus || !sh.ZeRO1 || !sh.ReduceScatter {
+		t.Fatalf("sharding header: %+v", sh)
+	}
+	if sh.Buckets != len(fb.Buckets()) || sh.ParamBytes != params.ValueBytes() {
+		t.Fatalf("sharding geometry: %+v", sh)
+	}
+	if sh.GradShardBytes != fb.ShardBytes() || sh.OptimShardBytes != 2*fb.ShardBytes() {
+		t.Fatalf("shard bytes: %+v (shard %d)", sh, fb.ShardBytes())
+	}
+	if sh.PaddingBytes != int64(fb.PaddingElems())*4 {
+		t.Fatalf("padding: %+v (elems %d)", sh, fb.PaddingElems())
+	}
+	wantDrop := 3 * (params.ValueBytes() - fb.ShardBytes())
+	if sh.DroppedBytes != wantDrop {
+		t.Fatalf("dropped bytes %d, want %d", sh.DroppedBytes, wantDrop)
+	}
+	bd := dp.Cluster.Collectives()
+	if sh.ReduceScatterCount != bd.ReduceScatterCount || sh.ReduceScatterCount != int64(iters*len(fb.Buckets())) {
+		t.Fatalf("reduce-scatter count %d, breakdown %d, want %d", sh.ReduceScatterCount, bd.ReduceScatterCount, iters*len(fb.Buckets()))
+	}
+	if sh.AllGatherCount != int64(iters) || sh.ReduceScatterNs <= 0 || sh.AllGatherNs <= 0 {
+		t.Fatalf("collective breakdown: %+v", sh)
+	}
+
+	// Round trip preserves the section; the flattened keys participate in
+	// diff against a sharding-less manifest.
+	var buf bytes.Buffer
+	if err := report.Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := report.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("manifest round trip changed the sharding section")
+	}
+	flat := m.Flatten()
+	if flat["sharding/dropped_bytes"] != float64(wantDrop) || flat["sharding/replicas"] != gpus {
+		t.Fatalf("flatten: %v", flat)
+	}
+	if vs := report.Gate(m, m, report.Thresholds{ShardingPaddingPct: 1}); len(vs) != 0 {
+		t.Fatalf("marginal padding gated: %+v", vs)
+	}
+
+	// An unsharded run of the same shape carries no section.
+	cfg2 := baseConfig(ds, Buffalo)
+	cfg2.MicroBatches = 4
+	dp2, err := NewDataParallel(ds, cfg2, gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp2.Close()
+	rr2 := NewRunReport("test", "cora", cfg2, gpus)
+	rr2.CaptureDataParallel(dp2)
+	m2 := rr2.Build(nil)
+	if m2.Sharding != nil {
+		t.Fatalf("all-reduce run grew a sharding section: %+v", m2.Sharding)
+	}
+	for k := range m2.Flatten() {
+		if len(k) >= 9 && k[:9] == "sharding/" {
+			t.Fatalf("all-reduce run flattened %q", k)
+		}
+	}
+}
+
 // TestRunReportManifestPipelined checks the pipelined capture path: loader
 // depth, cache state and the overlap accounting reach the manifest.
 func TestRunReportManifestPipelined(t *testing.T) {

@@ -28,6 +28,7 @@ import (
 	"buffalo/internal/device"
 	"buffalo/internal/gnn"
 	"buffalo/internal/graph"
+	"buffalo/internal/memest"
 	"buffalo/internal/nn"
 	"buffalo/internal/obs"
 	"buffalo/internal/sampling"
@@ -139,6 +140,28 @@ type Config struct {
 	// repo's GB→MB scaling convention (DESIGN.md §3).
 	BucketBytes int64
 
+	// ReduceScatter replaces the multi-GPU gradient all-reduce with the
+	// sharded collective pair: per-bucket ring reduce-scatters (each replica
+	// ends owning the fully reduced 1/n shard of the flat gradient buffer),
+	// a per-shard optimizer step on every replica concurrently, and one ring
+	// all-gather broadcasting the updated parameter values. Wire time per
+	// bucket halves and the optimizer step parallelizes n-ways; losses stay
+	// bit-identical to the all-reduce path (the same elementwise additions
+	// with the same fixed replica order, and Adam's update is elementwise —
+	// see nn.FlatBuffer and nn.Adam.StepFlat). Composes with CommOverlap:
+	// on, the reduce-scatters launch at the buckets' backward ready times;
+	// off, they all launch after the slowest replica (the monolithic
+	// comparison point). Single-GPU runs ignore it.
+	ReduceScatter bool
+	// ZeRO1 shards the optimizer state across replicas on top of the
+	// reduce-scatter combine (implies ReduceScatter): each replica keeps
+	// Adam moments and a resident gradient shard for only its 1/n of the
+	// flat buffer, dropping ~(n-1)/n of the optimizer+gradient bytes from
+	// every replica's ledger (see memest.ZeRO1FixedBytes). Purely a memory-
+	// accounting and step-parallelism change — the numerics are the
+	// reduce-scatter path's, bit-identical to all-reduce training.
+	ZeRO1 bool
+
 	// Ablation knobs.
 	DisableRedundancy bool // Buffalo: use R_group = 1 in the estimator
 	NaiveBlockGen     bool // Buffalo: use the connection-check generator
@@ -175,6 +198,13 @@ func (c Config) Validate() error {
 	}
 	return nil
 }
+
+// shardedComm reports whether the multi-GPU combine uses the sharded
+// reduce-scatter + all-gather collectives (ZeRO1 implies ReduceScatter).
+func (c Config) shardedComm() bool { return c.ReduceScatter || c.ZeRO1 }
+
+// UsesShardedComm is shardedComm for reporting layers (CLI, experiments).
+func (c Config) UsesShardedComm() bool { return c.shardedComm() }
 
 // bucketBytes returns the configured gradient-bucket bound with its default.
 func (c Config) bucketBytes() int64 {
@@ -303,12 +333,16 @@ func NewSession(ds *datagen.Dataset, cfg Config) (*Session, error) {
 	}
 	gpu := device.NewGPU(string(cfg.System), cfg.MemBudget, device.WithRecorder(cfg.Obs))
 	// Fixed footprint: parameters + gradients + Adam moments (2x params).
-	fixed := model.Params.Bytes() + model.Params.Bytes()
+	fixed := memest.TrainFixedBytes(model.Params.Bytes())
 	alloc, err := gpu.Alloc("model+optimizer", fixed)
 	if err != nil {
 		return nil, fmt.Errorf("train: model does not fit the device: %w", err)
 	}
-	eng := newEngine(ds, cfg, []replica{{gpu: gpu, model: model}}, nil)
+	eng, err := newEngine(ds, cfg, []replica{{gpu: gpu, model: model}}, nil)
+	if err != nil {
+		alloc.Free()
+		return nil, err
+	}
 	s := &Session{
 		Cfg: cfg, Data: ds, Model: model, Opt: eng.opt, GPU: gpu,
 		eng:        eng,

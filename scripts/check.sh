@@ -29,10 +29,14 @@
 #   7. scaleout gate   the N-GPU scale-out tests (plan-ahead planner pool,
 #                      reorder buffer, comm-engine clock, bucketed
 #                      overlapped reduce) under race
-#   8. serving gate    the online-inference tests (micro-batching batcher,
+#   8. sharded gate    the ZeRO-1 sharded-training tests (reduce-scatter/
+#                      all-gather collectives on the comm clock, per-shard
+#                      optimizer steps over the shared flat buffer,
+#                      bit-identity and ledger accounting) under race
+#   9. serving gate    the online-inference tests (micro-batching batcher,
 #                      admission control against the ledger, shutdown
 #                      drain, forward-only session) under race
-#   9. go test -race   the full test suite under the race detector
+#  10. go test -race   the full test suite under the race detector
 #
 # Run from anywhere; the script cds to the repository root. Fails fast on
 # the first broken gate.
@@ -105,6 +109,16 @@ echo "== scaleout race gate =="
 go test -race -count=1 -run 'TestReorder' ./internal/pipeline/
 go test -race -count=1 -run 'TestRingReduce|TestAllReduceAsync|TestWaitReduce|TestCommClock' ./internal/device/
 go test -race -count=1 -run 'TestCommOverlap|TestPlanAhead' ./internal/train/
+
+echo "== sharded training race gate =="
+# The ZeRO-1 data path: per-bucket reduce-scatters and the closing value
+# all-gather book time on the same comm-engine clock the bucketed all-reduce
+# uses, and the per-shard optimizer steps touch disjoint ranges of replica
+# 0's shared flat buffer while per-replica device clocks advance. The
+# sharded collectives and the bit-identity/accounting/ledger tests must stay
+# race-clean on their own before the slow full-suite pass.
+go test -race -count=1 -run 'TestShardedCollectives' ./internal/device/
+go test -race -count=1 -run 'TestZeRO1' ./internal/train/
 
 echo "== serving race gate =="
 # The serving layer runs concurrent Infer callers against two goroutines —
