@@ -40,6 +40,10 @@ type Block struct {
 	// Adj[i] holds, for Dst[i], the indices into Src of its sampled
 	// neighbors.
 	Adj [][]int32
+
+	// adjFlat is the reused flat backing GenerateInto carves Adj[i] views
+	// from; unused by the allocating generators.
+	adjFlat []int32
 }
 
 // NumDst reports the destination count.
@@ -98,6 +102,214 @@ func (m *MicroBatch) NumNodes() int64 {
 // batch's seeds.
 func Generate(batch *sampling.Batch, outputs []graph.NodeID) (*MicroBatch, error) {
 	return generate(batch, outputs, true, nil)
+}
+
+// GenScratch owns the storage one micro-batch generation consumes — the
+// MicroBatch itself, a value slab for its blocks, the per-destination gather
+// headers, the renumbering map, and each block's flat Src/Adj backing — so a
+// warm GenerateInto builds blocks without allocating. One scratch serves one
+// in-flight micro-batch at a time; the iteration engine keeps K of them per
+// checked-out iteration.
+type GenScratch struct {
+	mb       MicroBatch
+	blocks   []Block
+	gathered [][]graph.NodeID
+	local    map[graph.NodeID]int32
+	seen     map[graph.NodeID]bool
+	gs       gatherScratch
+}
+
+// gatherScratch carries the parallel gather's shared state as fields instead
+// of captured locals: forEachChunkGather hands chunks straight to its run
+// method, so a warm gather spawns no closure and forces nothing to escape.
+type gatherScratch struct {
+	mu       sync.Mutex
+	err      error
+	frontier []graph.NodeID
+	gathered [][]graph.NodeID
+	hop      *sampling.HopAdj
+	h        int
+}
+
+func (g *gatherScratch) run(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		idx, ok := g.hop.Index[g.frontier[i]]
+		if !ok {
+			g.mu.Lock()
+			g.err = fmt.Errorf("block: node %d missing from hop %d", g.frontier[i], g.h)
+			g.mu.Unlock()
+			return
+		}
+		g.gathered[i] = g.hop.Nbrs[idx]
+	}
+}
+
+// forEachChunkGather is forEachChunk without the func parameter: chunks call
+// g.run directly, so the sequential small-frontier path is allocation-free.
+func forEachChunkGather(n int, parallel bool, g *gatherScratch) {
+	if !parallel || n < 256 {
+		g.run(0, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			g.run(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// The single-make growth helpers keep the hot-path allocation census to one
+// site per element type no matter how many call sites reuse storage.
+func ensureIDs(s []graph.NodeID, n int) []graph.NodeID {
+	if cap(s) < n {
+		return make([]graph.NodeID, n)
+	}
+	return s[:n]
+}
+
+func ensureNbrs(s [][]graph.NodeID, n int) [][]graph.NodeID {
+	if cap(s) < n {
+		return make([][]graph.NodeID, n)
+	}
+	return s[:n]
+}
+
+func ensureAdjHeaders(s [][]int32, n int) [][]int32 {
+	if cap(s) < n {
+		return make([][]int32, n)
+	}
+	return s[:n]
+}
+
+func ensureInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// GenerateInto is GenerateTraced reusing sc's storage: the returned
+// MicroBatch (always &sc.mb) is valid until the next GenerateInto on the
+// same scratch. A nil scratch falls back to a fresh Generate. The produced
+// blocks are bit-identical to Generate's.
+func GenerateInto(sc *GenScratch, batch *sampling.Batch, outputs []graph.NodeID, rec *obs.Recorder) (*MicroBatch, error) {
+	if sc == nil {
+		return generate(batch, outputs, true, rec)
+	}
+	if sc.seen == nil {
+		sc.seen = make(map[graph.NodeID]bool, len(outputs))
+	} else {
+		clear(sc.seen)
+	}
+	if err := validateOutputsSeen(batch, outputs, sc.seen); err != nil {
+		return nil, err
+	}
+	L := batch.Layers()
+	mb := &sc.mb
+	mb.Outputs = ensureIDs(mb.Outputs, len(outputs))
+	copy(mb.Outputs, outputs)
+	if cap(sc.blocks) < L {
+		blocks := make([]Block, L)
+		copy(blocks, sc.blocks) // keep warmed backing from a shallower config
+		sc.blocks = blocks
+	} else {
+		sc.blocks = sc.blocks[:L]
+	}
+	if cap(mb.Blocks) < L {
+		mb.Blocks = make([]*Block, L)
+	} else {
+		mb.Blocks = mb.Blocks[:L]
+	}
+	for i := range sc.blocks {
+		mb.Blocks[i] = &sc.blocks[i]
+	}
+	if sc.local == nil {
+		sc.local = make(map[graph.NodeID]int32, len(outputs)*2)
+	}
+	frontier := mb.Outputs
+	for h := 0; h < L; h++ {
+		hop := &batch.Hops[h]
+		tGather := time.Now()
+		sc.gathered = ensureNbrs(sc.gathered, len(frontier))
+		gs := &sc.gs
+		gs.hop, gs.h, gs.frontier, gs.gathered, gs.err = hop, h, frontier, sc.gathered, nil
+		forEachChunkGather(len(frontier), true, gs)
+		if gs.err != nil {
+			return nil, gs.err
+		}
+		gathered := sc.gathered
+		if rec.Enabled() {
+			rec.Span(obs.KindFanout, "", hopGatherName(h),
+				time.Since(tGather), int64(len(frontier)), int64(chunkWorkers(len(frontier), true)))
+		}
+		// Sequential renumbering into the reused block. The flat Adj backing
+		// is pre-counted to the hop's full gather total before the first
+		// subslice is carved, so appends never reallocate under earlier
+		// views; Src is bounded by the frontier plus every gathered
+		// neighbor.
+		total := 0
+		for i := range frontier {
+			total += len(gathered[i])
+		}
+		blk := &sc.blocks[L-1-h]
+		blk.Dst = frontier
+		blk.adjFlat = ensureInt32s(blk.adjFlat, total)
+		blk.Src = ensureIDs(blk.Src, len(frontier)+total)[:0]
+		blk.Src = append(blk.Src, frontier...)
+		clear(sc.local)
+		for i, v := range frontier {
+			sc.local[v] = int32(i)
+		}
+		blk.Adj = ensureAdjHeaders(blk.Adj, len(frontier))
+		used := 0
+		for i := range frontier {
+			adj := blk.adjFlat[used : used : used+len(gathered[i])]
+			for _, u := range gathered[i] {
+				li, seen := sc.local[u]
+				if !seen {
+					li = int32(len(blk.Src))
+					sc.local[u] = li
+					blk.Src = append(blk.Src, u)
+				}
+				adj = append(adj, li)
+			}
+			blk.Adj[i] = adj
+			used += len(adj)
+		}
+		frontier = blk.Src
+	}
+	reverseShareCheck(mb)
+	return mb, nil
+}
+
+// hopGatherName labels a hop's fan-out span without per-call formatting.
+func hopGatherName(h int) string {
+	if h < len(hopGatherNames) {
+		return hopGatherNames[h]
+	}
+	return fmt.Sprintf("gather/hop%d", h)
+}
+
+var hopGatherNames = [...]string{
+	"gather/hop0", "gather/hop1", "gather/hop2", "gather/hop3",
+	"gather/hop4", "gather/hop5", "gather/hop6", "gather/hop7",
 }
 
 // GenerateTraced is Generate with per-hop fan-out observability: each hop's
@@ -253,11 +465,16 @@ func generate(batch *sampling.Batch, outputs []graph.NodeID, parallel bool, rec 
 
 // validateOutputs checks outputs are distinct seeds of the batch.
 func validateOutputs(batch *sampling.Batch, outputs []graph.NodeID) error {
+	return validateOutputsSeen(batch, outputs, make(map[graph.NodeID]bool, len(outputs)))
+}
+
+// validateOutputsSeen is validateOutputs over a caller-provided (cleared)
+// dedup map, so scratch-backed generation validates without allocating.
+func validateOutputsSeen(batch *sampling.Batch, outputs []graph.NodeID, seen map[graph.NodeID]bool) error {
 	if len(outputs) == 0 {
 		return fmt.Errorf("block: micro-batch needs at least one output node")
 	}
 	seedSet := batch.Hops[0].Index
-	seen := make(map[graph.NodeID]bool, len(outputs))
 	for _, v := range outputs {
 		if _, ok := seedSet[v]; !ok {
 			return fmt.Errorf("block: output %d is not a seed of the batch", v)
@@ -277,8 +494,7 @@ func reverseShareCheck(mb *MicroBatch) {
 		srcs := mb.Blocks[l].Src
 		dsts := mb.Blocks[l-1].Dst
 		if len(srcs) != len(dsts) {
-			panic(fmt.Sprintf("block: layer %d src count %d != layer %d dst count %d",
-				l, len(srcs), l-1, len(dsts)))
+			panic("block: inter-layer frontier sharing violated (src/dst count mismatch)")
 		}
 	}
 }

@@ -47,21 +47,58 @@ type Bucketing struct {
 // cut-off bucket — the paper's bucket-explosion mechanism. Empty degrees are
 // omitted; buckets are ordered by ascending degree.
 func Bucketize(batch *sampling.Batch) *Bucketing {
-	f := batch.Fanouts[0]
-	byDegree := make(map[int][]graph.NodeID)
+	return BucketizeInto(nil, batch)
+}
+
+// Scratch owns the reusable storage one bucketization consumes: the
+// degree-keyed node lists (value slices are truncated, not dropped, so their
+// capacity survives), the sorted-degree index, a value slab for the buckets,
+// and the Bucketing header itself. One scratch serves one in-flight plan at
+// a time.
+type Scratch struct {
+	byDegree map[int][]graph.NodeID
+	degrees  []int
+	slab     []Bucket
+	bk       Bucketing
+}
+
+// BucketizeInto is Bucketize reusing sc's storage; the returned Bucketing
+// (and every Bucket in it) is valid until the next BucketizeInto on the same
+// scratch. A nil scratch allocates fresh.
+func BucketizeInto(sc *Scratch, batch *sampling.Batch) *Bucketing {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	if sc.byDegree == nil {
+		sc.byDegree = make(map[int][]graph.NodeID)
+	} else {
+		for d, s := range sc.byDegree {
+			sc.byDegree[d] = s[:0]
+		}
+	}
 	hop := &batch.Hops[0]
 	for i, v := range hop.Dst {
 		d := len(hop.Nbrs[i])
-		byDegree[d] = append(byDegree[d], v)
+		sc.byDegree[d] = append(sc.byDegree[d], v)
 	}
-	degrees := make([]int, 0, len(byDegree))
-	for d := range byDegree {
-		degrees = append(degrees, d)
+	sc.degrees = sc.degrees[:0]
+	for d, s := range sc.byDegree {
+		if len(s) > 0 {
+			sc.degrees = append(sc.degrees, d)
+		}
 	}
-	sort.Ints(degrees)
-	bk := &Bucketing{F: f}
-	for _, d := range degrees {
-		bk.Buckets = append(bk.Buckets, &Bucket{Degree: d, Nodes: byDegree[d]})
+	sort.Ints(sc.degrees)
+	if cap(sc.slab) < len(sc.degrees) {
+		sc.slab = make([]Bucket, len(sc.degrees))
+	} else {
+		sc.slab = sc.slab[:len(sc.degrees)]
+	}
+	bk := &sc.bk
+	bk.F = batch.Fanouts[0]
+	bk.Buckets = bk.Buckets[:0]
+	for i, d := range sc.degrees {
+		sc.slab[i] = Bucket{Degree: d, Nodes: sc.byDegree[d]}
+		bk.Buckets = append(bk.Buckets, &sc.slab[i])
 	}
 	return bk
 }
@@ -201,11 +238,17 @@ type Group struct {
 
 // Nodes flattens the group's output nodes in bucket order.
 func (g *Group) Nodes() []graph.NodeID {
-	var out []graph.NodeID
+	return g.AppendNodes(nil)
+}
+
+// AppendNodes appends the group's output nodes to dst in bucket order and
+// returns the extended slice — the allocation-free form of Nodes for callers
+// holding a reusable buffer.
+func (g *Group) AppendNodes(dst []graph.NodeID) []graph.NodeID {
 	for _, b := range g.Buckets {
-		out = append(out, b.Nodes...)
+		dst = append(dst, b.Nodes...)
 	}
-	return out
+	return dst
 }
 
 // Volume reports the group's output-node count.

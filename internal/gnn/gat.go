@@ -32,7 +32,16 @@ type gatLayer struct {
 	w       []*nn.Param
 	a1      []*nn.Param // attention vector for the destination, [1 x headOut]
 	a2      []*nn.Param // attention vector for the candidate, [1 x headOut]
+
+	// Per-micro-batch reusable state; see sageLayer for the safety argument.
+	arena  *tensor.Arena
+	bsc    blockBuckets
+	cache  gatCache
+	bcSlab [][]*gatBucketCache // per head, never truncated (owns the structs)
+	views  [][]*gatBucketCache // per head, truncated per-forward view of bcSlab
 }
+
+func (l *gatLayer) setArena(a *tensor.Arena) { l.arena = a }
 
 func newGATLayer(name string, in, out, heads int, act bool, rng *rand.Rand, ps *nn.ParamSet) *gatLayer {
 	if heads < 1 {
@@ -111,7 +120,7 @@ func (l *gatLayer) PlannedCacheBytes(blk *block.Block) int64 {
 	if l.act {
 		b += n * out // outAct
 	}
-	for _, db := range bucketizeBlock(blk) {
+	for _, db := range l.bsc.bucketize(blk) {
 		v, d := int64(len(db.rows)), int64(db.degree)
 		b += heads * (d + 1) * v * headOut // candidates
 		b += heads * 2 * v * (d + 1)       // scores + alpha
@@ -128,31 +137,43 @@ func (l *gatLayer) Forward(blk *block.Block, xsrc *tensor.Matrix) (*tensor.Matri
 		return nil, nil, fmt.Errorf("gat %s: %d feature rows for %d src nodes", l.name, xsrc.Rows, blk.NumSrc())
 	}
 	nDst := blk.NumDst()
-	cache := &gatCache{blk: blk, xsrc: xsrc, buckets: make([][]*gatBucketCache, l.heads)}
-	cache.preAct = tensor.New(nDst, l.out)
-	degBuckets := bucketizeBlock(blk)
+	degBuckets := l.bsc.bucketize(blk)
+	for len(l.bcSlab) < l.heads {
+		l.bcSlab = append(l.bcSlab, nil)
+		l.views = append(l.views, nil)
+	}
+	cache := &l.cache
+	zBuf := cache.z[:0]
+	*cache = gatCache{blk: blk, xsrc: xsrc, z: zBuf, buckets: l.views[:l.heads]}
+	cache.preAct = l.arena.Get(nDst, l.out)
 	for h := 0; h < l.heads; h++ {
-		z := tensor.MatMul(xsrc, l.w[h].Value)
+		z := l.arena.Get(xsrc.Rows, l.headOut)
+		tensor.MatMulInto(z, xsrc, l.w[h].Value, false)
 		cache.z = append(cache.z, z)
 		a1 := l.a1[h].Value.Row(0)
 		a2 := l.a2[h].Value.Row(0)
 		colBase := h * l.headOut
-		for _, db := range degBuckets {
+		for len(l.bcSlab[h]) < len(degBuckets) {
+			l.bcSlab[h] = append(l.bcSlab[h], &gatBucketCache{})
+		}
+		cache.buckets[h] = l.bcSlab[h][:len(degBuckets)]
+		for bi, db := range degBuckets {
 			v := len(db.rows)
-			cands := make([]*tensor.Matrix, db.degree+1)
-			self := tensor.New(v, l.headOut)
+			bc := cache.buckets[h][bi]
+			cands := bc.cands[:0]
+			self := l.arena.Get(v, l.headOut)
 			for i, r := range db.rows {
 				copy(self.Row(i), z.Row(int(r)))
 			}
-			cands[0] = self
+			cands = append(cands, self)
 			for t := 1; t <= db.degree; t++ {
-				m := tensor.New(v, l.headOut)
+				m := l.arena.Get(v, l.headOut)
 				for i, r := range db.rows {
 					copy(m.Row(i), z.Row(int(blk.Adj[r][t-1])))
 				}
-				cands[t] = m
+				cands = append(cands, m)
 			}
-			scores := tensor.New(v, db.degree+1)
+			scores := l.arena.Get(v, db.degree+1)
 			for i := 0; i < v; i++ {
 				var selfTerm float32
 				srow := self.Row(i)
@@ -168,10 +189,10 @@ func (l *gatLayer) Forward(blk *block.Block, xsrc *tensor.Matrix) (*tensor.Matri
 					scores.Set(i, t, selfTerm+candTerm)
 				}
 			}
-			lrelu := nn.LeakyReLU(scores, gatLeakySlope)
-			alpha := tensor.SoftmaxRows(lrelu)
-			bc := &gatBucketCache{rows: db.rows, degree: db.degree, cands: cands, scores: scores, alpha: alpha}
-			cache.buckets[h] = append(cache.buckets[h], bc)
+			lrelu := nn.LeakyReLUInto(l.arena.Get(v, db.degree+1), scores, gatLeakySlope)
+			alpha := l.arena.Get(v, db.degree+1)
+			tensor.SoftmaxRowsInto(alpha, lrelu)
+			*bc = gatBucketCache{rows: db.rows, degree: db.degree, cands: cands, scores: scores, alpha: alpha}
 			// h_pre columns [colBase, colBase+headOut): Σ_t α_t ⊙ z_cand.
 			for i, r := range db.rows {
 				hrow := cache.preAct.Row(int(r))[colBase : colBase+l.headOut]
@@ -187,7 +208,7 @@ func (l *gatLayer) Forward(blk *block.Block, xsrc *tensor.Matrix) (*tensor.Matri
 	}
 	out := cache.preAct
 	if l.act {
-		out = nn.ELU(cache.preAct, 1)
+		out = nn.ELUInto(l.arena.Get(nDst, l.out), cache.preAct, 1)
 		cache.outAct = out
 	}
 	return out, cache, nil
@@ -201,12 +222,12 @@ func (l *gatLayer) Backward(cacheI LayerCache, dH *tensor.Matrix) (*tensor.Matri
 	}
 	dPre := dH
 	if l.act {
-		dPre = nn.ELUBackward(cache.preAct, cache.outAct, dH, 1)
+		dPre = nn.ELUBackwardInto(l.arena.Get(dH.Rows, dH.Cols), cache.preAct, cache.outAct, dH, 1)
 	}
-	dXsrc := tensor.New(cache.xsrc.Rows, l.in)
+	dXsrc := l.arena.Get(cache.xsrc.Rows, l.in)
 	for h := 0; h < l.heads; h++ {
 		z := cache.z[h]
-		dZ := tensor.New(z.Rows, l.headOut)
+		dZ := l.arena.Get(z.Rows, l.headOut)
 		a1 := l.a1[h].Value.Row(0)
 		a2 := l.a2[h].Value.Row(0)
 		da1 := l.a1[h].Grad.Row(0)
@@ -216,7 +237,7 @@ func (l *gatLayer) Backward(cacheI LayerCache, dH *tensor.Matrix) (*tensor.Matri
 		for _, bc := range cache.buckets[h] {
 			v := len(bc.rows)
 			// dAlpha from the value path.
-			dAlpha := tensor.New(v, bc.degree+1)
+			dAlpha := l.arena.Get(v, bc.degree+1)
 			for i, r := range bc.rows {
 				drow := dPre.Row(int(r))[colBase : colBase+l.headOut]
 				for t := 0; t <= bc.degree; t++ {
@@ -229,7 +250,7 @@ func (l *gatLayer) Backward(cacheI LayerCache, dH *tensor.Matrix) (*tensor.Matri
 				}
 			}
 			// Softmax backward: de = α ⊙ (dα - Σ α dα).
-			dE := tensor.New(v, bc.degree+1)
+			dE := l.arena.Get(v, bc.degree+1)
 			for i := 0; i < v; i++ {
 				arow := bc.alpha.Row(i)
 				darow := dAlpha.Row(i)
@@ -243,7 +264,7 @@ func (l *gatLayer) Backward(cacheI LayerCache, dH *tensor.Matrix) (*tensor.Matri
 				}
 			}
 			// LeakyReLU backward on the raw scores.
-			dS := nn.LeakyReLUBackward(bc.scores, dE, gatLeakySlope)
+			dS := nn.LeakyReLUBackwardInto(l.arena.Get(v, bc.degree+1), bc.scores, dE, gatLeakySlope)
 			// scores[i][t] = a1·z_dst(i) + a2·z_cand(i,t).
 			for i, r := range bc.rows {
 				srow := dS.Row(i)

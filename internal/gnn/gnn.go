@@ -197,6 +197,21 @@ func (m *Model) ForwardWithHook(mb *block.MicroBatch, features *tensor.Matrix,
 	return res, nil
 }
 
+// SetArena routes every layer's per-micro-batch tensors — gathered neighbor
+// steps, aggregates, pre-activations, backward intermediates — through a
+// shared iteration arena instead of fresh allocations. nil restores plain
+// allocation. The caller owns the arena's lifetime and must Reset it only at
+// micro-batch boundaries: layer caches are arena-scoped, which is safe
+// because backward always completes before the next micro-batch's forward on
+// the same model.
+func (m *Model) SetArena(a *tensor.Arena) {
+	for _, l := range m.Layers {
+		if s, ok := l.(interface{ setArena(*tensor.Arena) }); ok {
+			s.setArena(a)
+		}
+	}
+}
+
 // Backward propagates dLogits through the stack, accumulating parameter
 // gradients, and returns the gradient with respect to the input features.
 func (m *Model) Backward(res *ForwardResult, dLogits *tensor.Matrix) (*tensor.Matrix, error) {
@@ -222,38 +237,64 @@ type degreeBucket struct {
 // identical tensor shapes, so each bucket runs as one batched aggregation
 // with zero padding waste.
 func bucketizeBlock(blk *block.Block) []degreeBucket {
-	byDeg := map[int][]int32{}
-	for i := range blk.Adj {
-		d := len(blk.Adj[i])
-		byDeg[d] = append(byDeg[d], int32(i))
-	}
-	degrees := make([]int, 0, len(byDeg))
-	for d := range byDeg {
-		degrees = append(degrees, d)
-	}
-	sort.Ints(degrees)
-	out := make([]degreeBucket, 0, len(degrees))
-	for _, d := range degrees {
-		out = append(out, degreeBucket{degree: d, rows: byDeg[d]})
-	}
-	return out
+	var sc blockBuckets
+	return sc.bucketize(blk)
 }
 
-// gatherTimesteps builds the bucket's neighbor tensors: one [len(rows) x dim]
-// matrix per neighbor position t, where row i holds the features of the t-th
-// sampled neighbor of destination rows[i]. Shared shape within a bucket is
-// what makes degree bucketing padding-free.
-func gatherTimesteps(blk *block.Block, rows []int32, degree int, xsrc *tensor.Matrix) []*tensor.Matrix {
-	steps := make([]*tensor.Matrix, degree)
+// blockBuckets is a reusable bucketizeBlock scratch. Each layer owns one:
+// the row slices it hands out alias the scratch's map values, which are
+// truncated and refilled on the next call — valid because a layer's forward
+// and backward both finish before the same layer bucketizes again (one
+// micro-batch at a time per model).
+type blockBuckets struct {
+	byDeg   map[int][]int32
+	degrees []int
+	slab    []degreeBucket
+}
+
+func (sc *blockBuckets) bucketize(blk *block.Block) []degreeBucket {
+	if sc.byDeg == nil {
+		sc.byDeg = map[int][]int32{}
+	}
+	for d, rows := range sc.byDeg {
+		sc.byDeg[d] = rows[:0]
+	}
+	for i := range blk.Adj {
+		d := len(blk.Adj[i])
+		sc.byDeg[d] = append(sc.byDeg[d], int32(i))
+	}
+	sc.degrees = sc.degrees[:0]
+	for d, rows := range sc.byDeg {
+		if len(rows) > 0 {
+			sc.degrees = append(sc.degrees, d)
+		}
+	}
+	sort.Ints(sc.degrees)
+	if cap(sc.slab) < len(sc.degrees) {
+		sc.slab = make([]degreeBucket, len(sc.degrees))
+	}
+	sc.slab = sc.slab[:len(sc.degrees)]
+	for i, d := range sc.degrees {
+		sc.slab[i] = degreeBucket{degree: d, rows: sc.byDeg[d]}
+	}
+	return sc.slab
+}
+
+// gatherTimesteps appends the bucket's neighbor tensors to dst: one
+// [len(rows) x dim] matrix per neighbor position t, where row i holds the
+// features of the t-th sampled neighbor of destination rows[i]. Shared shape
+// within a bucket is what makes degree bucketing padding-free. Matrices come
+// from the arena (nil-safe: falls back to fresh allocation).
+func gatherTimesteps(dst []*tensor.Matrix, a *tensor.Arena, blk *block.Block, rows []int32, degree int, xsrc *tensor.Matrix) []*tensor.Matrix {
 	dim := xsrc.Cols
 	for t := 0; t < degree; t++ {
-		m := tensor.New(len(rows), dim)
+		m := a.Get(len(rows), dim)
 		for i, r := range rows {
 			copy(m.Row(i), xsrc.Row(int(blk.Adj[r][t])))
 		}
-		steps[t] = m
+		dst = append(dst, m)
 	}
-	return steps
+	return dst
 }
 
 // scatterAddRows adds each row of src into dst at the given row indices.
@@ -267,9 +308,10 @@ func scatterAddRows(dst *tensor.Matrix, rows []int32, src *tensor.Matrix) {
 	}
 }
 
-// gatherRows collects the given rows of src into a new matrix.
-func gatherRows(src *tensor.Matrix, rows []int32) *tensor.Matrix {
-	out := tensor.New(len(rows), src.Cols)
+// gatherRows collects the given rows of src into an arena-backed matrix
+// (nil-safe: falls back to fresh allocation).
+func gatherRows(a *tensor.Arena, src *tensor.Matrix, rows []int32) *tensor.Matrix {
+	out := a.Get(len(rows), src.Cols)
 	for i, r := range rows {
 		copy(out.Row(i), src.Row(int(r)))
 	}

@@ -25,7 +25,20 @@ type sageLayer struct {
 	bias   *nn.Param
 	pool   *nn.Linear   // Pool aggregator's pre-max transform (in -> in)
 	lstm   *nn.LSTMCell // LSTM aggregator cell (in -> in)
+
+	// Per-micro-batch reusable state. Micro-batches execute one at a time per
+	// model and a layer's backward always completes before its next forward,
+	// so the cache struct, bucket-cache slab, and bucketize scratch are safe
+	// to recycle. arena (nil-safe) backs every per-micro-batch tensor.
+	arena  *tensor.Arena
+	bsc    blockBuckets
+	cache  sageCache
+	bcSlab []*sageBucketCache
+	dSteps []*tensor.Matrix // backward per-bucket position gradients
+	dActs  []*tensor.Matrix // Pool backward per-position activation grads
 }
+
+func (l *sageLayer) setArena(a *tensor.Arena) { l.arena = a }
 
 func newSAGELayer(name string, agg Aggregator, in, out int, act bool, rng *rand.Rand, ps *nn.ParamSet) *sageLayer {
 	l := &sageLayer{
@@ -124,7 +137,7 @@ func (l *sageLayer) PlannedCacheBytes(blk *block.Block) int64 {
 	if l.act {
 		b += n * out // outAct
 	}
-	for _, db := range bucketizeBlock(blk) {
+	for _, db := range l.bsc.bucketize(blk) {
 		if db.degree == 0 {
 			continue
 		}
@@ -150,36 +163,52 @@ func (l *sageLayer) Forward(blk *block.Block, xsrc *tensor.Matrix) (*tensor.Matr
 		return nil, nil, fmt.Errorf("sage %s: %d feature rows for %d src nodes", l.name, xsrc.Rows, blk.NumSrc())
 	}
 	nDst := blk.NumDst()
-	cache := &sageCache{blk: blk, xsrc: xsrc}
+	dbs := l.bsc.bucketize(blk)
+	for len(l.bcSlab) < len(dbs) {
+		l.bcSlab = append(l.bcSlab, &sageBucketCache{})
+	}
+	cache := &l.cache
+	*cache = sageCache{blk: blk, xsrc: xsrc, buckets: l.bcSlab[:len(dbs)]}
 	cache.xdst = tensor.FromSlice(nDst, l.in, xsrc.Data[:nDst*l.in]) // dst prefix view
-	cache.aggAll = tensor.New(nDst, l.in)
+	cache.aggAll = l.arena.Get(nDst, l.in)
 
 	// Algorithm 1 lines 6-8: one batched aggregation per degree bucket.
-	for _, db := range bucketizeBlock(blk) {
-		bc := &sageBucketCache{rows: db.rows, degree: db.degree}
-		cache.buckets = append(cache.buckets, bc)
+	for bi, db := range dbs {
+		bc := cache.buckets[bi]
+		bc.rows, bc.degree = db.rows, db.degree
+		bc.steps = bc.steps[:0]
+		bc.agg = nil
+		bc.poolPre = bc.poolPre[:0]
+		bc.poolAct = bc.poolAct[:0]
+		bc.argmax = bc.argmax[:0]
+		bc.lstmCache = nil
 		if db.degree == 0 {
 			continue // isolated destinations aggregate nothing
 		}
-		bc.steps = gatherTimesteps(blk, db.rows, db.degree, xsrc)
+		bc.steps = gatherTimesteps(bc.steps, l.arena, blk, db.rows, db.degree, xsrc)
 		switch l.agg {
 		case Mean:
-			agg := tensor.New(len(db.rows), l.in)
+			agg := l.arena.Get(len(db.rows), l.in)
 			for _, s := range bc.steps {
 				agg.AddInPlace(s)
 			}
 			agg.Scale(1 / float32(db.degree))
 			bc.agg = agg
 		case Pool:
-			bc.poolPre = make([]*tensor.Matrix, db.degree)
-			bc.poolAct = make([]*tensor.Matrix, db.degree)
-			for t, s := range bc.steps {
-				pre := l.pool.Forward(s)
-				bc.poolPre[t] = pre
-				bc.poolAct[t] = nn.ReLU(pre)
+			for _, s := range bc.steps {
+				pre := l.pool.ForwardInto(l.arena.Get(s.Rows, l.in), s)
+				bc.poolPre = append(bc.poolPre, pre)
+				bc.poolAct = append(bc.poolAct, nn.ReLUInto(l.arena.Get(s.Rows, l.in), pre))
 			}
-			agg := bc.poolAct[0].Clone()
-			bc.argmax = make([]int32, len(db.rows)*l.in)
+			agg := l.arena.Get(len(db.rows), l.in)
+			agg.CopyFrom(bc.poolAct[0])
+			n := len(db.rows) * l.in
+			if cap(bc.argmax) < n {
+				bc.argmax = make([]int32, n)
+			} else {
+				bc.argmax = bc.argmax[:n]
+				clear(bc.argmax)
+			}
 			for t := 1; t < db.degree; t++ {
 				at := bc.poolAct[t]
 				for i, v := range at.Data {
@@ -191,6 +220,9 @@ func (l *sageLayer) Forward(blk *block.Block, xsrc *tensor.Matrix) (*tensor.Matr
 			}
 			bc.agg = agg
 		case LSTM:
+			// The LSTM trajectory is the one aggregator left on plain
+			// allocation: its cache is built inside the cell and the path is
+			// cold relative to mean/pool.
 			h, lc := l.lstm.RunSequence(bc.steps)
 			bc.lstmCache = lc
 			bc.agg = h
@@ -198,13 +230,14 @@ func (l *sageLayer) Forward(blk *block.Block, xsrc *tensor.Matrix) (*tensor.Matr
 		scatterAddRows(cache.aggAll, db.rows, bc.agg)
 	}
 
-	pre := tensor.MatMul(cache.xdst, l.wSelf.Value)
+	pre := l.arena.Get(nDst, l.out)
+	tensor.MatMulInto(pre, cache.xdst, l.wSelf.Value, false)
 	tensor.MatMulInto(pre, cache.aggAll, l.wNeigh.Value, true)
 	pre.AddRowVector(l.bias.Value)
 	cache.preAct = pre
 	h := pre
 	if l.act {
-		h = nn.ReLU(pre)
+		h = nn.ReLUInto(l.arena.Get(nDst, l.out), pre)
 		cache.outAct = h
 	}
 	return h, cache, nil
@@ -218,48 +251,54 @@ func (l *sageLayer) Backward(cacheI LayerCache, dH *tensor.Matrix) (*tensor.Matr
 	}
 	dPre := dH
 	if l.act {
-		dPre = nn.ReLUBackward(cache.preAct, dH)
+		dPre = nn.ReLUBackwardInto(l.arena.Get(dH.Rows, dH.Cols), cache.preAct, dH)
 	}
 	// preAct = xdst @ Wself + aggAll @ Wneigh + b
 	tensor.MatMulATBInto(l.wSelf.Grad, cache.xdst, dPre, true)
 	tensor.MatMulATBInto(l.wNeigh.Grad, cache.aggAll, dPre, true)
-	l.bias.Grad.AddInPlace(dPre.SumRows())
+	rowSum := l.arena.Get(1, l.out)
+	dPre.SumRowsInto(rowSum)
+	l.bias.Grad.AddInPlace(rowSum)
 
-	dXsrc := tensor.New(cache.xsrc.Rows, l.in)
+	dXsrc := l.arena.Get(cache.xsrc.Rows, l.in)
 	// Self path: dst rows are the src prefix.
-	dXdst := tensor.MatMulABT(dPre, l.wSelf.Value)
+	dXdst := l.arena.Get(dPre.Rows, l.in)
+	tensor.MatMulABTInto(dXdst, dPre, l.wSelf.Value, false)
 	copy(dXsrc.Data[:dXdst.Rows*l.in], dXdst.Data)
 	// Neighbor path, per bucket.
-	dAggAll := tensor.MatMulABT(dPre, l.wNeigh.Value)
+	dAggAll := l.arena.Get(dPre.Rows, l.in)
+	tensor.MatMulABTInto(dAggAll, dPre, l.wNeigh.Value, false)
 	for _, bc := range cache.buckets {
 		if bc.degree == 0 {
 			continue
 		}
-		dAgg := gatherRows(dAggAll, bc.rows)
-		var dSteps []*tensor.Matrix
+		dAgg := gatherRows(l.arena, dAggAll, bc.rows)
+		dSteps := l.dSteps[:0]
 		switch l.agg {
 		case Mean:
 			dAgg.Scale(1 / float32(bc.degree))
-			dSteps = make([]*tensor.Matrix, bc.degree)
-			for t := range dSteps {
-				dSteps[t] = dAgg // same gradient flows to every position
+			for t := 0; t < bc.degree; t++ {
+				dSteps = append(dSteps, dAgg) // same gradient flows to every position
 			}
 		case Pool:
-			dSteps = make([]*tensor.Matrix, bc.degree)
-			dActs := make([]*tensor.Matrix, bc.degree)
-			for t := range dActs {
-				dActs[t] = tensor.New(len(bc.rows), l.in)
+			dActs := l.dActs[:0]
+			for t := 0; t < bc.degree; t++ {
+				dActs = append(dActs, l.arena.Get(len(bc.rows), l.in))
 			}
 			for i, t := range bc.argmax {
 				dActs[t].Data[i] = dAgg.Data[i]
 			}
+			poolSum := l.arena.Get(1, l.in)
 			for t := 0; t < bc.degree; t++ {
-				dPrePool := nn.ReLUBackward(bc.poolPre[t], dActs[t])
-				dSteps[t] = l.pool.Backward(bc.steps[t], dPrePool)
+				dPrePool := nn.ReLUBackwardInto(l.arena.Get(len(bc.rows), l.in), bc.poolPre[t], dActs[t])
+				dx := l.arena.Get(len(bc.rows), l.in)
+				dSteps = append(dSteps, l.pool.BackwardInto(dx, poolSum, bc.steps[t], dPrePool))
 			}
+			l.dActs = dActs[:0]
 		case LSTM:
-			dSteps = l.lstm.BackwardSequence(bc.lstmCache, dAgg)
+			dSteps = append(dSteps, l.lstm.BackwardSequence(bc.lstmCache, dAgg)...)
 		}
+		l.dSteps = dSteps[:0]
 		// Scatter each position's gradient back to its source rows.
 		for t, ds := range dSteps {
 			for i, r := range bc.rows {

@@ -101,13 +101,32 @@ type Profile struct {
 // ProfileBatch measures a batch's per-hop statistics. clusteringCoef is the
 // graph's (offline) average clustering coefficient.
 func ProfileBatch(b *sampling.Batch, clusteringCoef float64) Profile {
-	L := b.Layers()
-	p := Profile{
-		AvgDeg:   make([]float64, L),
-		NbrDeg:   make([]float64, L),
-		Frontier: make([]float64, L+1),
-		C:        clusteringCoef,
+	var p Profile
+	ProfileBatchInto(&p, b, clusteringCoef)
+	return p
+}
+
+// ensureFloats returns s resized to length n zeroed, reusing capacity — the
+// single growth site the reusable profile path funnels through.
+func ensureFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// ProfileBatchInto is ProfileBatch refilling p's slices in place, so a
+// recycled estimator re-profiles each iteration's batch without allocating.
+func ProfileBatchInto(p *Profile, b *sampling.Batch, clusteringCoef float64) {
+	L := b.Layers()
+	p.AvgDeg = ensureFloats(p.AvgDeg, L)
+	p.NbrDeg = ensureFloats(p.NbrDeg, L)
+	p.Frontier = ensureFloats(p.Frontier, L+1)
+	p.C = clusteringCoef
 	for h := 0; h < L; h++ {
 		hop := &b.Hops[h]
 		var edges int64
@@ -141,7 +160,6 @@ func ProfileBatch(b *sampling.Batch, clusteringCoef float64) Profile {
 		}
 	}
 	p.Frontier[L] = float64(len(b.Frontier(L)))
-	return p
 }
 
 // Estimator is the analytical memory model for one (model, batch) pair.
@@ -157,12 +175,23 @@ type Estimator struct {
 	// and actual peaks stay comparable. Off (the default), the estimator
 	// prices training: every layer resident simultaneously for backward.
 	ForwardOnly bool
+
+	// Reusable measurement scratch for GroupMem's per-placement group walks
+	// inside the scheduler's greedy loop. Lazily created; an estimator with
+	// warm scratch measures groups without allocating. Not safe for
+	// concurrent use — each in-flight plan owns its estimator.
+	inFrontier map[graph.NodeID]bool
+	nodes      []graph.NodeID
+	volumes    []int
+	degrees    []int
+	buckets    bucket.Scratch
+	whole      bucket.Group
 }
 
 // New builds an estimator after validating the spec.
 func New(spec ModelSpec, prof Profile) (*Estimator, error) {
 	if spec.Layers < 1 {
-		return nil, fmt.Errorf("memest: spec needs >= 1 layer")
+		return nil, errSpecLayers
 	}
 	if len(prof.AvgDeg) != spec.Layers {
 		return nil, fmt.Errorf("memest: profile has %d hops for %d layers", len(prof.AvgDeg), spec.Layers)
@@ -171,6 +200,30 @@ func New(spec ModelSpec, prof Profile) (*Estimator, error) {
 		return nil, fmt.Errorf("memest: clustering coefficient must be positive, got %g", prof.C)
 	}
 	return &Estimator{Model: spec, Prof: prof}, nil
+}
+
+var (
+	errSpecLayers  = fmt.Errorf("memest: spec needs >= 1 layer")
+	errClusterCoef = fmt.Errorf("memest: clustering coefficient must be positive")
+)
+
+// NewInto is New rebinding a recycled estimator to a fresh batch: the profile
+// is measured into the estimator's existing slices and the measurement
+// scratch stays warm. ForwardOnly resets to the training regime.
+func NewInto(est *Estimator, spec ModelSpec, b *sampling.Batch, clusteringCoef float64) error {
+	if spec.Layers < 1 {
+		return errSpecLayers
+	}
+	if clusteringCoef <= 0 {
+		return errClusterCoef
+	}
+	ProfileBatchInto(&est.Prof, b, clusteringCoef)
+	if len(est.Prof.AvgDeg) != spec.Layers {
+		return fmt.Errorf("memest: profile has %d hops for %d layers", len(est.Prof.AvgDeg), spec.Layers)
+	}
+	est.Model = spec
+	est.ForwardOnly = false
+	return nil
 }
 
 // aggNodeCoeffs returns the per-destination activation bytes of one layer
@@ -358,12 +411,17 @@ func BucketInputs(b *sampling.Batch, nodes []graph.NodeID) (int, error) {
 // exactly, which matters because bucket groups are degree-homogeneous and
 // batch-average degrees misprice them.
 func GroupStats(b *sampling.Batch, nodes []graph.NodeID) (inputs int, hop1DegSum float64, err error) {
+	return groupStatsSeen(b, nodes, make(map[graph.NodeID]bool, len(nodes)*2))
+}
+
+// groupStatsSeen is GroupStats over a caller-provided (cleared) frontier
+// set, the allocation the greedy loop would otherwise repeat per placement.
+func groupStatsSeen(b *sampling.Batch, nodes []graph.NodeID, inFrontier map[graph.NodeID]bool) (inputs int, hop1DegSum float64, err error) {
 	hop0 := &b.Hops[0]
 	var hop1 *sampling.HopAdj
 	if len(b.Hops) > 1 {
 		hop1 = &b.Hops[1]
 	}
-	inFrontier := make(map[graph.NodeID]bool, len(nodes)*2)
 	addDeg := func(v graph.NodeID) {
 		if hop1 == nil {
 			return
@@ -415,27 +473,32 @@ func (e *Estimator) RGroup(inputs, outputs, degree int) float64 {
 // paper's "obtained during micro-batch generation") and deeper hops modeled
 // by saturation toward the parent batch's frontiers.
 func (e *Estimator) GroupMem(b *sampling.Batch, g *bucket.Group) (int64, error) {
-	var nodes []graph.NodeID
-	volumes := make([]int, 0, len(g.Buckets))
-	degrees := make([]int, 0, len(g.Buckets))
+	e.nodes = e.nodes[:0]
+	e.volumes = e.volumes[:0]
+	e.degrees = e.degrees[:0]
 	for _, bk := range g.Buckets {
-		nodes = append(nodes, bk.Nodes...)
-		volumes = append(volumes, bk.Volume())
-		degrees = append(degrees, bk.Degree)
+		e.nodes = append(e.nodes, bk.Nodes...)
+		e.volumes = append(e.volumes, bk.Volume())
+		e.degrees = append(e.degrees, bk.Degree)
 	}
-	inputs, degSum, err := GroupStats(b, nodes)
+	if e.inFrontier == nil {
+		e.inFrontier = make(map[graph.NodeID]bool, len(e.nodes)*2)
+	} else {
+		clear(e.inFrontier)
+	}
+	inputs, degSum, err := groupStatsSeen(b, e.nodes, e.inFrontier)
 	if err != nil {
 		return 0, err
 	}
-	return e.frontierBytes(volumes, degrees, inputs, degSum), nil
+	return e.frontierBytes(e.volumes, e.degrees, inputs, degSum), nil
 }
 
 // BatchMem predicts the memory of training the whole batch as one
 // micro-batch (the K=1 case of Algorithm 3).
 func (e *Estimator) BatchMem(b *sampling.Batch) (int64, error) {
-	bk := bucket.Bucketize(b)
-	g := &bucket.Group{Buckets: bk.Buckets}
-	return e.GroupMem(b, g)
+	bk := bucket.BucketizeInto(&e.buckets, b)
+	e.whole.Buckets = append(e.whole.Buckets[:0], bk.Buckets...)
+	return e.GroupMem(b, &e.whole)
 }
 
 // TrainFixedBytes is the fixed device-resident footprint of one replicated

@@ -1,7 +1,6 @@
 package nn
 
 import (
-	"fmt"
 	"math/rand"
 
 	"buffalo/internal/tensor"
@@ -35,10 +34,12 @@ func (l *Linear) Register(ps *ParamSet) {
 
 // Forward computes x @ W (+ b). x is [n x in]; the result is [n x out].
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
-	if x.Cols != l.W.Value.Rows {
-		panic(fmt.Sprintf("nn: linear %s input dim %d != %d", l.W.Name, x.Cols, l.W.Value.Rows))
-	}
-	y := tensor.MatMul(x, l.W.Value)
+	return l.ForwardInto(tensor.New(x.Rows, l.W.Value.Cols), x)
+}
+
+// ForwardInto is Forward with a caller-provided y ([n x out]). Returns y.
+func (l *Linear) ForwardInto(y, x *tensor.Matrix) *tensor.Matrix {
+	tensor.MatMulInto(y, x, l.W.Value, false)
 	if l.B != nil {
 		y.AddRowVector(l.B.Value)
 	}
@@ -48,9 +49,23 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward accumulates dW (and db) from upstream gradient dy and returns
 // dx = dy @ Wᵀ. x must be the same matrix passed to the matching Forward.
 func (l *Linear) Backward(x, dy *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(dy.Rows, l.W.Value.Rows)
+	var rowSum *tensor.Matrix
+	if l.B != nil {
+		rowSum = tensor.New(1, l.W.Value.Cols)
+	}
+	return l.BackwardInto(dx, rowSum, x, dy)
+}
+
+// BackwardInto is Backward with a caller-provided dx ([n x in]) and, when the
+// layer has a bias, a 1 x out rowSum scratch (overwritten; may be nil for
+// bias-free layers). Returns dx.
+func (l *Linear) BackwardInto(dx, rowSum, x, dy *tensor.Matrix) *tensor.Matrix {
 	tensor.MatMulATBInto(l.W.Grad, x, dy, true)
 	if l.B != nil {
-		l.B.Grad.AddInPlace(dy.SumRows())
+		dy.SumRowsInto(rowSum)
+		l.B.Grad.AddInPlace(rowSum)
 	}
-	return tensor.MatMulABT(dy, l.W.Value)
+	tensor.MatMulABTInto(dx, dy, l.W.Value, false)
+	return dx
 }

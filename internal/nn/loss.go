@@ -13,14 +13,21 @@ import (
 // loss and the gradient: micro-batch training passes |micro|/|batch| so that
 // accumulated micro-batch gradients equal the full-batch gradient.
 func CrossEntropy(logits *tensor.Matrix, labels []int32, scale float32) (float32, *tensor.Matrix, error) {
+	return CrossEntropyInto(tensor.New(logits.Rows, logits.Cols), logits, labels, scale)
+}
+
+// CrossEntropyInto is CrossEntropy with a caller-provided probs scratch of
+// the logits' shape; the returned gradient IS probs (overwritten in place),
+// so the hot paths pass an arena-backed matrix and allocate nothing.
+func CrossEntropyInto(probs, logits *tensor.Matrix, labels []int32, scale float32) (float32, *tensor.Matrix, error) {
 	n := logits.Rows
 	if len(labels) != n {
 		return 0, nil, fmt.Errorf("nn: %d labels for %d logit rows", len(labels), n)
 	}
 	if n == 0 {
-		return 0, tensor.New(0, logits.Cols), nil //buffalo:vet-ignore shapecheck empty batch yields an empty gradient
+		return 0, probs, nil
 	}
-	probs := tensor.SoftmaxRows(logits)
+	tensor.SoftmaxRowsInto(probs, logits)
 	var loss float64
 	for i := 0; i < n; i++ {
 		l := labels[i]

@@ -166,6 +166,15 @@ type GradBucket struct {
 // one tensor). maxBytes <= 0 returns a single bucket holding everything —
 // the monolithic reduce.
 func (ps *ParamSet) GradBuckets(maxBytes int64) []GradBucket {
+	return ps.GradBucketsInto(nil, maxBytes)
+}
+
+// GradBucketsInto is GradBuckets appending into dst[:0], reusing dst's bucket
+// headers AND their Indices backing, so a caller re-deriving the partition
+// (the engine does after every flatten-mode change) pays no steady-state
+// allocation. Flattened sets return the flat index itself — the caller's
+// scratch is not involved, matching GradBuckets.
+func (ps *ParamSet) GradBucketsInto(dst []GradBucket, maxBytes int64) []GradBucket {
 	if len(ps.params) == 0 {
 		return nil
 	}
@@ -175,26 +184,29 @@ func (ps *ParamSet) GradBuckets(maxBytes int64) []GradBucket {
 		// pure slices of the flat buffer — regardless of maxBytes.
 		return ps.flat.Buckets()
 	}
-	if maxBytes <= 0 {
-		b := GradBucket{Indices: make([]int, 0, len(ps.params))}
-		for i := len(ps.params) - 1; i >= 0; i-- {
-			b.Indices = append(b.Indices, i)
-			b.Bytes += ps.params[i].GradBytes()
+	// nextBucket recycles dst's retained headers past the current length: the
+	// old Indices backing is truncated and refilled, never reallocated while
+	// it still fits.
+	out := dst[:0]
+	nextBucket := func() *GradBucket {
+		if len(out) < cap(out) {
+			out = out[: len(out)+1 : cap(out)]
+			b := &out[len(out)-1]
+			*b = GradBucket{Indices: b.Indices[:0]}
+			return b
 		}
-		return []GradBucket{b}
+		out = append(out, GradBucket{})
+		return &out[len(out)-1]
 	}
-	var out []GradBucket
-	cur := GradBucket{}
+	cur := nextBucket()
 	for i := len(ps.params) - 1; i >= 0; i-- {
 		g := ps.params[i].GradBytes()
-		if len(cur.Indices) > 0 && cur.Bytes+g > maxBytes {
-			out = append(out, cur)
-			cur = GradBucket{}
+		if maxBytes > 0 && len(cur.Indices) > 0 && cur.Bytes+g > maxBytes {
+			cur = nextBucket()
 		}
 		cur.Indices = append(cur.Indices, i)
 		cur.Bytes += g
 	}
-	out = append(out, cur)
 	return out
 }
 

@@ -59,6 +59,7 @@ type Manifest struct {
 	Devices   []Device   `json:"devices,omitempty"`
 	Cache     *Cache     `json:"cache,omitempty"`
 	Pipeline  *Pipeline  `json:"pipeline,omitempty"`
+	Pooling   *Pooling   `json:"pooling,omitempty"`
 	Serving   *Serving   `json:"serving,omitempty"`
 	Sharding  *Sharding  `json:"sharding,omitempty"`
 
@@ -241,6 +242,19 @@ type Sharding struct {
 	AllGatherCount     int64 `json:"all_gather_count,omitempty"`
 }
 
+// Pooling is the tensor-pool section behind the zero-allocation hot path:
+// how well the shape-keyed pool and iteration arenas recycled backing
+// storage over the run. Outstanding is the final checked-out count — nonzero
+// at manifest time means a leak (every iteration and request returns its
+// buffers on completion).
+type Pooling struct {
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Resizes     int64   `json:"resizes,omitempty"`
+	Outstanding int64   `json:"outstanding,omitempty"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
 // Pipeline records the async loader's state.
 type Pipeline struct {
 	EffectiveDepth  int  `json:"effective_depth,omitempty"`
@@ -381,6 +395,13 @@ func (m *Manifest) Flatten() map[string]float64 {
 	}
 	if p := m.Pipeline; p != nil {
 		put("pipeline/effective_depth", float64(p.EffectiveDepth))
+	}
+	if pl := m.Pooling; pl != nil {
+		put("pooling/hits", float64(pl.Hits))
+		put("pooling/misses", float64(pl.Misses))
+		put("pooling/resizes", float64(pl.Resizes))
+		put("pooling/outstanding", float64(pl.Outstanding))
+		put("pooling/hit_rate", pl.HitRate)
 	}
 	if s := m.Serving; s != nil {
 		put("serving/requests", float64(s.Requests))

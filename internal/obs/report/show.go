@@ -97,6 +97,10 @@ func WriteSummary(w io.Writer, m *Manifest) error {
 		p.printf("pipeline: depth=%d/%d adaptive=%v plan-ahead=%d\n",
 			pl.EffectiveDepth, pl.ConfiguredDepth, pl.Adaptive, pl.PlanAhead)
 	}
+	if po := m.Pooling; po != nil {
+		p.printf("pooling: %.1f%% hit rate (%d hits / %d misses), %d resizes, %d outstanding\n",
+			100*po.HitRate, po.Hits, po.Misses, po.Resizes, po.Outstanding)
+	}
 	if sh := m.Sharding; sh != nil {
 		mode := "reduce-scatter"
 		if sh.ZeRO1 {

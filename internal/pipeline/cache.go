@@ -33,6 +33,7 @@ type FeatureCache struct {
 
 	entries map[graph.NodeID]*cacheEntry
 	pq      victimHeap
+	free    []*cacheEntry // evicted entry structs, recycled by Admit
 	used    int64
 	tick    int64 // logical clock for last-use ordering
 
@@ -145,13 +146,22 @@ func (c *FeatureCache) Admit(id graph.NodeID, degree int) bool {
 		}
 		heap.Pop(&c.pq)
 		delete(c.entries, victim.id)
+		c.free = append(c.free, victim)
 		c.used -= c.rowBytes
 		c.evictions++
 		c.evictionsC.Add(1)
 		c.entriesG.Set(int64(len(c.entries)))
 		c.usedG.Set(c.used)
 	}
-	e := &cacheEntry{id: id, degree: degree, lastUse: c.tick}
+	var e *cacheEntry
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		*e = cacheEntry{id: id, degree: degree, lastUse: c.tick}
+	} else {
+		e = &cacheEntry{id: id, degree: degree, lastUse: c.tick}
+	}
 	heap.Push(&c.pq, e)
 	c.entries[id] = e
 	c.used += c.rowBytes

@@ -45,6 +45,42 @@ type Batch struct {
 	// Hops[h] holds the sampled adjacency whose destinations are the hop-h
 	// frontier; Hops[0].Dst == Seeds. len(Hops) == len(Fanouts).
 	Hops []HopAdj
+
+	// Reused backing storage for SampleBatchInto: per-hop flat neighbor
+	// arrays (each hop's Nbrs[i] are subslices of hopFlat[h]), per-hop
+	// next-frontier arrays (hop h+1's Dst aliases hopNext[h]), the
+	// Fisher-Yates scratch, and the dedup maps. inner caches the innermost
+	// frontier (Frontier(Layers())) the sampling loop discovers for free.
+	hopFlat  [][]graph.NodeID
+	hopNext  [][]graph.NodeID
+	fyPool   []graph.NodeID
+	seedSeen map[graph.NodeID]bool
+	inner    []graph.NodeID
+	hasInner bool
+}
+
+// ensureIDs returns s resized to length n, reusing capacity when possible.
+// Keeping the one growth site here (and in the sibling helpers) keeps the
+// hot-path allocation census to a single make per element type.
+func ensureIDs(s []graph.NodeID, n int) []graph.NodeID {
+	if cap(s) < n {
+		return make([]graph.NodeID, n)
+	}
+	return s[:n]
+}
+
+func ensureInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func ensureNbrs(s [][]graph.NodeID, n int) [][]graph.NodeID {
+	if cap(s) < n {
+		return make([][]graph.NodeID, n)
+	}
+	return s[:n]
 }
 
 // Layers reports the aggregation depth L.
@@ -58,6 +94,9 @@ func (b *Batch) NumOutputNodes() int { return len(b.Seeds) }
 func (b *Batch) Frontier(h int) []graph.NodeID {
 	if h < len(b.Hops) {
 		return b.Hops[h].Dst
+	}
+	if b.hasInner {
+		return b.inner
 	}
 	// Innermost frontier: the last hop's destinations followed by the
 	// distinct neighbors the last hop sampled.
@@ -143,77 +182,148 @@ func (b *Batch) MergedAdjacency() map[graph.NodeID][]graph.NodeID {
 // independently per hop (re-sampled every iteration, as in DGL). Duplicate
 // seeds are rejected.
 func SampleBatch(g *graph.Graph, seeds []graph.NodeID, fanouts []int, rng *rand.Rand) (*Batch, error) {
+	b := &Batch{}
+	if err := SampleBatchInto(b, g, seeds, fanouts, rng); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// SampleBatchInto is SampleBatch refilling b in place: all hop adjacency,
+// frontier, and dedup storage from b's previous fill is reused, so a warm
+// batch samples without allocating. The RNG draw order is exactly
+// SampleBatch's, which keeps pooled and unpooled runs batch-identical. The
+// caller must not refill b while any consumer still reads the previous fill
+// — iteration scratch recycling (internal/train) guarantees that by checking
+// batches out of a free list for the lifetime of the iteration.
+func SampleBatchInto(b *Batch, g *graph.Graph, seeds []graph.NodeID, fanouts []int, rng *rand.Rand) error {
 	if len(fanouts) == 0 {
-		return nil, fmt.Errorf("sampling: need at least one fanout")
+		return errNoFanouts
 	}
 	for _, f := range fanouts {
 		if f < 1 {
-			return nil, fmt.Errorf("sampling: fanout must be >= 1, got %d", f)
+			return fmt.Errorf("sampling: fanout must be >= 1, got %d", f)
 		}
 	}
 	if len(seeds) == 0 {
-		return nil, fmt.Errorf("sampling: need at least one seed")
+		return errNoSeeds
 	}
-	seen := make(map[graph.NodeID]bool, len(seeds))
+	if b.seedSeen == nil {
+		b.seedSeen = make(map[graph.NodeID]bool, len(seeds))
+	} else {
+		clear(b.seedSeen)
+	}
 	for _, s := range seeds {
 		if s < 0 || int(s) >= g.NumNodes() {
-			return nil, fmt.Errorf("sampling: seed %d out of range", s)
+			return fmt.Errorf("sampling: seed %d out of range", s)
 		}
-		if seen[s] {
-			return nil, fmt.Errorf("sampling: duplicate seed %d", s)
+		if b.seedSeen[s] {
+			return fmt.Errorf("sampling: duplicate seed %d", s)
 		}
-		seen[s] = true
+		b.seedSeen[s] = true
 	}
-	b := &Batch{
-		Graph:   g,
-		Seeds:   append([]graph.NodeID(nil), seeds...),
-		Fanouts: append([]int(nil), fanouts...),
-		Hops:    make([]HopAdj, len(fanouts)),
+	b.Graph = g
+	b.Seeds = ensureIDs(b.Seeds, len(seeds))
+	copy(b.Seeds, seeds)
+	b.Fanouts = ensureInts(b.Fanouts, len(fanouts))
+	copy(b.Fanouts, fanouts)
+	if cap(b.Hops) < len(fanouts) {
+		hops := make([]HopAdj, len(fanouts))
+		copy(hops, b.Hops) // keep already-built maps/backing for reuse
+		b.Hops = hops
+	} else {
+		b.Hops = b.Hops[:len(fanouts)]
 	}
+	b.hopFlat = ensureNbrs(b.hopFlat, len(fanouts))
+	b.hopNext = ensureNbrs(b.hopNext, len(fanouts))
+
 	frontier := b.Seeds
 	for h, fanout := range fanouts {
 		hop := &b.Hops[h]
 		hop.Dst = frontier
-		hop.Nbrs = make([][]graph.NodeID, len(frontier))
-		hop.Index = make(map[graph.NodeID]int, len(frontier))
+		hop.Nbrs = ensureNbrs(hop.Nbrs, len(frontier))
+		if hop.Index == nil {
+			hop.Index = make(map[graph.NodeID]int, len(frontier))
+		} else {
+			clear(hop.Index)
+		}
+		// Pre-count the hop's sampled-degree total so the flat neighbor
+		// backing is fully sized before the first subslice is taken from it
+		// (growing it mid-hop would strand earlier Nbrs views on the old
+		// array).
+		total := 0
+		for _, v := range frontier {
+			d := len(g.Neighbors(v))
+			if d > fanout {
+				d = fanout
+			}
+			total += d
+		}
+		b.hopFlat[h] = ensureIDs(b.hopFlat[h], total)
+		flat := b.hopFlat[h]
 		// The next frontier carries the current destinations first (GNN
 		// layers need each node's own previous-layer state — DGL's "dst
 		// nodes are a prefix of src nodes" convention) followed by newly
-		// discovered sampled neighbors.
-		nextSeen := make(map[graph.NodeID]bool, len(frontier))
-		next := append([]graph.NodeID(nil), frontier...)
-		for _, v := range frontier {
-			nextSeen[v] = true
+		// discovered sampled neighbors; len(frontier)+total bounds it.
+		b.hopNext[h] = ensureIDs(b.hopNext[h], len(frontier)+total)
+		next := b.hopNext[h][:len(frontier)]
+		copy(next, frontier)
+		nextSeen := b.seedSeen // validated seeds double as hop-0 dedup state
+		if h > 0 {
+			clear(nextSeen)
+			for _, v := range frontier {
+				nextSeen[v] = true
+			}
 		}
+		used := 0
 		for i, v := range frontier {
 			hop.Index[v] = i
-			hop.Nbrs[i] = sampleNeighbors(g, v, fanout, rng)
-			for _, u := range hop.Nbrs[i] {
+			nb := b.sampleNeighborsInto(flat[used:used], g, v, fanout, rng)
+			hop.Nbrs[i] = nb
+			used += len(nb)
+			for _, u := range nb {
 				if !nextSeen[u] {
 					nextSeen[u] = true
 					next = append(next, u)
 				}
 			}
 		}
+		b.hopNext[h] = next // next aliases the pre-sized backing; keep its length
 		frontier = next
 	}
-	return b, nil
+	b.inner = frontier
+	b.hasInner = true
+	return nil
 }
 
-// sampleNeighbors returns up to fanout distinct neighbors of v. When the
-// degree is within the fanout it returns the full (copied) list; otherwise a
-// uniform sample without replacement via partial Fisher-Yates.
-func sampleNeighbors(g *graph.Graph, v graph.NodeID, fanout int, rng *rand.Rand) []graph.NodeID {
+var (
+	errNoFanouts = fmt.Errorf("sampling: need at least one fanout")
+	errNoSeeds   = fmt.Errorf("sampling: need at least one seed")
+)
+
+// sampleNeighborsInto writes up to fanout distinct neighbors of v into dst
+// (an empty slice whose capacity the caller has pre-sized) and returns the
+// filled prefix. When the degree is within the fanout the full list is
+// copied; otherwise a uniform sample without replacement via partial
+// Fisher-Yates over the reused scratch — the rng consumption is identical
+// to the historical sampleNeighbors, draw for draw.
+func (b *Batch) sampleNeighborsInto(dst []graph.NodeID, g *graph.Graph, v graph.NodeID, fanout int, rng *rand.Rand) []graph.NodeID {
 	nbs := g.Neighbors(v)
 	if len(nbs) <= fanout {
-		return append([]graph.NodeID(nil), nbs...)
+		dst = dst[:len(nbs)]
+		copy(dst, nbs)
+		return dst
 	}
-	pool := append([]graph.NodeID(nil), nbs...)
+	b.fyPool = ensureIDs(b.fyPool, len(nbs))
+	pool := b.fyPool
+	copy(pool, nbs)
 	for i := 0; i < fanout; i++ {
 		j := i + rng.Intn(len(pool)-i)
 		pool[i], pool[j] = pool[j], pool[i]
 	}
-	return pool[:fanout]
+	dst = dst[:fanout]
+	copy(dst, pool[:fanout])
+	return dst
 }
 
 // UniformSeeds draws count distinct nodes uniformly from g as seeds.

@@ -44,3 +44,13 @@ func (s *Stream) Next() (*Batch, error) {
 	}
 	return SampleBatch(s.g, seeds, s.fanouts, s.rng)
 }
+
+// NextInto refills b with the stream's next batch, reusing b's backing
+// storage (see SampleBatchInto). The RNG consumption matches Next exactly.
+func (s *Stream) NextInto(b *Batch) error {
+	seeds, err := UniformSeeds(s.g, s.size, s.rng)
+	if err != nil {
+		return err
+	}
+	return SampleBatchInto(b, s.g, seeds, s.fanouts, s.rng)
+}

@@ -35,6 +35,32 @@ type Options struct {
 	// Obs optionally records scheduler decisions (K-search attempts,
 	// explosion splits, the winning K and its estimate). Nil disables.
 	Obs *obs.Recorder
+	// Scratch optionally reuses one prior scheduling pass's storage. The
+	// returned Plan (groups, estimates, bucket lists) aliases the scratch and
+	// is valid only until the next Schedule call with the same scratch; one
+	// scratch serves one in-flight plan at a time. Nil allocates fresh.
+	Scratch *Scratch
+}
+
+// weighted pairs a bucket with its singleton memory estimate for the
+// bin-packing passes.
+type weighted struct {
+	b *bucket.Bucket
+	m int64
+}
+
+// Scratch owns the reusable storage one scheduling pass consumes: the
+// bucketization scratch, the weighted-item buffer, a group slab plus the
+// pointer and estimate slices handed out in the Plan, a singleton probe
+// group for the oversized-bucket check, and the Plan header itself.
+type Scratch struct {
+	buckets   bucket.Scratch
+	items     []weighted
+	groupSlab []bucket.Group
+	groupPtrs []*bucket.Group
+	estimates []int64
+	probe     bucket.Group
+	plan      Plan
 }
 
 // Plan is the scheduler's result: K bucket groups, each of which becomes one
@@ -81,13 +107,19 @@ func (p *Plan) Imbalance() float64 {
 	return float64(mx-mn) / float64(mx)
 }
 
+var errMemLimit = fmt.Errorf("schedule: MemLimit must be positive")
+
 // Schedule is Algorithm 3: it searches for the smallest K whose
 // memory-balanced grouping fits the budget and returns the winning plan.
 func Schedule(b *sampling.Batch, est *memest.Estimator, opts Options) (*Plan, error) {
 	if opts.MemLimit <= 0 {
-		return nil, fmt.Errorf("schedule: MemLimit must be positive")
+		return nil, errMemLimit
 	}
-	base := bucket.Bucketize(b)
+	sc := opts.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	base := bucket.BucketizeInto(&sc.buckets, b)
 	kmax := opts.KMax
 	if kmax <= 0 {
 		kmax = base.TotalNodes()
@@ -100,14 +132,18 @@ func Schedule(b *sampling.Batch, est *memest.Estimator, opts Options) (*Plan, er
 	// K = 1 special case (Algorithm 3's "do not do anything" branch): if the
 	// whole batch fits, the original batch is the single micro-batch.
 	if k == 1 {
-		whole := &bucket.Group{Buckets: base.Buckets}
+		sc.ensureGroups(1)
+		whole := sc.groupPtrs[0]
+		whole.Buckets = append(whole.Buckets, base.Buckets...)
 		m, err := groupMem(est, b, whole, opts.DisableRedundancy)
 		if err != nil {
 			return nil, err
 		}
 		attempts++
 		if m <= opts.MemLimit {
-			plan := &Plan{K: 1, Groups: []*bucket.Group{whole}, Estimates: []int64{m}}
+			sc.estimates = append(sc.estimates[:0], m)
+			plan := &sc.plan
+			*plan = Plan{K: 1, Groups: sc.groupPtrs[:1], Estimates: sc.estimates}
 			recordPlan(opts.Obs, plan, attempts)
 			return plan, nil
 		}
@@ -120,7 +156,7 @@ func Schedule(b *sampling.Batch, est *memest.Estimator, opts Options) (*Plan, er
 		}
 	}
 	for ; k <= kmax; k++ {
-		plan, ok, err := tryK(b, base, est, k, opts)
+		plan, ok, err := tryK(sc, b, base, est, k, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -131,6 +167,22 @@ func Schedule(b *sampling.Batch, est *memest.Estimator, opts Options) (*Plan, er
 		}
 	}
 	return nil, fmt.Errorf("schedule: no feasible plan within K <= %d for budget %d bytes", kmax, opts.MemLimit)
+}
+
+// ensureGroups sizes the group slab and pointer slice to n, truncating each
+// slab entry's bucket list so its capacity survives across passes.
+func (sc *Scratch) ensureGroups(n int) {
+	if cap(sc.groupSlab) < n {
+		slab := make([]bucket.Group, n)
+		copy(slab, sc.groupSlab)
+		sc.groupSlab = slab
+	}
+	sc.groupSlab = sc.groupSlab[:n]
+	sc.groupPtrs = sc.groupPtrs[:0]
+	for i := range sc.groupSlab {
+		sc.groupSlab[i].Buckets = sc.groupSlab[i].Buckets[:0]
+		sc.groupPtrs = append(sc.groupPtrs, &sc.groupSlab[i])
+	}
 }
 
 // recordPlan emits the winning plan's scheduler decisions: how many K
@@ -150,8 +202,9 @@ func recordPlan(r *obs.Recorder, plan *Plan, attempts int64) {
 }
 
 // tryK is one iteration of Algorithm 3's loop: split the explosion bucket
-// into K micro-buckets, run MemBalancedGrouping, and check the budget.
-func tryK(b *sampling.Batch, base *bucket.Bucketing, est *memest.Estimator, k int, opts Options) (*Plan, bool, error) {
+// into K micro-buckets, run the memory-balanced grouping, and check the
+// budget.
+func tryK(sc *Scratch, b *sampling.Batch, base *bucket.Bucketing, est *memest.Estimator, k int, opts Options) (*Plan, bool, error) {
 	working := base
 	exploded := false
 	splitParts := 0
@@ -177,7 +230,8 @@ func tryK(b *sampling.Batch, base *bucket.Bucketing, est *memest.Estimator, k in
 			if bu.Volume() <= 1 {
 				continue
 			}
-			m, err := groupMem(est, b, &bucket.Group{Buckets: []*bucket.Bucket{bu}}, opts.DisableRedundancy)
+			sc.probe.Buckets = append(sc.probe.Buckets[:0], bu)
+			m, err := groupMem(est, b, &sc.probe, opts.DisableRedundancy)
 			if err != nil {
 				return nil, false, err
 			}
@@ -196,7 +250,7 @@ func tryK(b *sampling.Batch, base *bucket.Bucketing, est *memest.Estimator, k in
 		}
 		working = split
 	}
-	groups, estimates, err := MemBalancedGrouping(b, working, est, k, opts)
+	groups, estimates, err := memBalancedGroupingInto(sc, b, working, est, k, opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -205,36 +259,50 @@ func tryK(b *sampling.Batch, base *bucket.Bucketing, est *memest.Estimator, k in
 			return nil, false, nil // infeasible at this K
 		}
 	}
-	return &Plan{
+	plan := &sc.plan
+	*plan = Plan{
 		K: k, Groups: groups, Estimates: estimates,
 		Exploded: exploded, SplitParts: splitParts,
-	}, true, nil
+	}
+	return plan, true, nil
 }
 
 // MemBalancedGrouping is Algorithm 4: sort buckets by estimated memory
 // descending, then place each into the group with the lowest
 // redundancy-aware estimate so far (greedy load-balanced bin packing with
-// value = weight = estimated bucket memory).
+// value = weight = estimated bucket memory). The result does not alias
+// opts.Scratch; reuse-minded callers go through Schedule.
 func MemBalancedGrouping(b *sampling.Batch, bk *bucket.Bucketing, est *memest.Estimator, k int, opts Options) ([]*bucket.Group, []int64, error) {
+	sc := &Scratch{}
+	groups, estimates, err := memBalancedGroupingInto(sc, b, bk, est, k, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return groups, estimates, nil
+}
+
+// memBalancedGroupingInto is MemBalancedGrouping building its groups and
+// estimates inside sc; the results alias the scratch.
+func memBalancedGroupingInto(sc *Scratch, b *sampling.Batch, bk *bucket.Bucketing, est *memest.Estimator, k int, opts Options) ([]*bucket.Group, []int64, error) {
 	if k < 1 {
 		return nil, nil, fmt.Errorf("schedule: K must be >= 1, got %d", k)
 	}
-	type weighted struct {
-		b *bucket.Bucket
-		m int64
-	}
-	items := make([]weighted, 0, len(bk.Buckets))
+	sc.items = sc.items[:0]
 	for _, bu := range bk.Buckets {
-		items = append(items, weighted{b: bu, m: est.BucketMem(bu.Volume(), bu.Degree)})
+		sc.items = append(sc.items, weighted{b: bu, m: est.BucketMem(bu.Volume(), bu.Degree)})
 	}
-	sort.SliceStable(items, func(i, j int) bool { return items[i].m > items[j].m })
+	sortWeightedDesc(sc.items)
 
-	groups := make([]*bucket.Group, k)
-	estimates := make([]int64, k)
-	for i := range groups {
-		groups[i] = &bucket.Group{}
+	sc.ensureGroups(k)
+	groups := sc.groupPtrs
+	if cap(sc.estimates) < k {
+		sc.estimates = make([]int64, k)
 	}
-	for _, it := range items {
+	estimates := sc.estimates[:k]
+	for i := range estimates {
+		estimates[i] = 0
+	}
+	for _, it := range sc.items {
 		// Place into the group with the lowest current estimate.
 		best := 0
 		for gi := 1; gi < k; gi++ {
@@ -259,6 +327,26 @@ func MemBalancedGrouping(b *sampling.Batch, bk *bucket.Bucketing, est *memest.Es
 		}
 	}
 	return outG, outE, nil
+}
+
+// sortWeightedDesc stable-sorts items by estimate descending. Bucket counts
+// are tiny (at most the fanout plus split parts), so binary-insertion sort
+// beats sort.SliceStable and sidesteps its interface boxing.
+func sortWeightedDesc(items []weighted) {
+	for i := 1; i < len(items); i++ {
+		it := items[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if items[mid].m >= it.m {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(items[lo+1:i+1], items[lo:i])
+		items[lo] = it
+	}
 }
 
 // groupMem dispatches between the redundancy-aware estimator and its

@@ -45,6 +45,13 @@ func (s *Server) BuildManifest(dataset string) *report.Manifest {
 		QueueWaitP50Ns: int64(st.QueueWaitP50),
 		QueueWaitP99Ns: int64(st.QueueWaitP99),
 	}
+	if pst := s.sess.PoolStats(); pst.Hits+pst.Misses > 0 {
+		m.Pooling = &report.Pooling{
+			Hits: pst.Hits, Misses: pst.Misses, Resizes: pst.Resizes,
+			Outstanding: pst.Outstanding,
+			HitRate:     float64(pst.Hits) / float64(pst.Hits+pst.Misses),
+		}
+	}
 	if c := st.Cache; c.Hits+c.Misses > 0 {
 		hitRate := float64(c.Hits) / float64(c.Hits+c.Misses)
 		m.Cache = &report.Cache{

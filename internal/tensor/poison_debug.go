@@ -1,0 +1,16 @@
+//go:build tensordebug
+
+package tensor
+
+import "math"
+
+// poisonOnRelease fills a released matrix with NaN. Get re-zeroes matrices
+// it hands back out, so the only way NaN reaches arithmetic is through a
+// stale alias used after its Put/Reset — the exact bug class pooling could
+// otherwise hide as silently recycled data.
+func poisonOnRelease(m *Matrix) {
+	nan := float32(math.NaN())
+	for i := range m.Data {
+		m.Data[i] = nan
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !tensordebug
+
+package tensor
+
+// poisonOnRelease is a no-op in normal builds. Build with -tags tensordebug
+// to fill released matrices with NaN so use-after-release reads fail loudly.
+func poisonOnRelease(*Matrix) {}

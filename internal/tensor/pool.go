@@ -1,0 +1,251 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a shape-keyed free list of matrices with a capacity-class
+// fallback. Get first reuses a released matrix of the exact requested shape
+// (zeroed, so pooled allocation is indistinguishable from New); on an exact
+// miss it reshapes a released matrix from the smallest capacity class that
+// fits, so the varying shapes of sampled batches — no two iterations gather
+// the same frontier sizes — still reuse backing storage instead of
+// allocating every time. A single mutex guards the free lists — the hot
+// paths hold it for a slice scan/pop only, and the checkout pattern (one
+// Get/Put pair per staged buffer, not per element) keeps contention
+// negligible; the counters are atomics so Stats is lock-free.
+//
+// Every released matrix is indexed twice — under its exact shape and under
+// its capacity class — and entries are validated lazily by a per-matrix
+// generation counter: whichever index hands the matrix out first wins, and
+// the other index's entry turns stale and is dropped when next scanned.
+//
+// All methods are nil-receiver safe: a nil *Pool allocates fresh matrices
+// and discards releases, which is exactly "pooling off" — callers thread one
+// optional pool instead of branching at every site.
+type Pool struct {
+	mu      sync.Mutex
+	free    map[poolKey][]poolEntry
+	byClass [40][]poolEntry // released matrices by ceil-log2 element capacity
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	resizes     atomic.Int64
+	outstanding atomic.Int64
+}
+
+type poolKey struct{ rows, cols int }
+
+// poolEntry pins the matrix's release generation: the entry is live only
+// while m is still released AND this is its latest Put (seq matches), which
+// lets the two indexes share matrices without double-handing one out.
+type poolEntry struct {
+	m   *Matrix
+	seq uint32
+}
+
+func (e poolEntry) live() bool { return e.m.released && e.m.poolSeq == e.seq }
+
+// classOf buckets an element count into its ceil-log2 capacity class: class
+// c holds needs in (2^(c-1), 2^c], so any matrix put in a HIGHER class is
+// guaranteed to fit, and same-class entries need one capacity check.
+func classOf(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1))
+	if c > 38 {
+		c = 38
+	}
+	return c
+}
+
+// PoolStats is a snapshot of the pool's reuse counters.
+type PoolStats struct {
+	// Hits counts Gets served from the free lists (exact-shape or reshaped
+	// from a capacity class), Misses those that fell through to a fresh
+	// allocation.
+	Hits, Misses int64
+	// Resizes counts the subset of Hits served by reshaping a different-shape
+	// matrix from a capacity class.
+	Resizes int64
+	// Outstanding is the live checkout gauge: Gets minus Puts.
+	Outstanding int64
+}
+
+// NewPool builds an empty pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[poolKey][]poolEntry)}
+}
+
+// Get returns a zeroed rows x cols matrix, reusing a released one of the
+// same shape — or, failing that, reshaping a released one with enough
+// capacity — when available.
+func (p *Pool) Get(rows, cols int) *Matrix {
+	if p == nil {
+		return New(rows, cols)
+	}
+	n := rows * cols
+	k := poolKey{rows, cols}
+	var m *Matrix
+	resized := false
+	p.mu.Lock()
+	s := p.free[k]
+	for i := len(s) - 1; i >= 0; i-- {
+		e := s[i]
+		s[i] = s[len(s)-1]
+		s[len(s)-1] = poolEntry{}
+		s = s[:len(s)-1]
+		if e.live() {
+			m = e.m
+			break
+		}
+	}
+	p.free[k] = s
+	if m == nil {
+		// Exact miss: steal the first live entry with enough capacity,
+		// smallest class first. Stale entries (already handed out via the
+		// exact index) are dropped as they are scanned; live-but-small
+		// entries stay in place.
+		for c := classOf(n); c < len(p.byClass) && m == nil; c++ {
+			cs := p.byClass[c]
+			for i := len(cs) - 1; i >= 0; i-- {
+				e := cs[i]
+				if !e.live() {
+					cs[i] = cs[len(cs)-1]
+					cs[len(cs)-1] = poolEntry{}
+					cs = cs[:len(cs)-1]
+					continue
+				}
+				if cap(e.m.Data) >= n {
+					m = e.m
+					resized = true
+					cs[i] = cs[len(cs)-1]
+					cs[len(cs)-1] = poolEntry{}
+					cs = cs[:len(cs)-1]
+					break
+				}
+			}
+			p.byClass[c] = cs
+		}
+	}
+	p.mu.Unlock()
+	p.outstanding.Add(1)
+	if m == nil {
+		p.misses.Add(1)
+		return New(rows, cols)
+	}
+	p.hits.Add(1)
+	if resized {
+		p.resizes.Add(1)
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:n]
+	}
+	m.released = false
+	m.Zero()
+	return m
+}
+
+// Put returns m to the pool's free lists. Releasing the same matrix twice
+// panics — a double Put means two owners believe they hold the buffer, which
+// is exactly the aliasing bug pooling must not hide. Under the tensordebug
+// build tag the payload is additionally poisoned with NaN so a stale alias
+// held across the release turns arithmetic loud instead of silently reading
+// recycled data.
+func (p *Pool) Put(m *Matrix) {
+	if p == nil || m == nil {
+		return
+	}
+	if m.released {
+		panic("tensor: double release of pooled matrix")
+	}
+	m.released = true
+	m.poolSeq++
+	poisonOnRelease(m)
+	p.outstanding.Add(-1)
+	k := poolKey{m.Rows, m.Cols}
+	e := poolEntry{m: m, seq: m.poolSeq}
+	c := classOf(cap(m.Data))
+	p.mu.Lock()
+	p.free[k] = append(p.free[k], e)
+	p.byClass[c] = append(p.byClass[c], e)
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the reuse counters.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{
+		Hits:        p.hits.Load(),
+		Misses:      p.misses.Load(),
+		Resizes:     p.resizes.Load(),
+		Outstanding: p.outstanding.Load(),
+	}
+}
+
+// Arena hands out pool-backed matrices scoped to one unit of work (a
+// micro-batch's forward/backward, one inference request) and reclaims them
+// wholesale: Reset returns everything taken since the last Reset to the
+// underlying pool. It is deliberately not thread-safe — an arena belongs to
+// exactly one goroutine's compute loop; cross-goroutine buffers (staged
+// features) go through the Pool directly.
+//
+// A nil *Arena degrades to plain New on Get and a no-op Reset, so kernels
+// take an optional arena without branching.
+type Arena struct {
+	pool  *Pool
+	taken []*Matrix
+}
+
+// NewArena builds an arena drawing from p (which may be shared by several
+// arenas; p must not be nil).
+func NewArena(p *Pool) *Arena {
+	return &Arena{pool: p}
+}
+
+// Get returns a zeroed rows x cols matrix owned by the arena until the next
+// Reset.
+func (a *Arena) Get(rows, cols int) *Matrix {
+	if a == nil {
+		return New(rows, cols)
+	}
+	m := a.pool.Get(rows, cols)
+	a.taken = append(a.taken, m)
+	return m
+}
+
+// Pool returns the arena's backing pool (nil for a nil arena), so callers
+// holding only the arena can still read reuse stats.
+func (a *Arena) Pool() *Pool {
+	if a == nil {
+		return nil
+	}
+	return a.pool
+}
+
+// Reset releases every matrix handed out since the last Reset back to the
+// pool. Callers must not retain references across a Reset; under the
+// tensordebug build tag retained aliases read NaN.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	for i, m := range a.taken {
+		a.pool.Put(m)
+		a.taken[i] = nil
+	}
+	a.taken = a.taken[:0]
+}
+
+// Outstanding reports how many matrices the arena currently holds checked
+// out (diagnostic; zero right after a Reset).
+func (a *Arena) Outstanding() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.taken)
+}

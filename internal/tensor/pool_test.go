@@ -1,0 +1,187 @@
+package tensor
+
+import "testing"
+
+func TestPoolExactShapeReuse(t *testing.T) {
+	p := NewPool()
+	a := p.Get(3, 4)
+	a.Set(1, 2, 7)
+	p.Put(a)
+	b := p.Get(3, 4)
+	if b != a {
+		t.Fatalf("exact-shape Get did not reuse the released matrix")
+	}
+	if b.At(1, 2) != 0 {
+		t.Fatalf("reused matrix not zeroed: got %v", b.At(1, 2))
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Resizes != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 0 resizes", st)
+	}
+}
+
+func TestPoolMissAllocatesFresh(t *testing.T) {
+	p := NewPool()
+	a := p.Get(2, 2)
+	b := p.Get(2, 2) // a still checked out: must not be handed out twice
+	if a == b {
+		t.Fatalf("pool handed the same matrix to two owners")
+	}
+	st := p.Stats()
+	if st.Hits != 0 || st.Misses != 2 || st.Outstanding != 2 {
+		t.Fatalf("stats = %+v, want 0 hits / 2 misses / 2 outstanding", st)
+	}
+	p.Put(a)
+	p.Put(b)
+	if got := p.Stats().Outstanding; got != 0 {
+		t.Fatalf("outstanding after Puts = %d, want 0", got)
+	}
+}
+
+func TestPoolCapacityClassResize(t *testing.T) {
+	p := NewPool()
+	a := p.Get(8, 8) // 64 elements
+	a.Set(0, 0, 3)
+	p.Put(a)
+	// Different shape, smaller need: served by reshaping the released matrix.
+	b := p.Get(7, 9) // 63 elements <= cap 64
+	if b != a {
+		t.Fatalf("capacity-class Get did not reuse the released matrix")
+	}
+	if b.Rows != 7 || b.Cols != 9 || len(b.Data) != 63 {
+		t.Fatalf("reshaped to %dx%d len %d, want 7x9 len 63", b.Rows, b.Cols, len(b.Data))
+	}
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("reshaped matrix not zeroed at %d: %v", i, v)
+		}
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Resizes != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 resize", st)
+	}
+}
+
+func TestPoolCapacityClassSkipsTooSmall(t *testing.T) {
+	p := NewPool()
+	small := p.Get(2, 2)
+	p.Put(small)
+	big := p.Get(100, 100) // nothing big enough: fresh allocation
+	if big == small {
+		t.Fatalf("pool reshaped a matrix without the capacity")
+	}
+	if st := p.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", st.Misses)
+	}
+	// The small one is still pooled and reusable at its own shape.
+	if again := p.Get(2, 2); again != small {
+		t.Fatalf("small matrix lost from the pool")
+	}
+}
+
+// TestPoolStaleEntryInvalidation drives the two-index design through the
+// case both indexes hold an entry for the same matrix and one wins: the
+// loser's entry must not hand the matrix out a second time.
+func TestPoolStaleEntryInvalidation(t *testing.T) {
+	p := NewPool()
+	a := p.Get(4, 4)
+	p.Put(a) // indexed under exact {4,4} AND capacity class of 16
+	// Take it via the capacity class (different shape), leaving the exact
+	// {4,4} entry stale.
+	b := p.Get(2, 7)
+	if b != a {
+		t.Fatalf("expected capacity-class reuse")
+	}
+	// The stale exact entry must not resurface the checked-out matrix.
+	c := p.Get(4, 4)
+	if c == a {
+		t.Fatalf("stale exact-shape entry handed out a checked-out matrix")
+	}
+	// And after re-release under the new shape, the old generation stays dead.
+	p.Put(b)
+	d := p.Get(2, 7)
+	if d != a {
+		t.Fatalf("re-released matrix not reusable under its new shape")
+	}
+	p.Put(c)
+	p.Put(d)
+	if got := p.Stats().Outstanding; got != 0 {
+		t.Fatalf("outstanding = %d, want 0", got)
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	p := NewPool()
+	m := p.Get(2, 3)
+	p.Put(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double Put did not panic")
+		}
+	}()
+	p.Put(m)
+}
+
+func TestNilPoolDegradesToNew(t *testing.T) {
+	var p *Pool
+	m := p.Get(2, 3)
+	if m == nil || m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("nil pool Get = %+v", m)
+	}
+	p.Put(m) // no-op, must not panic
+	if st := p.Stats(); st != (PoolStats{}) {
+		t.Fatalf("nil pool stats = %+v", st)
+	}
+}
+
+func TestArenaResetReturnsToPool(t *testing.T) {
+	p := NewPool()
+	a := NewArena(p)
+	m1 := a.Get(3, 3)
+	m2 := a.Get(5, 2)
+	if a.Outstanding() != 2 {
+		t.Fatalf("arena outstanding = %d, want 2", a.Outstanding())
+	}
+	a.Reset()
+	if a.Outstanding() != 0 {
+		t.Fatalf("arena outstanding after Reset = %d, want 0", a.Outstanding())
+	}
+	if p.Stats().Outstanding != 0 {
+		t.Fatalf("pool outstanding after Reset = %d, want 0", p.Stats().Outstanding)
+	}
+	// The next round draws the same backing from the pool.
+	n1, n2 := a.Get(3, 3), a.Get(5, 2)
+	if n1 != m1 || n2 != m2 {
+		t.Fatalf("arena round 2 did not reuse round 1's matrices")
+	}
+	a.Reset()
+}
+
+func TestNilArenaDegradesToNew(t *testing.T) {
+	var a *Arena
+	m := a.Get(2, 2)
+	if m == nil || m.Rows != 2 {
+		t.Fatalf("nil arena Get = %+v", m)
+	}
+	a.Reset() // no-op
+	if a.Outstanding() != 0 || a.Pool() != nil {
+		t.Fatalf("nil arena non-degenerate")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 64: 6, 65: 7}
+	for n, want := range cases {
+		if got := classOf(n); got != want {
+			t.Fatalf("classOf(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Class c must fit any released matrix of class >= c with capacity >= n:
+	// sanity-check the invariant cap in class c implies cap >= 2^(c-1)+1.
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 100, 4096, 4097} {
+		c := classOf(n)
+		if c > 0 && n <= 1<<(c-1) {
+			t.Fatalf("classOf(%d) = %d but %d fits class %d", n, c, n, c-1)
+		}
+	}
+}

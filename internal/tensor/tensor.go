@@ -7,9 +7,9 @@
 package tensor
 
 import (
-	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 )
 
@@ -17,12 +17,40 @@ import (
 type Matrix struct {
 	Rows, Cols int
 	Data       []float32 // len Rows*Cols, row-major
+
+	// released marks a matrix currently sitting in a Pool free list; Put
+	// panics on an already-released matrix so aliasing bugs fail loudly.
+	released bool
+	// poolSeq counts Puts: pool index entries record the value at insert and
+	// go stale when it moves on, so the pool's two indexes (exact shape and
+	// capacity class) can share a matrix without handing it out twice.
+	poolSeq uint32
+}
+
+// panicShape reports a dimension violation. Every kernel panic funnels
+// through here so the message formatting (and its interface boxing) sits in
+// one cold function instead of on every hot-path allocation-census root that
+// reaches a kernel; the variadic ...int spread is census-free at call sites.
+func panicShape(op string, dims ...int) {
+	msg := "tensor: " + op
+	for i, d := range dims {
+		switch {
+		case i == 0:
+			msg += " "
+		case i%2 == 1:
+			msg += "x"
+		default:
+			msg += " vs "
+		}
+		msg += strconv.Itoa(d)
+	}
+	panic(msg)
 }
 
 // New allocates a zeroed rows x cols matrix.
 func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("tensor: negative dims %dx%d", rows, cols))
+		panicShape("negative dims", rows, cols)
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
 }
@@ -30,7 +58,7 @@ func New(rows, cols int) *Matrix {
 // FromSlice wraps data (not copied) as a rows x cols matrix.
 func FromSlice(rows, cols int, data []float32) *Matrix {
 	if len(data) != rows*cols {
-		panic(fmt.Sprintf("tensor: data len %d != %dx%d", len(data), rows, cols))
+		panicShape("data len mismatch", len(data), 1, rows, cols)
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
 }
@@ -64,7 +92,7 @@ func (m *Matrix) Zero() {
 // CopyFrom copies src's contents into m; shapes must match.
 func (m *Matrix) CopyFrom(src *Matrix) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
-		panic(fmt.Sprintf("tensor: CopyFrom shape %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+		panicShape("CopyFrom shape", m.Rows, m.Cols, src.Rows, src.Cols)
 	}
 	copy(m.Data, src.Data)
 }
@@ -81,8 +109,7 @@ func MatMul(a, b *Matrix) *Matrix {
 // products parallelize across output rows (they are disjoint).
 func MatMulInto(out, a, b *Matrix, accumulate bool) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmul shapes %dx%d @ %dx%d -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+		panicShape("matmul shapes", a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols)
 	}
 	if !accumulate {
 		out.Zero()
@@ -150,8 +177,7 @@ func MatMulATB(a, b *Matrix) *Matrix {
 // MatMulATBInto computes out = aᵀ @ b, or out += aᵀ @ b when accumulate.
 func MatMulATBInto(out, a, b *Matrix, accumulate bool) {
 	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulATB shapes %dx%dᵀ @ %dx%d -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+		panicShape("matmulATB shapes", a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols)
 	}
 	if !accumulate {
 		out.Zero()
@@ -186,8 +212,7 @@ func MatMulABT(a, b *Matrix) *Matrix {
 // MatMulABTInto computes out = a @ bᵀ, or out += a @ bᵀ when accumulate.
 func MatMulABTInto(out, a, b *Matrix, accumulate bool) {
 	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmulABT shapes %dx%d @ %dx%dᵀ -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+		panicShape("matmulABT shapes", a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols)
 	}
 	if !accumulate {
 		out.Zero()
@@ -279,7 +304,7 @@ func HadamardInto(out, a, b *Matrix, accumulate bool) {
 // AddRowVector adds vec (1 x Cols) to every row of m (bias broadcast).
 func (m *Matrix) AddRowVector(vec *Matrix) {
 	if vec.Rows != 1 || vec.Cols != m.Cols {
-		panic(fmt.Sprintf("tensor: AddRowVector shape %dx%d to %dx%d", vec.Rows, vec.Cols, m.Rows, m.Cols))
+		panicShape("AddRowVector shape", vec.Rows, vec.Cols, m.Rows, m.Cols)
 	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
@@ -292,13 +317,22 @@ func (m *Matrix) AddRowVector(vec *Matrix) {
 // SumRows returns the 1 x Cols column-wise sum of m (bias gradients).
 func (m *Matrix) SumRows() *Matrix {
 	out := New(1, m.Cols)
+	m.SumRowsInto(out)
+	return out
+}
+
+// SumRowsInto overwrites out (1 x Cols) with the column-wise sum of m.
+func (m *Matrix) SumRowsInto(out *Matrix) {
+	if out.Rows != 1 || out.Cols != m.Cols {
+		panicShape("SumRowsInto shape", out.Rows, out.Cols, m.Rows, m.Cols)
+	}
+	out.Zero()
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
 			out.Data[j] += v
 		}
 	}
-	return out
 }
 
 // Apply maps f over every element in place.
@@ -325,6 +359,13 @@ func (m *Matrix) MaxAbs() float32 {
 // SoftmaxRows computes a numerically stable row-wise softmax into a new matrix.
 func SoftmaxRows(m *Matrix) *Matrix {
 	out := New(m.Rows, m.Cols)
+	SoftmaxRowsInto(out, m)
+	return out
+}
+
+// SoftmaxRowsInto writes the row-wise softmax of m into out (same shape).
+func SoftmaxRowsInto(out, m *Matrix) {
+	checkSameShape("SoftmaxRowsInto", out, m)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		orow := out.Row(i)
@@ -345,11 +386,10 @@ func SoftmaxRows(m *Matrix) *Matrix {
 			orow[j] *= inv
 		}
 	}
-	return out
 }
 
 func checkSameShape(op string, a, b *Matrix) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+		panicShape(op+" shape mismatch", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 }

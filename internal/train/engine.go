@@ -3,6 +3,8 @@ package train
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -92,6 +94,72 @@ type engine struct {
 	// once on first use. Only the consumer goroutine (executeIteration)
 	// touches it.
 	buckets []nn.GradBucket
+
+	// spec is the memory model's view of the configured model, fixed for the
+	// session (validated once in newEngine via memest.New).
+	spec memest.ModelSpec
+
+	// featPool recycles host-side feature staging tensors across iterations.
+	// It is shared by the consumer goroutine (synchronous staging) and a
+	// pipelined loader's prefetch goroutine, hence pool-level locking. Nil
+	// when Config.DisablePooling is set; tensor.Pool methods degrade to plain
+	// allocation on a nil pool.
+	featPool *tensor.Pool
+	// Pool-reuse gauges (nil when pooling or metrics are off): last-snapshot
+	// hit/miss/resize/outstanding counters across the feature pool and the
+	// arena's pool, refreshed once per iteration and per inference request.
+	poolHitsG, poolMissesG, poolResizesG, poolOutstandingG *obs.Gauge
+	// arena hands the model layers their forward/backward intermediates,
+	// reclaimed wholesale after each micro-batch's compute (and after each
+	// serving/eval forward). Micro-batches execute strictly sequentially on
+	// the consumer goroutine — replicas share the arena safely. Nil when
+	// pooling is disabled.
+	arena *tensor.Arena
+
+	// scratchFree recycles iteration bundles (batch, estimator, scheduler and
+	// block-generation scratch): a bundle is checked out when its batch is
+	// sampled — by the consumer inline or by a loader's sampler goroutine —
+	// and returned once executeIteration has consumed everything aliasing it.
+	scratchMu   sync.Mutex
+	scratchFree []*iterScratch
+}
+
+// iterScratch is the reusable working set one in-flight iteration owns end to
+// end: the sampled batch, the analytical estimator, the scheduler scratch,
+// one block-generation scratch per micro-batch slot, and the partition /
+// micro-batch / result headers. Everything a pipeIter hands out aliases its
+// bundle, so a bundle returns to the free list only after the iteration is
+// fully consumed; dropping one on an error path is safe (the GC takes it).
+type iterScratch struct {
+	batch sampling.Batch
+	est   memest.Estimator
+	sched schedule.Scratch
+	gens  []*block.GenScratch
+	parts [][]graph.NodeID
+	mbs   []*block.MicroBatch
+	res   IterationResult
+	iter  pipeIter
+}
+
+func (e *engine) getIterScratch() *iterScratch {
+	e.scratchMu.Lock()
+	defer e.scratchMu.Unlock()
+	if n := len(e.scratchFree); n > 0 {
+		sc := e.scratchFree[n-1]
+		e.scratchFree[n-1] = nil
+		e.scratchFree = e.scratchFree[:n-1]
+		return sc
+	}
+	return &iterScratch{}
+}
+
+func (e *engine) putIterScratch(sc *iterScratch) {
+	if sc == nil {
+		return
+	}
+	e.scratchMu.Lock()
+	e.scratchFree = append(e.scratchFree, sc)
+	e.scratchMu.Unlock()
 }
 
 // newEngine wires the shared spine over a set of replicas. cluster is nil
@@ -125,18 +193,33 @@ func newEngine(ds *datagen.Dataset, cfg Config, replicas []replica, cluster *dev
 			flat0 = fb
 		}
 	}
+	spec := memest.SpecFromConfig(cfg.Model)
 	e := &engine{
 		cfg:      cfg,
 		data:     ds,
 		flat0:    flat0,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		clusterC: ds.Graph.ApproxClusteringCoefficient(cfg.Seed, 2000),
-		rowBytes: memest.SpecFromConfig(cfg.Model).FeatureRowBytes(),
+		rowBytes: spec.FeatureRowBytes(),
+		spec:     spec,
 		replicas: replicas,
 		cluster:  cluster,
 		preStats: make([]device.Stats, n),
 		compute:  make([]time.Duration, n),
 		bwdLast:  make([]time.Duration, n),
+	}
+	if !cfg.DisablePooling {
+		e.featPool = tensor.NewPool()
+		e.arena = tensor.NewArena(tensor.NewPool())
+		for _, r := range replicas {
+			r.model.SetArena(e.arena)
+		}
+		if m := cfg.Obs.Metrics(); m != nil {
+			e.poolHitsG = m.Gauge("tensor/pool/hits")
+			e.poolMissesG = m.Gauge("tensor/pool/misses")
+			e.poolResizesG = m.Gauge("tensor/pool/resizes")
+			e.poolOutstandingG = m.Gauge("tensor/pool/outstanding")
+		}
 	}
 	if shards > 1 {
 		e.shardOpts = make([]*nn.Adam, n)
@@ -186,24 +269,33 @@ func (e *engine) residentBase() int64 {
 
 // sampleBatch draws the next iteration's batch from the engine's RNG in the
 // canonical order (seeds, then fanout sampling) that sampling.Stream mirrors
-// for background samplers.
-func (e *engine) sampleBatch() (*sampling.Batch, error) {
+// for background samplers. The batch refills the scratch bundle's storage;
+// the RNG draw sequence is identical to a fresh SampleBatch.
+func (e *engine) sampleBatch(sc *iterScratch) (*sampling.Batch, error) {
 	t0 := time.Now()
 	seeds, err := sampling.UniformSeeds(e.data.Graph, e.cfg.BatchSize, e.rng)
 	if err != nil {
 		return nil, err
 	}
-	b, err := sampling.SampleBatch(e.data.Graph, seeds, e.cfg.Fanouts, e.rng)
-	if err == nil {
-		e.cfg.Obs.Span(obs.KindSample, "", "batch", time.Since(t0),
-			int64(len(seeds)), int64(len(e.cfg.Fanouts)))
+	b := &sc.batch
+	err = sampling.SampleBatchInto(b, e.data.Graph, seeds, e.cfg.Fanouts, e.rng)
+	if err != nil {
+		return nil, err
 	}
-	return b, err
+	e.cfg.Obs.Span(obs.KindSample, "", "batch", time.Since(t0),
+		int64(len(seeds)), int64(len(e.cfg.Fanouts)))
+	return b, nil
 }
 
 // estimator builds the analytical memory model for a batch.
 func (e *engine) estimator(b *sampling.Batch) (*memest.Estimator, error) {
-	return memest.New(memest.SpecFromConfig(e.cfg.Model), memest.ProfileBatch(b, e.clusterC))
+	return memest.New(e.spec, memest.ProfileBatch(b, e.clusterC))
+}
+
+// estimatorInto is estimator rebinding a recycled estimator to b's profile in
+// place, keeping its warm measurement scratch.
+func (e *engine) estimatorInto(est *memest.Estimator, b *sampling.Batch) error {
+	return memest.NewInto(est, e.spec, b, e.clusterC)
 }
 
 // pipeIter is one planned iteration: its batch, the micro-batch blocks, and
@@ -212,6 +304,7 @@ func (e *engine) estimator(b *sampling.Batch) (*memest.Estimator, error) {
 // before the last staged micro-batch is handed to the consumer, so the
 // consumer reads it race-free after the last stage call.
 type pipeIter struct {
+	sc       *iterScratch // owning bundle, returned to the free list post-consumption
 	b        *sampling.Batch
 	res      *IterationResult
 	mbs      []*block.MicroBatch
@@ -266,7 +359,10 @@ func (s seqStager) stage(it *pipeIter, i int) (*stagedMB, error) {
 	}, nil
 }
 
-func (s seqStager) release(smb *stagedMB) { smb.featAlloc.Free() }
+func (s seqStager) release(smb *stagedMB) {
+	smb.featAlloc.Free()
+	s.e.releaseFeats(smb.feats)
+}
 
 // planIteration runs the planning half of an iteration — the system plan
 // (Buffalo's K-search for buffalo) plus block generation for every group —
@@ -276,15 +372,23 @@ func (s seqStager) release(smb *stagedMB) { smb.featAlloc.Free() }
 // loader.planPinned).
 //
 //buffalo:hot-root train-iteration
-func (e *engine) planIteration(b *sampling.Batch) (*pipeIter, error) {
-	res := &IterationResult{}
-	parts, err := e.plan(b, res)
+func (e *engine) planIteration(sc *iterScratch, b *sampling.Batch) (*pipeIter, error) {
+	sc.res = IterationResult{}
+	res := &sc.res
+	parts, err := e.plan(sc, b, res)
 	if err != nil {
 		return nil, err
 	}
-	it := &pipeIter{b: b, res: res, mbs: make([]*block.MicroBatch, len(parts))}
+	if cap(sc.mbs) < len(parts) {
+		sc.mbs = make([]*block.MicroBatch, len(parts))
+	}
+	for len(sc.gens) < len(parts) {
+		sc.gens = append(sc.gens, &block.GenScratch{})
+	}
+	it := &sc.iter
+	*it = pipeIter{sc: sc, b: b, res: res, mbs: sc.mbs[:len(parts)]}
 	for i, outputs := range parts {
-		mb, err := e.buildMicroBatch(b, outputs, res)
+		mb, err := e.buildMicroBatch(sc.gens[i], b, outputs, res)
 		if err != nil {
 			return nil, err
 		}
@@ -296,14 +400,29 @@ func (e *engine) planIteration(b *sampling.Batch) (*pipeIter, error) {
 	return it, nil
 }
 
+// ensureParts sizes the partition header to n entries, keeping every entry's
+// backing storage so steady-state planning appends into warmed slices.
+func ensureParts(s [][]graph.NodeID, n int) [][]graph.NodeID {
+	if cap(s) < n {
+		ns := make([][]graph.NodeID, n)
+		copy(ns, s[:cap(s)])
+		return ns
+	}
+	return s[:n]
+}
+
 // plan produces the micro-batch output partitions per the configured system.
-func (e *engine) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeID, error) {
+// Buffalo's partitions are built inside sc and stay valid until the bundle's
+// next plan; the baseline systems return freshly built partitions.
+func (e *engine) plan(sc *iterScratch, b *sampling.Batch, res *IterationResult) ([][]graph.NodeID, error) {
 	switch e.cfg.System {
 	case DGL, PyG:
-		return [][]graph.NodeID{b.Seeds}, nil
+		sc.parts = ensureParts(sc.parts, 1)
+		sc.parts[0] = append(sc.parts[0][:0], b.Seeds...)
+		return sc.parts[:1], nil
 	case Buffalo:
-		est, err := e.estimator(b)
-		if err != nil {
+		est := &sc.est
+		if err := e.estimatorInto(est, b); err != nil {
 			return nil, err
 		}
 		t0 := time.Now()
@@ -336,6 +455,7 @@ func (e *engine) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeID
 			KMax:              e.fixedKMax(b),
 			DisableRedundancy: e.cfg.DisableRedundancy,
 			Obs:               e.cfg.Obs,
+			Scratch:           &sc.sched,
 		})
 		dt := time.Since(t0)
 		res.Phases.Scheduling += dt
@@ -347,11 +467,14 @@ func (e *engine) plan(b *sampling.Batch, res *IterationResult) ([][]graph.NodeID
 		// fixed resident footprint.
 		res.PredictedPeak = plan.MaxEstimate() + e.residentBase()
 		e.cfg.Obs.Span(obs.KindPlan, "", string(Buffalo), dt, plan.MaxEstimate(), int64(plan.K))
-		parts := make([][]graph.NodeID, len(plan.Groups))
+		// Copy the node lists out of the plan: the plan's groups alias the
+		// scheduler scratch, while the partitions must survive through block
+		// generation and staging.
+		sc.parts = ensureParts(sc.parts, len(plan.Groups))
 		for i, g := range plan.Groups {
-			parts[i] = g.Nodes()
+			sc.parts[i] = g.AppendNodes(sc.parts[i][:0])
 		}
-		return parts, nil
+		return sc.parts[:len(plan.Groups)], nil
 	case Betty:
 		est, err := e.estimator(b)
 		if err != nil {
@@ -409,7 +532,7 @@ func (e *engine) fixedKMax(b *sampling.Batch) int {
 // the fast sampling-order generator (its §IV-E contribution); every baseline
 // pays the standard connection-check cost the paper's Fig 5 measures in
 // existing frameworks.
-func (e *engine) buildMicroBatch(b *sampling.Batch, outputs []graph.NodeID, res *IterationResult) (*block.MicroBatch, error) {
+func (e *engine) buildMicroBatch(gen *block.GenScratch, b *sampling.Batch, outputs []graph.NodeID, res *IterationResult) (*block.MicroBatch, error) {
 	naive := e.cfg.System != Buffalo || e.cfg.NaiveBlockGen
 	if naive {
 		mb, check, build, err := block.GenerateNaiveTimed(b, outputs)
@@ -425,7 +548,7 @@ func (e *engine) buildMicroBatch(b *sampling.Batch, outputs []graph.NodeID, res 
 		return mb, err
 	}
 	t0 := time.Now()
-	mb, err := block.GenerateTraced(b, outputs, e.cfg.Obs)
+	mb, err := block.GenerateInto(gen, b, outputs, e.cfg.Obs)
 	dt := time.Since(t0)
 	res.Phases.BlockGen += dt
 	if err == nil {
@@ -445,16 +568,51 @@ func (e *engine) labelScratch(n int) []int32 {
 }
 
 // gatherFeatures assembles the host-side input-feature tensor of one
-// micro-batch (the staging buffer a real loader would pin for the H2D copy).
+// micro-batch (the staging buffer a real loader would pin for the H2D copy),
+// drawn from the engine's shape-keyed pool; the stager that consumed it
+// returns it via releaseFeats.
 func (e *engine) gatherFeatures(mb *block.MicroBatch) *tensor.Matrix {
 	inDim := e.cfg.Model.InDim
 	inputs := mb.InputNodes()
-	feats := tensor.New(len(inputs), inDim)
+	feats := e.featPool.Get(len(inputs), inDim)
 	for i, v := range inputs {
 		copy(feats.Row(i), e.data.FeatureRow(v)[:inDim])
 	}
 	return feats
 }
+
+// releaseFeats recycles a staging tensor gatherFeatures handed out.
+func (e *engine) releaseFeats(m *tensor.Matrix) { e.featPool.Put(m) }
+
+// layerTags / mbTags precompute the hot allocation and span tags; Sprintf
+// only runs past the precomputed range (deeper than any evaluated model).
+var layerTags = [8]string{
+	"activations/layer0", "activations/layer1", "activations/layer2", "activations/layer3",
+	"activations/layer4", "activations/layer5", "activations/layer6", "activations/layer7",
+}
+
+func layerTag(l int) string {
+	if l < len(layerTags) {
+		return layerTags[l]
+	}
+	return coldTag("activations/layer", l)
+}
+
+var mbTags = [16]string{
+	"mb0", "mb1", "mb2", "mb3", "mb4", "mb5", "mb6", "mb7",
+	"mb8", "mb9", "mb10", "mb11", "mb12", "mb13", "mb14", "mb15",
+}
+
+func mbTag(i int) string {
+	if i < len(mbTags) {
+		return mbTags[i]
+	}
+	return coldTag("mb", i)
+}
+
+// coldTag is the out-of-range fallback the tag tables funnel through, keeping
+// the string formatting off the hot paths' allocation census.
+func coldTag(prefix string, i int) string { return prefix + strconv.Itoa(i) }
 
 // addCompute charges measured host compute time onto replica dev's simulated
 // kernel clock: scaled by the modeled GPU speedup, with the PyG penalty on
@@ -489,7 +647,7 @@ func (e *engine) computeMicroBatch(dev int, b *sampling.Batch, mb *block.MicroBa
 	}()
 	tFwd := time.Now()
 	fwd, err := r.model.ForwardWithHook(mb, feats, func(layer int, plannedBytes int64) error {
-		a, err := r.gpu.Alloc(fmt.Sprintf("activations/layer%d", layer), plannedBytes)
+		a, err := r.gpu.Alloc(layerTag(layer), plannedBytes)
 		if err != nil {
 			return err
 		}
@@ -497,6 +655,7 @@ func (e *engine) computeMicroBatch(dev int, b *sampling.Batch, mb *block.MicroBa
 		return nil
 	})
 	if err != nil {
+		e.arena.Reset()
 		return 0, 0, 0, fmt.Errorf("train: forward: %w", err)
 	}
 	labels := e.labelScratch(len(mb.Outputs))
@@ -504,13 +663,16 @@ func (e *engine) computeMicroBatch(dev int, b *sampling.Batch, mb *block.MicroBa
 		labels[i] = e.data.Labels[v]
 	}
 	scale := float32(len(mb.Outputs)) / float32(b.NumOutputNodes())
-	mLoss, dLogits, err := nn.CrossEntropy(fwd.Logits, labels, scale)
+	probs := e.arena.Get(fwd.Logits.Rows, fwd.Logits.Cols)
+	mLoss, dLogits, err := nn.CrossEntropyInto(probs, fwd.Logits, labels, scale)
 	if err != nil {
+		e.arena.Reset()
 		return 0, 0, 0, err
 	}
 	perCompute[dev] += e.addCompute(dev, time.Since(tFwd), obs.KindForward)
 	tBwd := time.Now()
 	if _, err := r.model.Backward(fwd, dLogits); err != nil {
+		e.arena.Reset()
 		return 0, 0, 0, err
 	}
 	bwd := e.addCompute(dev, time.Since(tBwd), obs.KindBackward)
@@ -518,7 +680,11 @@ func (e *engine) computeMicroBatch(dev int, b *sampling.Batch, mb *block.MicroBa
 	lastBwd[dev] = bwd
 
 	acc = nn.Accuracy(fwd.Logits, labels)
-	return mLoss, acc, feats.Bytes() + fwd.ActivationBytes(), nil
+	microBytes = feats.Bytes() + fwd.ActivationBytes()
+	// Everything the forward and backward passes materialized is dead now —
+	// reclaim the whole micro-batch's intermediates at once.
+	e.arena.Reset()
+	return mLoss, acc, microBytes, nil
 }
 
 // executeIteration drives the execute half of one planned iteration through
@@ -584,7 +750,7 @@ func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGP
 		counted += len(smb.mb.Outputs)
 		res.PerMicroBytes = append(res.PerMicroBytes, bytes)
 		res.TotalNodes += smb.mb.NumNodes()
-		e.cfg.Obs.Span(obs.KindMicroBatch, gpu.Name(), fmt.Sprintf("mb%d", i),
+		e.cfg.Obs.Span(obs.KindMicroBatch, gpu.Name(), mbTag(i),
 			time.Since(tMB), bytes, int64(i))
 	}
 
@@ -651,14 +817,41 @@ func (e *engine) executeIteration(it *pipeIter, ex stager, async bool) (*MultiGP
 			time.Since(tIter), res.Peak, int64(res.K))
 		memest.RecordEstimate(e.cfg.Obs, e.iterDev(), res.PredictedPeak, res.Peak)
 	}
+	e.publishPoolStats()
 	return res, nil
+}
+
+// poolStats aggregates the reuse counters of both hot-path pools: the
+// feature-staging pool and the compute arena's pool. Zero when pooling is
+// disabled.
+func (e *engine) poolStats() tensor.PoolStats {
+	st := e.featPool.Stats()
+	ast := e.arena.Pool().Stats()
+	st.Hits += ast.Hits
+	st.Misses += ast.Misses
+	st.Resizes += ast.Resizes
+	st.Outstanding += ast.Outstanding
+	return st
+}
+
+// publishPoolStats refreshes the tensor/pool/* gauges (no-op when pooling or
+// metrics are off).
+func (e *engine) publishPoolStats() {
+	if e.poolHitsG == nil {
+		return
+	}
+	st := e.poolStats()
+	e.poolHitsG.Set(st.Hits)
+	e.poolMissesG.Set(st.Misses)
+	e.poolResizesG.Set(st.Resizes)
+	e.poolOutstandingG.Set(st.Outstanding)
 }
 
 // gradBuckets returns the (cached) gradient bucketization of the main
 // replica's parameter set for the overlapped reducer.
 func (e *engine) gradBuckets() []nn.GradBucket {
 	if e.buckets == nil {
-		e.buckets = e.replicas[0].model.Params.GradBuckets(e.cfg.bucketBytes())
+		e.buckets = e.replicas[0].model.Params.GradBucketsInto(e.buckets, e.cfg.bucketBytes())
 	}
 	return e.buckets
 }

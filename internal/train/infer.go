@@ -46,6 +46,18 @@ type InferenceSession struct {
 	cache       *pipeline.FeatureCache
 	cacheAlloc  *device.Allocation
 	cacheBudget int64
+
+	// Per-request scratch, reused across Infer calls (one request runs at a
+	// time per session): the iteration bundle (batch, estimator, scheduler
+	// scratch), one block-generation scratch (groups execute sequentially, so
+	// one suffices), the request dedup set, the per-group node buffer, and
+	// the layer-allocation slots.
+	sc          iterScratch
+	gen         block.GenScratch
+	seen        map[graph.NodeID]struct{}
+	seedsBuf    []graph.NodeID
+	nodesBuf    []graph.NodeID
+	layerAllocs []*device.Allocation
 }
 
 // NewInferenceSession builds a forward-only session on a simulated GPU named
@@ -112,6 +124,10 @@ func (s *InferenceSession) CacheStats() pipeline.CacheStats {
 	return s.cache.Stats()
 }
 
+// PoolStats reports the tensor-pool reuse counters across the session's
+// feature-staging pool and compute arena (zero when pooling is disabled).
+func (s *InferenceSession) PoolStats() tensor.PoolStats { return s.eng.poolStats() }
+
 // InferBreakdown is the per-phase wall time of one Infer call, the serving
 // analogue of Phases: host-side assembly (sample + plan + block gen +
 // gather), then the simulated device clocks (H2D stalls, scaled compute).
@@ -160,7 +176,7 @@ func (s *InferenceSession) Infer(nodes []graph.NodeID) (*InferResult, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("train: Infer needs at least one node")
 	}
-	seeds := dedupNodes(nodes)
+	seeds := s.dedupInto(nodes)
 	t0 := time.Now()
 	s.GPU.ResetPeak()
 	pre := s.cache != nil
@@ -172,16 +188,16 @@ func (s *InferenceSession) Infer(nodes []graph.NodeID) (*InferResult, error) {
 	res := &InferResult{Classes: make(map[graph.NodeID]int32, len(seeds))}
 
 	tS := time.Now()
-	b, err := sampling.SampleBatch(s.Data.Graph, seeds, s.Cfg.Fanouts, s.eng.rng)
-	if err != nil {
+	b := &s.sc.batch
+	if err := sampling.SampleBatchInto(b, s.Data.Graph, seeds, s.Cfg.Fanouts, s.eng.rng); err != nil {
 		return nil, err
 	}
 	res.Breakdown.Sample = time.Since(tS)
 	s.Cfg.Obs.Span(obs.KindSample, "", "serve", res.Breakdown.Sample,
 		int64(len(seeds)), int64(len(s.Cfg.Fanouts)))
 
-	est, err := s.eng.estimator(b)
-	if err != nil {
+	est := &s.sc.est
+	if err := s.eng.estimatorInto(est, b); err != nil {
 		return nil, err
 	}
 	est.ForwardOnly = true
@@ -189,6 +205,7 @@ func (s *InferenceSession) Infer(nodes []graph.NodeID) (*InferResult, error) {
 	plan, err := schedule.Schedule(b, est, schedule.Options{
 		MemLimit: s.eng.activationBudget() * 9 / 10,
 		Obs:      s.Cfg.Obs,
+		Scratch:  &s.sc.sched,
 	})
 	res.Breakdown.Plan = time.Since(tP)
 	if err != nil {
@@ -201,13 +218,14 @@ func (s *InferenceSession) Infer(nodes []graph.NodeID) (*InferResult, error) {
 
 	for _, g := range plan.Groups {
 		tB := time.Now()
-		mb, err := block.GenerateTraced(b, g.Nodes(), s.Cfg.Obs)
+		s.nodesBuf = g.AppendNodes(s.nodesBuf[:0])
+		mb, err := block.GenerateInto(&s.gen, b, s.nodesBuf, s.Cfg.Obs)
 		dt := time.Since(tB)
 		res.Breakdown.BlockGen += dt
 		if err != nil {
 			return nil, err
 		}
-		s.Cfg.Obs.Span(obs.KindBlockGen, "", "fast", dt, mb.NumNodes(), int64(len(g.Nodes())))
+		s.Cfg.Obs.Span(obs.KindBlockGen, "", "fast", dt, mb.NumNodes(), int64(len(s.nodesBuf)))
 		if err := s.executeInfer(mb, res); err != nil {
 			return nil, err
 		}
@@ -223,6 +241,7 @@ func (s *InferenceSession) Infer(nodes []graph.NodeID) (*InferResult, error) {
 			time.Since(t0), res.Peak, int64(res.K))
 		memest.RecordEstimate(s.Cfg.Obs, s.GPU.Name(), res.PredictedPeak, res.Peak)
 	}
+	s.eng.publishPoolStats()
 	return res, nil
 }
 
@@ -236,7 +255,9 @@ func (s *InferenceSession) executeInfer(mb *block.MicroBatch, res *InferResult) 
 	inDim := s.Cfg.Model.InDim
 	inputs := mb.InputNodes()
 	tG := time.Now()
-	feats := tensor.New(len(inputs), inDim)
+	feats := s.eng.featPool.Get(len(inputs), inDim)
+	defer s.eng.releaseFeats(feats)
+	defer s.eng.arena.Reset()
 	var missBytes int64
 	for i, v := range inputs {
 		copy(feats.Row(i), s.Data.FeatureRow(v)[:inDim])
@@ -259,7 +280,13 @@ func (s *InferenceSession) executeInfer(mb *block.MicroBatch, res *InferResult) 
 		featAlloc = a
 		res.Breakdown.H2D += s.GPU.TransferH2D(missBytes)
 	}
-	layerAllocs := make([]*device.Allocation, len(s.Model.Layers))
+	if cap(s.layerAllocs) < len(s.Model.Layers) {
+		s.layerAllocs = make([]*device.Allocation, len(s.Model.Layers))
+	}
+	layerAllocs := s.layerAllocs[:len(s.Model.Layers)]
+	for i := range layerAllocs {
+		layerAllocs[i] = nil
+	}
 	free := func(a **device.Allocation) {
 		if *a != nil {
 			(**a).Free()
@@ -285,7 +312,7 @@ func (s *InferenceSession) executeInfer(mb *block.MicroBatch, res *InferResult) 
 		if layer >= 2 {
 			free(&layerAllocs[layer-2])
 		}
-		a, err := s.GPU.Alloc(fmt.Sprintf("serve/activations/layer%d", layer), planned)
+		a, err := s.GPU.Alloc(serveLayerTag(layer), planned)
 		if err != nil {
 			return err
 		}
@@ -313,18 +340,38 @@ func argmaxRow(row []float32) int32 {
 	return best
 }
 
-// dedupNodes collapses duplicate request nodes, preserving first-seen order
-// (SampleBatch requires distinct seeds; concurrent users may ask for the
-// same node).
-func dedupNodes(nodes []graph.NodeID) []graph.NodeID {
-	seen := make(map[graph.NodeID]struct{}, len(nodes))
-	out := make([]graph.NodeID, 0, len(nodes))
+// serveLayerTags precomputes the ledger tags for the depths real configs use;
+// serveLayerTag falls back to formatting for deeper (cold) models.
+var serveLayerTags = [8]string{
+	"serve/activations/layer0", "serve/activations/layer1",
+	"serve/activations/layer2", "serve/activations/layer3",
+	"serve/activations/layer4", "serve/activations/layer5",
+	"serve/activations/layer6", "serve/activations/layer7",
+}
+
+func serveLayerTag(l int) string {
+	if l < len(serveLayerTags) {
+		return serveLayerTags[l]
+	}
+	return coldTag("serve/activations/layer", l)
+}
+
+// dedupInto collapses duplicate request nodes into the session's reusable
+// seed buffer, preserving first-seen order (SampleBatch requires distinct
+// seeds; concurrent users may ask for the same node). The returned slice is
+// valid until the next Infer call.
+func (s *InferenceSession) dedupInto(nodes []graph.NodeID) []graph.NodeID {
+	if s.seen == nil {
+		s.seen = make(map[graph.NodeID]struct{}, len(nodes))
+	}
+	clear(s.seen)
+	s.seedsBuf = s.seedsBuf[:0]
 	for _, v := range nodes {
-		if _, ok := seen[v]; ok {
+		if _, ok := s.seen[v]; ok {
 			continue
 		}
-		seen[v] = struct{}{}
-		out = append(out, v)
+		s.seen[v] = struct{}{}
+		s.seedsBuf = append(s.seedsBuf, v)
 	}
-	return out
+	return s.seedsBuf
 }

@@ -9,6 +9,7 @@ import (
 	"buffalo/internal/gnn"
 	"buffalo/internal/memest"
 	"buffalo/internal/pipeline"
+	"buffalo/internal/tensor"
 )
 
 // DataParallel trains with Buffalo scheduling across a simulated multi-GPU
@@ -136,16 +137,26 @@ func (dp *DataParallel) RunIteration() (*MultiGPUResult, error) {
 	if dp.ld != nil {
 		return dp.ld.runIteration()
 	}
-	b, err := dp.eng.sampleBatch()
+	sc := dp.eng.getIterScratch()
+	b, err := dp.eng.sampleBatch(sc)
 	if err != nil {
 		return nil, err
 	}
-	it, err := dp.eng.planIteration(b)
+	it, err := dp.eng.planIteration(sc, b)
 	if err != nil {
 		return nil, err
 	}
-	return dp.eng.executeIteration(it, seqStager{e: dp.eng}, false)
+	res, err := dp.eng.executeIteration(it, seqStager{e: dp.eng}, false)
+	if err != nil {
+		return nil, err
+	}
+	dp.eng.putIterScratch(sc)
+	return res, nil
 }
+
+// PoolStats reports the tensor-pool reuse counters across the run's
+// feature-staging pool and compute arena (zero when pooling is disabled).
+func (dp *DataParallel) PoolStats() tensor.PoolStats { return dp.eng.poolStats() }
 
 // Stats snapshots every replica device's counters, cluster order.
 func (dp *DataParallel) Stats() []device.Stats {

@@ -61,12 +61,12 @@ func (c PipelineConfig) planAhead() int {
 	return c.PlanAhead
 }
 
-// seqBatch is a sampled batch tagged with its dispatch sequence number: the
-// position the plan-ahead pool must deliver its plan at, whatever order the
-// planner workers finish in.
+// seqBatch is a sampled batch — carried inside its iteration-scratch bundle —
+// tagged with its dispatch sequence number: the position the plan-ahead pool
+// must deliver its plan at, whatever order the planner workers finish in.
 type seqBatch struct {
 	seq uint64
-	b   *sampling.Batch
+	sc  *iterScratch
 }
 
 // loader is the asynchronous three-stage front-end shared by
@@ -173,13 +173,13 @@ func newLoader(eng *engine, pcfg PipelineConfig) (*loader, error) {
 	l.pipe.Go("sampler", func(ctx context.Context) error {
 		for seq := uint64(0); ; seq++ {
 			t0 := time.Now()
-			b, err := stream.Next()
-			if err != nil {
+			sc := eng.getIterScratch()
+			if err := stream.NextInto(&sc.batch); err != nil {
 				return err
 			}
 			cfg.Obs.Span(obs.KindSample, "", "batch", time.Since(t0),
-				int64(len(b.Seeds)), int64(len(cfg.Fanouts)))
-			if err := l.batchQ.Push(ctx, seqBatch{seq: seq, b: b}); err != nil {
+				int64(len(sc.batch.Seeds)), int64(len(cfg.Fanouts)))
+			if err := l.batchQ.Push(ctx, seqBatch{seq: seq, sc: sc}); err != nil {
 				return err
 			}
 		}
@@ -198,7 +198,7 @@ func newLoader(eng *engine, pcfg PipelineConfig) (*loader, error) {
 				if err != nil {
 					return err
 				}
-				it, err := l.planPinned(sb.b)
+				it, err := l.planPinned(sb.sc)
 				if err != nil {
 					return err
 				}
@@ -225,6 +225,7 @@ func newLoader(eng *engine, pcfg PipelineConfig) (*loader, error) {
 					smb.feats.Bytes(), 0, int64(dev))
 				if err := l.ready.Push(ctx, dev, smb); err != nil {
 					smb.featAlloc.Free()
+					eng.releaseFeats(smb.feats)
 					l.releaseStaged(dev)
 					return err
 				}
@@ -243,13 +244,13 @@ func newLoader(eng *engine, pcfg PipelineConfig) (*loader, error) {
 // cost. The goroutine therefore pins its OS thread and rescales the recorded
 // planning phases by its thread-CPU/wall ratio, recovering what the same work
 // costs uncontended — the number the sequential session would have measured.
-func (l *loader) planPinned(b *sampling.Batch) (*pipeIter, error) {
+func (l *loader) planPinned(sc *iterScratch) (*pipeIter, error) {
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
 	cpu0, cpuOK := threadCPUNow()
 	wall0 := time.Now()
 
-	it, err := l.eng.planIteration(b)
+	it, err := l.eng.planIteration(sc, &sc.batch)
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +352,7 @@ func (l *loader) stageMicroBatch(ctx context.Context, it *pipeIter, idx, dev int
 		smb.hasCopy = true
 		it.transfer += gpu.TransferDuration(missBytes)
 	}
-	e.cfg.Obs.Span(obs.KindPrefetch, gpu.Name(), fmt.Sprintf("mb%d", idx),
+	e.cfg.Obs.Span(obs.KindPrefetch, gpu.Name(), mbTag(idx),
 		time.Since(t0), feats.Bytes(), missBytes)
 	return smb, nil
 }
@@ -410,6 +411,7 @@ func (ps *pipeStager) stage(it *pipeIter, i int) (*stagedMB, error) {
 
 func (ps *pipeStager) release(smb *stagedMB) {
 	smb.featAlloc.Free()
+	ps.l.eng.releaseFeats(smb.feats)
 	ps.l.releaseStaged(smb.dev)
 }
 
@@ -442,6 +444,9 @@ func (l *loader) runIteration() (*MultiGPUResult, error) {
 		}
 		return nil, err
 	}
+	// The iteration is fully consumed: nothing alive aliases its scratch
+	// bundle anymore, so it can serve a future batch.
+	l.eng.putIterScratch(it.sc)
 	starved += ps.starved
 	// Planner-front overlap, mirroring the copy-front model: this iteration's
 	// planning ran in a background worker, dispatched up to planAhead()
@@ -489,6 +494,7 @@ func (l *loader) close() error {
 				break
 			}
 			smb.featAlloc.Free()
+			l.eng.releaseFeats(smb.feats)
 			l.releaseStaged(smb.dev)
 		}
 	}

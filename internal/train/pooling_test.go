@@ -1,0 +1,157 @@
+package train
+
+import (
+	"testing"
+
+	"buffalo/internal/graph"
+)
+
+// TestPoolingBitIdenticalLosses is the zero-allocation hot path's safety
+// regression: pooled and arena-backed tensors are zeroed on reuse, so every
+// execution mode must produce exactly the losses of a run with pooling
+// disabled (fresh allocations everywhere). Any drift means a kernel read
+// recycled data.
+func TestPoolingBitIdenticalLosses(t *testing.T) {
+	ds := loadData(t, "cora")
+	const iters = 3
+
+	runSeq := func(cfg Config) []float32 {
+		s, err := NewSession(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		out := make([]float32, iters)
+		for i := range out {
+			r, err := s.RunIteration()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = r.Loss
+		}
+		return out
+	}
+	runPipelined := func(cfg Config) []float32 {
+		p, err := NewPipelinedSession(ds, cfg, PipelineConfig{Depth: 2, CacheBudget: 4 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		out := make([]float32, iters)
+		for i := range out {
+			r, err := p.RunIteration()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = r.Loss
+		}
+		return out
+	}
+	runMultiGPU := func(cfg Config) []float32 {
+		dp, err := NewDataParallel(ds, cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dp.Close()
+		out := make([]float32, iters)
+		for i := range out {
+			r, err := dp.RunIteration()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = r.Loss
+		}
+		return out
+	}
+
+	cases := []struct {
+		name string
+		prep func(*Config)
+		run  func(Config) []float32
+	}{
+		{"sequential", nil, runSeq},
+		{"pipelined", nil, runPipelined},
+		{"multigpu", nil, runMultiGPU},
+		{"zero1", func(c *Config) { c.ZeRO1 = true; c.CommOverlap = true }, runMultiGPU},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig(ds, Buffalo)
+		cfg.MicroBatches = 4
+		if tc.prep != nil {
+			tc.prep(&cfg)
+		}
+		pooled := tc.run(cfg)
+		cfg.DisablePooling = true
+		plain := tc.run(cfg)
+		for i := range pooled {
+			if pooled[i] != plain[i] {
+				t.Fatalf("%s iteration %d: pooled loss %v != unpooled %v",
+					tc.name, i, pooled[i], plain[i])
+			}
+		}
+	}
+}
+
+// TestPoolingBitIdenticalServing: the serving path (forward-only, pooled
+// request scratch) predicts the same classes with pooling on and off, across
+// repeated requests so warm reuse is actually exercised.
+func TestPoolingBitIdenticalServing(t *testing.T) {
+	ds := loadData(t, "cora")
+	nodes := []graph.NodeID{1, 2, 3, 5, 8, 13, 21, 34}
+
+	run := func(disable bool) []map[graph.NodeID]int32 {
+		cfg := baseConfig(ds, Buffalo)
+		cfg.DisablePooling = disable
+		s, err := NewInferenceSession(ds, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var out []map[graph.NodeID]int32
+		for i := 0; i < 3; i++ {
+			r, err := s.Infer(nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, r.Classes)
+		}
+		return out
+	}
+	pooled, plain := run(false), run(true)
+	for i := range pooled {
+		for id, c := range plain[i] {
+			if pooled[i][id] != c {
+				t.Fatalf("request %d node %d: pooled class %d != unpooled %d", i, id, pooled[i][id], c)
+			}
+		}
+	}
+}
+
+// TestPoolingPipelineStress drives the pipelined loader's lanes hard enough
+// that the prefetch goroutine and the consumer contend on the shared feature
+// pool (run under -race in CI), then verifies the stages unwind without
+// leaking goroutines and the pools come back with nothing checked out.
+func TestPoolingPipelineStress(t *testing.T) {
+	baseline := pipelineGoroutineBaseline()
+	ds := loadData(t, "cora")
+	cfg := baseConfig(ds, Buffalo)
+	cfg.MicroBatches = 4
+	p, err := NewPipelinedSession(ds, cfg, PipelineConfig{Depth: 3, CacheBudget: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := p.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.PoolStats()
+	if st.Hits == 0 {
+		t.Fatal("stress run never hit the pool: reuse path dead")
+	}
+	p.Close()
+	waitForGoroutineBaseline(t, baseline)
+	if st := p.PoolStats(); st.Outstanding != 0 {
+		t.Fatalf("pool outstanding after Close = %d, want 0 (leaked checkouts)", st.Outstanding)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"buffalo/internal/obs"
 	"buffalo/internal/obs/report"
 	"buffalo/internal/pipeline"
+	"buffalo/internal/tensor"
 )
 
 // RunReport accumulates a training run's per-iteration results and final
@@ -37,6 +38,7 @@ type RunReport struct {
 	pcfg     *PipelineConfig
 	effDepth int
 	cache    *report.Cache
+	pooling  *report.Pooling
 	sharding *report.Sharding
 	devices  []device.Stats
 }
@@ -103,6 +105,7 @@ func (r *RunReport) CaptureSession(s *Session) {
 		return
 	}
 	r.devices = append(r.devices, s.GPU.Stats())
+	r.pooling = poolingReport(s.PoolStats())
 }
 
 // CapturePipelined snapshots a pipelined session's device, loader depth and
@@ -114,6 +117,7 @@ func (r *RunReport) CapturePipelined(p *PipelinedSession) {
 	r.devices = append(r.devices, p.GPU.Stats())
 	r.effDepth = p.EffectiveDepth()
 	r.cache = cacheReport(p.CacheStats(), p.CacheHitRate(), nil)
+	r.pooling = poolingReport(p.PoolStats())
 }
 
 // CaptureDataParallel snapshots every replica device plus the shared
@@ -125,6 +129,7 @@ func (r *RunReport) CaptureDataParallel(dp *DataParallel) {
 	r.devices = append(r.devices, dp.Stats()...)
 	r.effDepth = dp.EffectiveDepth()
 	r.cache = cacheReport(dp.CacheStats(), dp.CacheHitRate(), dp.PerDeviceCacheStats())
+	r.pooling = poolingReport(dp.PoolStats())
 	r.sharding = shardingReport(dp)
 }
 
@@ -164,6 +169,19 @@ func shardingReport(dp *DataParallel) *report.Sharding {
 			memest.ZeRO1FixedBytes(params.ValueBytes(), shard)
 	}
 	return sh
+}
+
+// poolingReport converts tensor-pool stats into the manifest form; a pool
+// that never served a Get reports nil (pooling off).
+func poolingReport(st tensor.PoolStats) *report.Pooling {
+	if st.Hits+st.Misses == 0 {
+		return nil
+	}
+	return &report.Pooling{
+		Hits: st.Hits, Misses: st.Misses, Resizes: st.Resizes,
+		Outstanding: st.Outstanding,
+		HitRate:     float64(st.Hits) / float64(st.Hits+st.Misses),
+	}
 }
 
 // cacheReport converts pipeline cache stats into the manifest form; a cache
@@ -241,6 +259,7 @@ func (r *RunReport) Build(rec *obs.Recorder) *report.Manifest {
 		HiddenCommNs:      int64(r.hiddenComm),
 	}
 	m.Cache = r.cache
+	m.Pooling = r.pooling
 	m.Sharding = r.sharding
 
 	// Timeline reconstruction needs the run's complete ledger stream: a

@@ -166,6 +166,14 @@ type Config struct {
 	DisableRedundancy bool // Buffalo: use R_group = 1 in the estimator
 	NaiveBlockGen     bool // Buffalo: use the connection-check generator
 
+	// DisablePooling turns off the zero-allocation hot path's tensor reuse:
+	// the shape-keyed feature-staging pool and the iteration-scoped arena the
+	// model layers draw intermediates from. Every tensor then comes from a
+	// fresh allocation, exactly as before pooling existed. Losses are
+	// bit-identical either way (pooled tensors are zeroed on reuse); the knob
+	// exists for that regression test and for allocation-profiling runs.
+	DisablePooling bool
+
 	// Obs optionally attaches an observability recorder (see internal/obs):
 	// the session's GPU ledger, the scheduler, block generation and every
 	// iteration phase report to it. Nil disables recording at zero cost.
@@ -359,25 +367,32 @@ func (s *Session) Close() {
 	}
 }
 
-// SampleBatch draws the next iteration's batch.
+// SampleBatch draws the next iteration's batch. The returned batch owns its
+// storage (callers hold batches across iterations), unlike the recycled
+// bundles RunIteration draws internally — the RNG sequence is identical.
 func (s *Session) SampleBatch() (*sampling.Batch, error) {
-	return s.eng.sampleBatch()
+	return s.eng.sampleBatch(&iterScratch{})
 }
 
 // RunIteration executes one full training iteration: sample, plan, execute
 // every micro-batch with gradient accumulation, and step the optimizer.
 func (s *Session) RunIteration() (*IterationResult, error) {
-	b, err := s.SampleBatch()
+	sc := s.eng.getIterScratch()
+	b, err := s.eng.sampleBatch(sc)
 	if err != nil {
 		return nil, err
 	}
-	return s.RunIterationOn(b)
+	return s.runIterationOn(sc, b)
 }
 
 // RunIterationOn is RunIteration against a pre-sampled batch (used by
 // experiments that compare systems on identical batches).
 func (s *Session) RunIterationOn(b *sampling.Batch) (*IterationResult, error) {
-	it, err := s.eng.planIteration(b)
+	return s.runIterationOn(s.eng.getIterScratch(), b)
+}
+
+func (s *Session) runIterationOn(sc *iterScratch, b *sampling.Batch) (*IterationResult, error) {
+	it, err := s.eng.planIteration(sc, b)
 	if err != nil {
 		return nil, err
 	}
@@ -385,6 +400,7 @@ func (s *Session) RunIterationOn(b *sampling.Batch) (*IterationResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.eng.putIterScratch(sc)
 	return &res.IterationResult, nil
 }
 
@@ -413,6 +429,10 @@ func (s *Session) TrainEpochs(n int) ([]EpochResult, error) {
 func BucketVolumes(b *sampling.Batch) []int {
 	return bucket.Bucketize(b).Volumes()
 }
+
+// PoolStats reports the tensor-pool reuse counters across the session's
+// feature-staging pool and compute arena (zero when pooling is disabled).
+func (s *Session) PoolStats() tensor.PoolStats { return s.eng.poolStats() }
 
 // Evaluate runs inference (forward only, no gradients, no optimizer step)
 // over the given nodes and reports mean loss and accuracy. The evaluation
@@ -453,8 +473,11 @@ func (s *Session) Evaluate(nodes []graph.NodeID) (loss float32, acc float64, err
 	return loss, float64(correct) / float64(counted), nil
 }
 
-// executeEval is one forward-only micro-batch (no backward pass).
+// executeEval is one forward-only micro-batch (no backward pass). The model
+// draws its intermediates from the engine arena; everything is dead once the
+// loss and accuracy scalars are out, so the arena resets on exit.
 func (s *Session) executeEval(b *sampling.Batch, mb *block.MicroBatch) (loss float32, acc float64, err error) {
+	defer s.eng.arena.Reset()
 	inDim := s.Cfg.Model.InDim
 	inputs := mb.InputNodes()
 	feats := tensor.New(len(inputs), inDim)

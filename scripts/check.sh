@@ -12,12 +12,14 @@
 #                      until it is optimized away, justified with a
 #                      //buffalo:vet-ignore, or deliberately re-baselined
 #                      with -baseline-write
-#   4. report gate     a small deterministic cora run plus one
-#                      allocation-deterministic benchmark, serialized as a
-#                      run manifest and gated by buffalo-report against the
-#                      committed baseline (scripts/report_baseline.json):
-#                      estimator-error drift and allocs/op growth fail here
-#                      before they can creep into the paper's artifacts
+#   4. report gate     a small deterministic cora run plus the three
+#                      allocation-deterministic benchmarks (sequential hot
+#                      loop, pipelined iteration, serving request),
+#                      serialized as a run manifest and gated by
+#                      buffalo-report against the committed baseline
+#                      (scripts/report_baseline.json): estimator-error
+#                      drift and allocs/op growth fail here before they
+#                      can creep into the paper's artifacts
 #   5. obs race gate   the observability tests (recorder, ledger events,
 #                      timeline reconstruction, streaming tap/meter) under
 #                      the race detector — a fast, focused pass so
@@ -59,22 +61,25 @@ go run ./cmd/buffalo-vet -stale-ignores -timing \
     -baseline scripts/vet_hotalloc_baseline.json ./...
 
 echo "== report gate =="
-# The run's schedule, memory estimator and the sequential hot loop's
-# allocation count are all seeded and machine-independent, so any drift
-# against the committed baseline manifest is a real regression — in
-# internal/memest (estimator error) or on the training hot path (allocs/op).
+# The run's schedule, memory estimator and the hot loops' allocation
+# counts are all seeded and machine-independent, so any drift against the
+# committed baseline manifest is a real regression — in internal/memest
+# (estimator error) or on a hot path (allocs/op: the sequential iteration,
+# the pipelined iteration with its staged loader, and the serving request
+# path are each gated so pooling regressions in any mode fail here).
 # Wall-clock metrics ride along in the manifest but are deliberately not
 # gated here. Re-baseline a justified change with:
 #   go run ./cmd/buffalo-train -dataset cora -iters 3 -seed 7 -report scripts/report_baseline.json
-#   go test -run xxx -bench BenchmarkRunIteration_ObsDisabled -benchtime 20x -benchmem . > /tmp/bench.txt
+#   go test -run xxx -bench 'BenchmarkRunIteration_ObsDisabled$|BenchmarkRunIteration_Pipelined$|BenchmarkServeRequest$' \
+#       -benchtime 20x -benchmem . > /tmp/bench.txt
 #   go run ./cmd/buffalo-report merge-bench -bench /tmp/bench.txt \
 #       -manifest scripts/report_baseline.json -out scripts/report_baseline.json
 reportdir=$(mktemp -d)
 trap 'rm -rf "$reportdir"' EXIT
 go run ./cmd/buffalo-train -dataset cora -iters 3 -seed 7 \
     -report "$reportdir/current.json" >/dev/null
-go test -run xxx -bench 'BenchmarkRunIteration_ObsDisabled' -benchtime 20x \
-    -benchmem . > "$reportdir/bench.txt"
+go test -run xxx -bench 'BenchmarkRunIteration_ObsDisabled$|BenchmarkRunIteration_Pipelined$|BenchmarkServeRequest$' \
+    -benchtime 20x -benchmem . > "$reportdir/bench.txt"
 go run ./cmd/buffalo-report merge-bench -bench "$reportdir/bench.txt" \
     -manifest "$reportdir/current.json" -out "$reportdir/current.json" >/dev/null
 go run ./cmd/buffalo-report gate \
