@@ -12,10 +12,12 @@ import (
 // miss it reshapes a released matrix from the smallest capacity class that
 // fits, so the varying shapes of sampled batches — no two iterations gather
 // the same frontier sizes — still reuse backing storage instead of
-// allocating every time. A single mutex guards the free lists — the hot
-// paths hold it for a slice scan/pop only, and the checkout pattern (one
-// Get/Put pair per staged buffer, not per element) keeps contention
-// negligible; the counters are atomics so Stats is lock-free.
+// allocating every time. A single mutex guards the free lists AND every
+// matrix checkout/release transition (released, poolSeq, poison-on-release),
+// so entry validation never observes a half-released matrix; the hot paths
+// hold it for a slice scan/pop only, and the checkout pattern (one Get/Put
+// pair per staged buffer, not per element) keeps contention negligible; the
+// counters are atomics so Stats is lock-free.
 //
 // Every released matrix is indexed twice — under its exact shape and under
 // its capacity class — and entries are validated lazily by a per-matrix
@@ -100,6 +102,7 @@ func (p *Pool) Get(rows, cols int) *Matrix {
 		s = s[:len(s)-1]
 		if e.live() {
 			m = e.m
+			m.released = false // checkout under p.mu so the other index's entry goes stale atomically
 			break
 		}
 	}
@@ -121,6 +124,7 @@ func (p *Pool) Get(rows, cols int) *Matrix {
 				}
 				if cap(e.m.Data) >= n {
 					m = e.m
+					m.released = false // checkout under p.mu, see exact-shape path above
 					resized = true
 					cs[i] = cs[len(cs)-1]
 					cs[len(cs)-1] = poolEntry{}
@@ -143,7 +147,6 @@ func (p *Pool) Get(rows, cols int) *Matrix {
 		m.Rows, m.Cols = rows, cols
 		m.Data = m.Data[:n]
 	}
-	m.released = false
 	m.Zero()
 	return m
 }
@@ -158,20 +161,25 @@ func (p *Pool) Put(m *Matrix) {
 	if p == nil || m == nil {
 		return
 	}
+	k := poolKey{m.Rows, m.Cols}
+	c := classOf(cap(m.Data))
+	p.mu.Lock()
 	if m.released {
+		p.mu.Unlock()
 		panic("tensor: double release of pooled matrix")
 	}
+	// The release transition, generation bump, and poison all happen under
+	// p.mu: a concurrent Get validates entries via live() under the same
+	// mutex, so it can never observe a half-released matrix (or poison a
+	// payload it already handed out).
 	m.released = true
 	m.poolSeq++
 	poisonOnRelease(m)
-	p.outstanding.Add(-1)
-	k := poolKey{m.Rows, m.Cols}
 	e := poolEntry{m: m, seq: m.poolSeq}
-	c := classOf(cap(m.Data))
-	p.mu.Lock()
 	p.free[k] = append(p.free[k], e)
 	p.byClass[c] = append(p.byClass[c], e)
 	p.mu.Unlock()
+	p.outstanding.Add(-1)
 }
 
 // Stats returns a snapshot of the reuse counters.

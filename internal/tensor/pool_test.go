@@ -1,6 +1,10 @@
 package tensor
 
-import "testing"
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
 
 func TestPoolExactShapeReuse(t *testing.T) {
 	p := NewPool()
@@ -183,5 +187,56 @@ func TestClassOf(t *testing.T) {
 		if c > 0 && n <= 1<<(c-1) {
 			t.Fatalf("classOf(%d) = %d but %d fits class %d", n, c, n, c-1)
 		}
+	}
+}
+
+// TestPoolConcurrentGetPutExclusive hammers one pool from many goroutines
+// mixing exact-shape hits, capacity-class resizes, and misses, and checks
+// that no matrix is ever handed to two owners at once: each owner stamps its
+// id into the payload and verifies every element before release. The
+// dual-index design (exact shape + capacity class) makes the checkout
+// transition the dangerous window — this is the double-handout regression
+// test for it, and it must stay clean under -race.
+func TestPoolConcurrentGetPutExclusive(t *testing.T) {
+	p := NewPool()
+	const workers = 8
+	const rounds = 400
+	// A deliberately colliding shape set: same element counts and shared
+	// capacity classes so the exact and class indexes fight over entries.
+	shapes := [][2]int{{4, 8}, {8, 4}, {2, 16}, {5, 7}, {6, 6}}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			stamp := float32(id + 1)
+			for r := 0; r < rounds; r++ {
+				sh := shapes[(id+r)%len(shapes)]
+				m := p.Get(sh[0], sh[1])
+				for i := range m.Data {
+					if m.Data[i] != 0 {
+						errs <- fmt.Errorf("worker %d got dirty matrix: %v", id, m.Data[i])
+						return
+					}
+					m.Data[i] = stamp
+				}
+				for i := range m.Data {
+					if m.Data[i] != stamp {
+						errs <- fmt.Errorf("worker %d: payload overwritten by another owner: got %v want %v", id, m.Data[i], stamp)
+						return
+					}
+				}
+				p.Put(m)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Outstanding; got != 0 {
+		t.Fatalf("outstanding after all workers done = %d, want 0", got)
 	}
 }
